@@ -1,0 +1,123 @@
+//! Flow-completion-time aggregation for the Fig. 5/14/15 experiments.
+
+use crate::stats::{mean, percentile};
+use dsh_simcore::Delta;
+
+/// Summary statistics over a set of FCTs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FctSummary {
+    /// Number of completed flows.
+    pub count: usize,
+    /// Average FCT in seconds.
+    pub avg_secs: f64,
+    /// Median FCT in seconds.
+    pub p50_secs: f64,
+    /// 95th percentile FCT in seconds.
+    pub p95_secs: f64,
+    /// 99th percentile FCT in seconds.
+    pub p99_secs: f64,
+}
+
+impl FctSummary {
+    /// Summarizes a set of FCTs. Returns `None` when empty.
+    #[must_use]
+    pub fn from_fcts(fcts: &[Delta]) -> Option<FctSummary> {
+        if fcts.is_empty() {
+            return None;
+        }
+        let secs: Vec<f64> = fcts.iter().map(|d| d.as_secs_f64()).collect();
+        Some(FctSummary {
+            count: secs.len(),
+            avg_secs: mean(&secs).expect("non-empty"),
+            p50_secs: percentile(&secs, 50.0).expect("non-empty"),
+            p95_secs: percentile(&secs, 95.0).expect("non-empty"),
+            p99_secs: percentile(&secs, 99.0).expect("non-empty"),
+        })
+    }
+
+    /// This summary's average normalized to a baseline (the paper plots
+    /// everything relative to SIH).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline average is zero.
+    #[must_use]
+    pub fn normalized_avg(&self, baseline: &FctSummary) -> f64 {
+        assert!(baseline.avg_secs > 0.0, "baseline average must be positive");
+        self.avg_secs / baseline.avg_secs
+    }
+}
+
+/// FCT *slowdown*: measured FCT divided by the ideal (empty-network)
+/// transfer time of the same flow — the scale-free metric many DCN papers
+/// report alongside raw FCT.
+///
+/// # Example
+///
+/// ```
+/// use dsh_analysis::fct::slowdown;
+/// use dsh_simcore::{Bandwidth, Delta};
+///
+/// // A 150 KB flow on a 100 Gb/s path with 10 us base RTT takes at least
+/// // 22 us; finishing in 44 us is a 2x slowdown.
+/// let s = slowdown(
+///     Delta::from_us(44),
+///     150_000,
+///     Bandwidth::from_gbps(100),
+///     Delta::from_us(10),
+/// );
+/// assert!((s - 2.0).abs() < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the flow size is zero.
+#[must_use]
+pub fn slowdown(
+    fct: Delta,
+    size_bytes: u64,
+    bottleneck: dsh_simcore::Bandwidth,
+    base_rtt: Delta,
+) -> f64 {
+    assert!(size_bytes > 0, "flow size must be positive");
+    let ideal = bottleneck.tx_delay(size_bytes) + base_rtt;
+    fct.as_secs_f64() / ideal.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let fcts: Vec<Delta> = (1..=100).map(Delta::from_us).collect();
+        let s = FctSummary::from_fcts(&fcts).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.avg_secs - 50.5e-6).abs() < 1e-9);
+        assert!((s.p50_secs - 50e-6).abs() < 1e-9);
+        assert!((s.p99_secs - 99e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(FctSummary::from_fcts(&[]), None);
+    }
+
+    #[test]
+    fn slowdown_is_one_for_ideal_transfers() {
+        use dsh_simcore::Bandwidth;
+        let bw = Bandwidth::from_gbps(100);
+        let rtt = Delta::from_us(10);
+        let ideal = bw.tx_delay(1_000_000) + rtt;
+        let s = slowdown(ideal, 1_000_000, bw, rtt);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        let a = FctSummary::from_fcts(&[Delta::from_us(50)]).unwrap();
+        let b = FctSummary::from_fcts(&[Delta::from_us(100)]).unwrap();
+        assert!((a.normalized_avg(&b) - 0.5).abs() < 1e-12);
+        assert!((b.normalized_avg(&b) - 1.0).abs() < 1e-12);
+    }
+}

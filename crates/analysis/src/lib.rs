@@ -1,0 +1,30 @@
+//! Analysis toolkit for the DSH reproduction: the paper's burst-absorption
+//! theory (§IV-C, Theorems 1 and 2), a fluid-model cross-validator,
+//! statistics (CDFs, percentiles) and FCT aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use dsh_analysis::theory::{BurstScenario, dsh_burst_tolerance, sih_burst_tolerance};
+//!
+//! // The paper's remark: DSH's burst absorption is independent of the
+//! // number of queues per port, while SIH's shrinks as N_q grows.
+//! let sc = BurstScenario {
+//!     total_buffer: 16.0 * 1024.0 * 1024.0,
+//!     eta: 56_840.0,
+//!     alpha: 1.0 / 16.0,
+//!     num_ports: 32,
+//!     queues_per_port: 7,
+//!     congested: 2,
+//!     bursting: 16,
+//!     offered_load: 2.0,
+//! };
+//! assert!(dsh_burst_tolerance(&sc) > sih_burst_tolerance(&sc));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fct;
+pub mod stats;
+pub mod theory;

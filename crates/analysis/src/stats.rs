@@ -1,0 +1,147 @@
+//! Small, exact statistics helpers used by the experiment harness.
+
+/// Arithmetic mean; `None` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Exact p-th percentile (nearest-rank, `p` in `[0, 100]`); `None` for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    Some(v[rank.clamp(1, v.len()) - 1])
+}
+
+/// An empirical CDF.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    #[must_use]
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    #[must_use]
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]`; `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        percentile(&self.sorted, q * 100.0)
+    }
+
+    /// `(value, cumulative fraction)` pairs for plotting.
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 99.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile() {
+        let c = Cdf::new([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.fraction_at(9.0), 0.0);
+        assert_eq!(c.fraction_at(20.0), 0.5);
+        assert_eq!(c.fraction_at(100.0), 1.0);
+        assert_eq!(c.quantile(0.5), Some(20.0));
+        let pts = c.points();
+        assert_eq!(pts.first(), Some(&(10.0, 0.25)));
+        assert_eq!(pts.last(), Some(&(40.0, 1.0)));
+    }
+
+    proptest! {
+        /// CDF is monotone and bounded in [0, 1].
+        #[test]
+        fn prop_cdf_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let c = Cdf::new(xs.clone());
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut last = 0.0;
+            for &x in &xs {
+                let f = c.fraction_at(x);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prop_assert!(f >= last);
+                last = f;
+            }
+            prop_assert_eq!(c.fraction_at(f64::INFINITY), 1.0);
+        }
+
+        /// percentile never panics for valid p and returns an element.
+        #[test]
+        fn prop_percentile_membership(xs in proptest::collection::vec(-1e6f64..1e6, 1..50), p in 0.0f64..100.0) {
+            let v = percentile(&xs, p).unwrap();
+            prop_assert!(xs.contains(&v));
+        }
+    }
+}

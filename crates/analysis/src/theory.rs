@@ -1,0 +1,275 @@
+//! Closed-form burst-absorption bounds (paper §IV-C) and a fluid-model
+//! integrator that cross-validates them.
+//!
+//! Scenario (from Choudhury & Hahne, adopted by the paper): `N` ingress
+//! queues have been congested since `t₀ < 0`; at `t = 0`, `M` further
+//! queues start receiving bursty traffic at normalized offered load
+//! `R > 1`. The theorems give the longest burst duration `d` that triggers
+//! **no** PFC pause on the bursting queues.
+
+/// Scenario parameters shared by both theorems. All byte quantities are
+/// `f64` for closed-form math.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstScenario {
+    /// Total lossless-pool buffer `B` (bytes); private buffer is assumed 0
+    /// per the paper's analysis assumptions.
+    pub total_buffer: f64,
+    /// Per-queue worst-case headroom `η` (bytes).
+    pub eta: f64,
+    /// DT parameter `α`.
+    pub alpha: f64,
+    /// Number of ports `N_p`.
+    pub num_ports: usize,
+    /// Lossless queues per port `N_q`.
+    pub queues_per_port: usize,
+    /// `N`: queues already congested at `t = 0`.
+    pub congested: usize,
+    /// `M`: queues that start bursting at `t = 0`.
+    pub bursting: usize,
+    /// `R`: normalized offered load of each active queue (> 1).
+    pub offered_load: f64,
+}
+
+impl BurstScenario {
+    /// Shared-segment size under DSH: `B_s = B − N_p·η` (Eq. 4 reservation).
+    #[must_use]
+    pub fn dsh_shared(&self) -> f64 {
+        self.total_buffer - self.num_ports as f64 * self.eta
+    }
+
+    /// Shared-segment size under SIH: `B_s = B − N_p·N_q·η` (Eq. 3
+    /// reservation).
+    #[must_use]
+    pub fn sih_shared(&self) -> f64 {
+        self.total_buffer - (self.num_ports * self.queues_per_port) as f64 * self.eta
+    }
+
+    /// The regime boundary `R* = (1 − αN)/(αM) + 1` separating the two
+    /// cases of Theorems 1 and 2.
+    #[must_use]
+    pub fn regime_boundary(&self) -> f64 {
+        let a = self.alpha;
+        (1.0 - a * self.congested as f64) / (a * self.bursting as f64) + 1.0
+    }
+}
+
+/// Max pause-free burst duration in *normalized byte-times* (bytes of
+/// burst per unit drain rate) for a scheme with shared size `bs` and pause
+/// threshold offset `eta_off` below `T(t)` (`η` for DSH, `0` for SIH).
+fn burst_tolerance(sc: &BurstScenario, bs: f64, eta_off: f64) -> f64 {
+    let a = sc.alpha;
+    let n = sc.congested as f64;
+    let m = sc.bursting as f64;
+    let r = sc.offered_load;
+    assert!(r > 1.0, "offered load must exceed 1 (otherwise no burst builds)");
+    let numer = a * bs - eta_off;
+    if numer <= 0.0 {
+        return 0.0;
+    }
+    if r <= sc.regime_boundary() {
+        // Case 1 (Eq. 16): the congested queues track the falling
+        // threshold.
+        numer / ((1.0 + a * (n + m)) * (r - 1.0))
+    } else {
+        // Case 2 (Eq. 19): the congested queues drain at their maximum
+        // rate, slower than the threshold falls.
+        numer / ((1.0 + a * n) * ((1.0 + a * m) * (r - 1.0) - a * n))
+    }
+}
+
+/// Theorem 1: DSH's maximum pause-free burst duration (normalized units).
+#[must_use]
+pub fn dsh_burst_tolerance(sc: &BurstScenario) -> f64 {
+    burst_tolerance(sc, sc.dsh_shared(), sc.eta)
+}
+
+/// Theorem 2: SIH's maximum pause-free burst duration (normalized units).
+#[must_use]
+pub fn sih_burst_tolerance(sc: &BurstScenario) -> f64 {
+    burst_tolerance(sc, sc.sih_shared(), 0.0)
+}
+
+/// Result of a fluid-model run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidOutcome {
+    /// Time at which the bursting queues first hit the pause threshold
+    /// (normalized units), or `None` if they never did within the horizon.
+    pub first_pause: Option<f64>,
+}
+
+/// Integrates the §IV-C fluid model numerically and reports when the
+/// bursting queues first cross `X_off` — an independent check of the
+/// closed forms.
+///
+/// `eta_off` is `η` for DSH, `0` for SIH; `bs` the shared size; `horizon`
+/// and `dt` control integration.
+#[must_use]
+pub fn fluid_first_pause(
+    sc: &BurstScenario,
+    bs: f64,
+    eta_off: f64,
+    horizon: f64,
+    dt: f64,
+) -> FluidOutcome {
+    let a = sc.alpha;
+    let n = sc.congested;
+    let m = sc.bursting;
+    let r = sc.offered_load;
+
+    // Initial state: congested queues sit exactly at X_off(0) (Eq. 10).
+    let q0 = (a * bs - eta_off) / (1.0 + a * n as f64);
+    let mut cong = vec![q0.max(0.0); n];
+    let mut burst = vec![0.0f64; m];
+
+    let mut t = 0.0;
+    while t < horizon {
+        let total: f64 = cong.iter().sum::<f64>() + burst.iter().sum::<f64>();
+        let thresh = (a * (bs - total)).max(0.0);
+        let xoff = (thresh - eta_off).max(0.0);
+        if burst.iter().any(|&q| q >= xoff) {
+            return FluidOutcome { first_pause: Some(t) };
+        }
+        // Congested queues: input paused (they sit above threshold), drain
+        // at up to rate 1, but never below the (falling) X_off tracking of
+        // the fluid model; bursting queues: net growth R - 1.
+        for q in &mut cong {
+            let drain = if *q > xoff { (*q - xoff).min(dt) } else { 0.0 };
+            *q -= drain;
+        }
+        for q in &mut burst {
+            *q += (r - 1.0) * dt;
+        }
+        t += dt;
+    }
+    FluidOutcome { first_pause: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_scenario() -> BurstScenario {
+        BurstScenario {
+            total_buffer: 16.0 * 1024.0 * 1024.0,
+            eta: 56_840.0,
+            alpha: 1.0 / 16.0,
+            num_ports: 32,
+            queues_per_port: 7,
+            congested: 2,
+            bursting: 16,
+            offered_load: 2.0,
+        }
+    }
+
+    #[test]
+    fn dsh_beats_sih_substantially_in_paper_setting() {
+        let sc = paper_scenario();
+        let d_dsh = dsh_burst_tolerance(&sc);
+        let d_sih = sih_burst_tolerance(&sc);
+        let ratio = d_dsh / d_sih;
+        // The closed forms give ~3.5x for this (N=2, M=16) scenario; the
+        // >4x of Fig. 11 is the packet-level measurement, which also
+        // charges SIH the private-buffer and quantization effects.
+        assert!(ratio > 3.0, "ratio {ratio}");
+        // The shared-pool ratio itself is ~3.7x here (4.25x once the
+        // private buffer, which the theory section sets to zero, is
+        // subtracted as in the real chip configuration).
+        assert!(sc.dsh_shared() / sc.sih_shared() > 3.5);
+    }
+
+    #[test]
+    fn dsh_is_independent_of_queue_count_sih_is_not() {
+        let mut sc = paper_scenario();
+        let d8 = dsh_burst_tolerance(&sc);
+        let s8 = sih_burst_tolerance(&sc);
+        sc.queues_per_port = 2;
+        let d2 = dsh_burst_tolerance(&sc);
+        let s2 = sih_burst_tolerance(&sc);
+        assert!((d8 - d2).abs() < 1e-9, "DSH must not depend on N_q");
+        assert!(s2 > s8, "SIH must improve with fewer queues");
+    }
+
+    #[test]
+    fn tolerance_increases_with_buffer() {
+        let sc = paper_scenario();
+        let big = BurstScenario { total_buffer: 32.0 * 1024.0 * 1024.0, ..sc };
+        assert!(dsh_burst_tolerance(&big) > dsh_burst_tolerance(&sc));
+        assert!(sih_burst_tolerance(&big) > sih_burst_tolerance(&sc));
+    }
+
+    #[test]
+    fn tolerance_decreases_with_load() {
+        let sc = paper_scenario();
+        let hot = BurstScenario { offered_load: 8.0, ..sc };
+        assert!(dsh_burst_tolerance(&hot) < dsh_burst_tolerance(&sc));
+    }
+
+    #[test]
+    fn both_regimes_are_exercised() {
+        let sc = paper_scenario();
+        let boundary = sc.regime_boundary();
+        let low = BurstScenario { offered_load: (1.0 + boundary) / 2.0, ..sc };
+        let high = BurstScenario { offered_load: boundary + 5.0, ..sc };
+        assert!(low.offered_load < boundary && high.offered_load > boundary);
+        assert!(dsh_burst_tolerance(&low).is_finite());
+        assert!(dsh_burst_tolerance(&high).is_finite());
+        // Near-continuity at the boundary: the case-2 derivation assumes
+        // the congested queues drain at full rate from t = 0, so the two
+        // expressions differ only by an O(α³) term there.
+        let at = BurstScenario { offered_load: boundary, ..sc };
+        let c1 = burst_case1(&at);
+        let c2 = burst_case2(&at);
+        assert!((c1 - c2).abs() / c1 < 0.05, "{c1} vs {c2}");
+    }
+
+    fn burst_case1(sc: &BurstScenario) -> f64 {
+        let a = sc.alpha;
+        (a * sc.dsh_shared() - sc.eta)
+            / ((1.0 + a * (sc.congested + sc.bursting) as f64) * (sc.offered_load - 1.0))
+    }
+
+    fn burst_case2(sc: &BurstScenario) -> f64 {
+        let a = sc.alpha;
+        (a * sc.dsh_shared() - sc.eta)
+            / ((1.0 + a * sc.congested as f64)
+                * ((1.0 + a * sc.bursting as f64) * (sc.offered_load - 1.0)
+                    - a * sc.congested as f64))
+    }
+
+    #[test]
+    fn fluid_model_matches_closed_form_case1() {
+        // Boundary for (α=1/16, N=2, M=16) is R* = 1.875; use R = 1.5.
+        let sc = BurstScenario { offered_load: 1.5, ..paper_scenario() };
+        assert!(sc.offered_load < sc.regime_boundary());
+        let closed = dsh_burst_tolerance(&sc);
+        let fluid = fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
+        let t = fluid.first_pause.expect("must pause eventually");
+        assert!((t - closed).abs() / closed < 0.02, "fluid {t} vs closed {closed}");
+    }
+
+    #[test]
+    fn fluid_model_matches_closed_form_case2() {
+        let sc = BurstScenario { offered_load: 8.0, ..paper_scenario() };
+        assert!(sc.offered_load > sc.regime_boundary());
+        let closed = dsh_burst_tolerance(&sc);
+        let fluid = fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
+        let t = fluid.first_pause.expect("must pause eventually");
+        assert!((t - closed).abs() / closed < 0.02, "fluid {t} vs closed {closed}");
+    }
+
+    #[test]
+    fn fluid_model_matches_sih_closed_form() {
+        let sc = paper_scenario();
+        let closed = sih_burst_tolerance(&sc);
+        let fluid = fluid_first_pause(&sc, sc.sih_shared(), 0.0, closed * 3.0, closed / 20_000.0);
+        let t = fluid.first_pause.expect("must pause eventually");
+        assert!((t - closed).abs() / closed < 0.02, "fluid {t} vs closed {closed}");
+    }
+
+    #[test]
+    fn exhausted_headroom_means_zero_tolerance() {
+        // If eta exceeds alpha * B_s, DSH pauses immediately.
+        let sc = BurstScenario { eta: 10.0 * 1024.0 * 1024.0, ..paper_scenario() };
+        assert_eq!(dsh_burst_tolerance(&sc), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the simulation substrate: event-calendar throughput
+//! and end-to-end events/second on a small incast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
+use dsh_simcore::{Bandwidth, Delta, EventQueue, Time};
+use dsh_transport::CcKind;
+
+fn event_queue_throughput(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(Time::from_ns((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        });
+    });
+}
+
+fn end_to_end_incast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incast_8_to_1");
+    g.sample_size(10);
+    for scheme in [Scheme::Sih, Scheme::Dsh] {
+        g.bench_function(format!("{scheme}"), |b| {
+            b.iter(|| {
+                let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
+                let hosts: Vec<_> = (0..9).map(|_| bld.host()).collect();
+                let sw = bld.switch();
+                for &h in &hosts {
+                    bld.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
+                }
+                let mut net = bld.build();
+                for &src in &hosts[..8] {
+                    net.add_flow(FlowSpec {
+                        src,
+                        dst: hosts[8],
+                        size: 256 * 1024,
+                        class: 0,
+                        start: Time::ZERO,
+                        cc: CcKind::Uncontrolled,
+                    });
+                }
+                let mut sim = net.into_sim();
+                sim.run_until(Time::from_ms(5));
+                assert_eq!(sim.model().data_drops(), 0);
+                sim.events_processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, event_queue_throughput, end_to_end_incast);
+criterion_main!(benches);

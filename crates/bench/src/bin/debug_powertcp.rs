@@ -1,0 +1,40 @@
+//! Scratch diagnostic: PowerTCP convergence in a 16:1 incast.
+
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+fn main() {
+    let mut b = NetworkBuilder::new(NetParams::tomahawk(Scheme::Sih));
+    let hosts: Vec<_> = (0..17).map(|_| b.host()).collect();
+    let sw = b.switch();
+    for &h in &hosts {
+        b.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    let mut net = b.build();
+    let mut ids = vec![];
+    for &src in &hosts[..16] {
+        ids.push(net.add_flow(FlowSpec {
+            src, dst: hosts[16], size: 4_000_000, class: 0,
+            start: Time::ZERO, cc: CcKind::PowerTcp,
+        }));
+    }
+    net.monitor_flow(ids[0]);
+    let mut sim = net.into_sim();
+    for step in 1..=30u64 {
+        sim.run_until(Time::from_us(step * 100));
+        let net = sim.model();
+        let st = net.mmu_stats();
+        let (cwnd, inflight) = net.flow_cc_state(ids[0]).unwrap_or((0, 0));
+        println!(
+            "t={:>5}us rx0={:>8}B cwnd={:>8} inflight={:>7} pauses={} resumes={} done={} drops={}",
+            step * 100,
+            net.flow_rx_bytes(ids[0]),
+            cwnd, inflight,
+            st.queue_pauses, st.queue_resumes,
+            net.fct_records().len(),
+            net.data_drops(),
+        );
+    }
+}

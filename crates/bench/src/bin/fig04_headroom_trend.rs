@@ -1,0 +1,27 @@
+//! Fig. 4: trends of buffer in Broadcom's switching chips.
+//!
+//! ```bash
+//! cargo run --release -p dsh-bench --bin fig04_headroom_trend
+//! ```
+
+fn main() {
+    println!("Fig. 4 — Trends of buffer in Broadcom switching chips");
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>12} {:>14} {:>10}",
+        "chip", "year", "capacity", "buffer(MiB)", "hdrm(MiB)", "buf/cap(us)", "hdrm frac"
+    );
+    for r in dsh_bench::fig04::rows() {
+        println!(
+            "{:<12} {:>6} {:>7}G {:>12.1} {:>12.2} {:>14.1} {:>9.1}%",
+            r.chip.name,
+            r.chip.year,
+            r.chip.capacity_gbps,
+            r.buffer_mib,
+            r.headroom_mib,
+            r.us_per_capacity,
+            r.headroom_fraction * 100.0
+        );
+    }
+    println!();
+    println!("paper: buffer/capacity fell 157us -> 37us (4x); headroom fraction rose 43% -> 67%");
+}

@@ -1,0 +1,47 @@
+//! Fig. 4: buffer size, buffer-per-capacity and SIH headroom fraction
+//! across five generations of Broadcom switching chips.
+
+use dsh_core::chips::{ChipSpec, BROADCOM_CHIPS, FIG4_MTU, FIG4_PROP_DELAY};
+
+/// One row of Fig. 4.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4Row {
+    /// The chip.
+    pub chip: ChipSpec,
+    /// SIH headroom in MB (8 queues/port, 1.5 µs cable, 1500 B MTU).
+    pub headroom_mib: f64,
+    /// Buffer in MiB.
+    pub buffer_mib: f64,
+    /// Buffer per unit capacity (µs).
+    pub us_per_capacity: f64,
+    /// Fraction of buffer consumed by headroom.
+    pub headroom_fraction: f64,
+}
+
+/// Computes every row of Fig. 4.
+#[must_use]
+pub fn rows() -> Vec<Fig4Row> {
+    BROADCOM_CHIPS
+        .iter()
+        .map(|c| Fig4Row {
+            chip: *c,
+            headroom_mib: c.sih_headroom(8, FIG4_PROP_DELAY, FIG4_MTU).as_mib_f64(),
+            buffer_mib: c.buffer.as_mib_f64(),
+            us_per_capacity: c.buffer_per_capacity_us(),
+            headroom_fraction: c.sih_headroom_fraction(8, FIG4_PROP_DELAY, FIG4_MTU),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows_with_growing_headroom_fraction() {
+        let r = rows();
+        assert_eq!(r.len(), 5);
+        assert!(r.windows(2).all(|w| w[1].headroom_fraction > w[0].headroom_fraction));
+        assert!(r.windows(2).all(|w| w[1].us_per_capacity < w[0].us_per_capacity));
+    }
+}

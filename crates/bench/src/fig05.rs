@@ -1,0 +1,41 @@
+//! Fig. 5: average FCT vs switch buffer size (motivation §III-A) —
+//! PowerTCP, web search at 0.9 total load, leaf–spine.
+
+use crate::fabric::{run_fct, FctExperiment};
+use dsh_core::Scheme;
+use dsh_simcore::ByteSize;
+use dsh_transport::CcKind;
+
+/// One point of Fig. 5.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Point {
+    /// Buffer size (MiB).
+    pub buffer_mib: u64,
+    /// Average FCT in milliseconds.
+    pub avg_fct_ms: f64,
+    /// Completed flows.
+    pub completed: usize,
+}
+
+/// Runs one buffer size under SIH (the motivation figure predates DSH).
+#[must_use]
+pub fn run_point(buffer_mib: u64, base: &FctExperiment) -> Fig5Point {
+    let exp = FctExperiment {
+        scheme: Scheme::Sih,
+        cc: CcKind::PowerTcp,
+        buffer: ByteSize::mib(buffer_mib),
+        ..*base
+    };
+    let r = run_fct(&exp);
+    Fig5Point {
+        buffer_mib,
+        avg_fct_ms: r.all.map(|s| s.avg_secs * 1e3).unwrap_or(f64::NAN),
+        completed: r.completed,
+    }
+}
+
+/// Sweeps the paper's buffer sizes (14–30 MB).
+#[must_use]
+pub fn sweep(buffers_mib: &[u64], base: &FctExperiment) -> Vec<Fig5Point> {
+    buffers_mib.iter().map(|&b| run_point(b, base)).collect()
+}

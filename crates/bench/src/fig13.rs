@@ -1,0 +1,77 @@
+//! Fig. 13: collateral damage — throughput of the innocent flow F0 over
+//! time while a 24:1 fan-in hammers R1, for w/o CC, DCQCN and PowerTCP.
+
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, NetworkBuilder, ThroughputSample};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+/// Runs the Fig. 13a scenario and returns F0's goodput time series.
+#[must_use]
+pub fn victim_series(scheme: Scheme, cc: CcKind) -> Vec<ThroughputSample> {
+    let mut params = NetParams::tomahawk(scheme);
+    if cc == CcKind::Uncontrolled {
+        params = params.without_ecn();
+    }
+    let mut b = NetworkBuilder::new(params);
+    let bw = Bandwidth::from_gbps(100);
+    let d = Delta::from_us(2);
+    let (s0, s1) = (b.switch(), b.switch());
+    b.link(s0, s1, bw, d);
+    let (h0, h1) = (b.host(), b.host());
+    b.link(h0, s0, bw, d);
+    b.link(h1, s0, bw, d);
+    let (r0, r1) = (b.host(), b.host());
+    b.link(r0, s1, bw, d);
+    b.link(r1, s1, bw, d);
+    let fan: Vec<_> = (0..24)
+        .map(|_| {
+            let h = b.host();
+            b.link(h, s1, bw, d);
+            h
+        })
+        .collect();
+    let mut net = b.build();
+
+    let f0 = net.add_flow(FlowSpec { src: h0, dst: r0, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    net.add_flow(FlowSpec { src: h1, dst: r1, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    // 24 concurrent 64 KB fan-in flows (sub-BDP: CC cannot react in time).
+    for &h in &fan {
+        net.add_flow(FlowSpec {
+            src: h,
+            dst: r1,
+            size: 64 * 1024,
+            class: 0,
+            start: Time::from_us(100),
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    net.monitor_flow(f0);
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_us(800));
+    let net = sim.into_model();
+    assert_eq!(net.data_drops(), 0, "Fig. 13 run dropped packets");
+    net.flow_throughput(f0).to_vec()
+}
+
+/// Minimum victim goodput in the post-burst window (the figure's dip).
+#[must_use]
+pub fn post_burst_min(series: &[ThroughputSample]) -> f64 {
+    series
+        .iter()
+        .filter(|s| s.time >= Time::from_us(120) && s.time <= Time::from_us(500))
+        .map(|s| s.gbps)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcqcn_variant_also_shows_the_gap() {
+        let sih = post_burst_min(&victim_series(Scheme::Sih, CcKind::Dcqcn));
+        let dsh = post_burst_min(&victim_series(Scheme::Dsh, CcKind::Dcqcn));
+        assert!(dsh > sih, "DSH {dsh} vs SIH {sih}");
+    }
+}

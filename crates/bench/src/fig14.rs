@@ -1,0 +1,56 @@
+//! Fig. 14: average FCT (normalized to SIH) vs background-traffic load,
+//! for fan-in and background flows, under DCQCN and PowerTCP.
+//!
+//! Total load is held at 0.9: background `x`, fan-in `0.9 − x`.
+
+use crate::fabric::{run_fct, FctExperiment, FctResult};
+use dsh_core::Scheme;
+use dsh_transport::CcKind;
+
+/// One point of Fig. 14: both schemes at one background load.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig14Point {
+    /// Background load.
+    pub bg_load: f64,
+    /// SIH result.
+    pub sih: FctResult,
+    /// DSH result.
+    pub dsh: FctResult,
+}
+
+impl Fig14Point {
+    /// DSH avg fan-in FCT normalized to SIH (the paper's y-axis).
+    #[must_use]
+    pub fn norm_fan(&self) -> Option<f64> {
+        Some(self.dsh.fan?.normalized_avg(&self.sih.fan?))
+    }
+
+    /// DSH avg background FCT normalized to SIH.
+    #[must_use]
+    pub fn norm_bg(&self) -> Option<f64> {
+        Some(self.dsh.bg?.normalized_avg(&self.sih.bg?))
+    }
+}
+
+/// Runs one load point of Fig. 14.
+#[must_use]
+pub fn run_point(cc: CcKind, bg_load: f64, base: &FctExperiment) -> Fig14Point {
+    let total = 0.9;
+    let mk = |scheme| {
+        let exp = FctExperiment {
+            scheme,
+            cc,
+            bg_load,
+            fanin_load: (total - bg_load).max(0.0),
+            ..*base
+        };
+        run_fct(&exp)
+    };
+    Fig14Point { bg_load, sih: mk(Scheme::Sih), dsh: mk(Scheme::Dsh) }
+}
+
+/// Sweeps the paper's background loads.
+#[must_use]
+pub fn sweep(cc: CcKind, loads: &[f64], base: &FctExperiment) -> Vec<Fig14Point> {
+    loads.iter().map(|&l| run_point(cc, l, base)).collect()
+}

@@ -1,0 +1,63 @@
+//! Fig. 15: average background FCT (normalized to SIH) across workloads
+//! (data mining, cache, Hadoop on leaf–spine) and a fat-tree fabric
+//! (web search), all under DCQCN.
+
+use crate::fabric::{run_fct, FctExperiment, FctResult, Topo};
+use dsh_core::Scheme;
+use dsh_transport::CcKind;
+use dsh_workloads::Workload;
+
+/// One Fig. 15 cell: a (workload, topology) pair at one load.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig15Cell {
+    /// Workload.
+    pub workload: Workload,
+    /// Whether this is the fat-tree variant.
+    pub fat_tree: bool,
+    /// Background load.
+    pub bg_load: f64,
+    /// SIH result.
+    pub sih: FctResult,
+    /// DSH result.
+    pub dsh: FctResult,
+}
+
+impl Fig15Cell {
+    /// DSH avg background FCT normalized to SIH.
+    #[must_use]
+    pub fn norm_bg(&self) -> Option<f64> {
+        Some(self.dsh.bg?.normalized_avg(&self.sih.bg?))
+    }
+}
+
+/// The paper's four panels: (workload, fat-tree?).
+pub const PANELS: [(Workload, bool); 4] = [
+    (Workload::DataMining, false),
+    (Workload::Cache, false),
+    (Workload::Hadoop, false),
+    (Workload::WebSearch, true),
+];
+
+/// Runs one cell.
+#[must_use]
+pub fn run_cell(
+    workload: Workload,
+    fat_tree: bool,
+    bg_load: f64,
+    base: &FctExperiment,
+    fat_tree_k: usize,
+) -> Fig15Cell {
+    let mk = |scheme| {
+        let exp = FctExperiment {
+            scheme,
+            cc: CcKind::Dcqcn,
+            workload,
+            topo: if fat_tree { Topo::FatTree { k: fat_tree_k } } else { base.topo },
+            bg_load,
+            fanin_load: (0.9 - bg_load).max(0.0),
+            ..*base
+        };
+        run_fct(&exp)
+    };
+    Fig15Cell { workload, fat_tree, bg_load, sih: mk(Scheme::Sih), dsh: mk(Scheme::Dsh) }
+}

@@ -1,0 +1,45 @@
+//! Experiment harness reproducing every figure of *"Less is More"*
+//! (ICDCS 2023).
+//!
+//! Each module builds the exact scenario of one paper figure and returns
+//! the measured series; the binaries in `src/bin/` print them as tables,
+//! and the Criterion benches in `benches/` time scaled-down variants.
+//!
+//! | module | paper figure |
+//! |--------|--------------|
+//! | [`fig04`] | Buffer/headroom trend across Broadcom chips |
+//! | [`fig05`] | FCT vs buffer size |
+//! | [`fig06`] | Headroom utilization CDF |
+//! | [`fig11`] | PFC avoidance (pause duration vs burst size) |
+//! | [`fig12`] | Deadlock onset CDF |
+//! | [`fig13`] | Collateral damage (victim throughput) |
+//! | [`fig14`] | FCT vs background load (web search, leaf–spine) |
+//! | [`fig15`] | FCT across workloads and fat-tree |
+//! | [`theory`] | Theorems 1–2 validation |
+
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod theory;
+
+/// Parses `--full` (paper-scale) and `--seed N` from argv; returns
+/// `(full, seed)`.
+pub fn parse_args() -> (bool, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    (full, seed)
+}

@@ -1,0 +1,83 @@
+//! Theorems 1–2 validation: closed forms vs the fluid integrator, and the
+//! scalability-in-`N_q` remark.
+
+use dsh_analysis::theory::{
+    dsh_burst_tolerance, fluid_first_pause, sih_burst_tolerance, BurstScenario,
+};
+
+/// One validation row.
+#[derive(Clone, Copy, Debug)]
+pub struct TheoryRow {
+    /// Offered load `R`.
+    pub r: f64,
+    /// Queues per port `N_q`.
+    pub nq: usize,
+    /// Theorem 1 (DSH) closed form.
+    pub dsh_closed: f64,
+    /// Fluid-model measurement for DSH.
+    pub dsh_fluid: f64,
+    /// Theorem 2 (SIH) closed form.
+    pub sih_closed: f64,
+    /// Fluid-model measurement for SIH.
+    pub sih_fluid: f64,
+}
+
+/// The base scenario (Tomahawk, N = 2 congested, M = 16 bursting).
+#[must_use]
+pub fn base_scenario() -> BurstScenario {
+    BurstScenario {
+        total_buffer: 16.0 * 1024.0 * 1024.0,
+        eta: 56_840.0,
+        alpha: 1.0 / 16.0,
+        num_ports: 32,
+        queues_per_port: 7,
+        congested: 2,
+        bursting: 16,
+        offered_load: 2.0,
+    }
+}
+
+/// Validates both theorems over load and queue-count sweeps.
+#[must_use]
+pub fn validate(loads: &[f64], queue_counts: &[usize]) -> Vec<TheoryRow> {
+    let mut rows = Vec::new();
+    for &r in loads {
+        for &nq in queue_counts {
+            let sc = BurstScenario { offered_load: r, queues_per_port: nq, ..base_scenario() };
+            let dsh_closed = dsh_burst_tolerance(&sc);
+            let sih_closed = sih_burst_tolerance(&sc);
+            let fluid = |bs: f64, off: f64, closed: f64| -> f64 {
+                if closed <= 0.0 {
+                    return 0.0;
+                }
+                fluid_first_pause(&sc, bs, off, closed * 3.0, closed / 10_000.0)
+                    .first_pause
+                    .unwrap_or(f64::NAN)
+            };
+            rows.push(TheoryRow {
+                r,
+                nq,
+                dsh_closed,
+                dsh_fluid: fluid(sc.dsh_shared(), sc.eta, dsh_closed),
+                sih_closed,
+                sih_fluid: fluid(sc.sih_shared(), 0.0, sih_closed),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_track_fluid_within_2_percent() {
+        for row in validate(&[1.5, 2.0, 4.0, 8.0], &[7]) {
+            let derr = (row.dsh_fluid - row.dsh_closed).abs() / row.dsh_closed;
+            let serr = (row.sih_fluid - row.sih_closed).abs() / row.sih_closed;
+            assert!(derr < 0.02, "DSH r={} err {derr}", row.r);
+            assert!(serr < 0.02, "SIH r={} err {serr}", row.r);
+        }
+    }
+}

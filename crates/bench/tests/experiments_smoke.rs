@@ -1,0 +1,98 @@
+//! Smoke tests for the experiment harness: every figure pipeline runs at
+//! micro scale, completes flows, and never drops packets.
+
+use dsh_bench::fabric::{run_fct, FctExperiment, Topo};
+use dsh_bench::{fig04, fig05, fig06, fig14, fig15};
+use dsh_core::Scheme;
+use dsh_simcore::Delta;
+use dsh_transport::CcKind;
+use dsh_workloads::Workload;
+
+fn micro_base() -> FctExperiment {
+    let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
+    base.topo = Topo::LeafSpine { leaves: 2, spines: 2, hosts_per_leaf: 4 };
+    base.horizon = Delta::from_us(300);
+    base.run_until = Delta::from_ms(4);
+    base
+}
+
+#[test]
+fn fct_pipeline_runs_for_all_scheme_transport_combinations() {
+    for scheme in [Scheme::Sih, Scheme::Dsh] {
+        for cc in [CcKind::Dcqcn, CcKind::PowerTcp] {
+            let exp = FctExperiment { scheme, cc, ..micro_base() };
+            let r = run_fct(&exp);
+            assert_eq!(r.drops, 0, "{scheme}/{cc} dropped");
+            assert!(r.completed > 0, "{scheme}/{cc} completed nothing");
+            assert!(
+                r.completed * 10 >= r.registered * 8,
+                "{scheme}/{cc}: only {}/{} flows completed",
+                r.completed,
+                r.registered
+            );
+            let all = r.all.expect("flows completed");
+            assert!(all.avg_secs > 0.0 && all.p99_secs >= all.p50_secs);
+        }
+    }
+}
+
+#[test]
+fn fig14_point_produces_normalized_ratios() {
+    let p = fig14::run_point(CcKind::Dcqcn, 0.5, &micro_base());
+    let fan = p.norm_fan().expect("fan-in flows completed");
+    let bg = p.norm_bg().expect("background flows completed");
+    assert!(fan.is_finite() && fan > 0.0);
+    assert!(bg.is_finite() && bg > 0.0);
+}
+
+#[test]
+fn fig15_cell_runs_every_workload() {
+    for w in Workload::ALL {
+        let cell = fig15::run_cell(w, false, 0.5, &micro_base(), 4);
+        assert_eq!(cell.sih.drops + cell.dsh.drops, 0, "{w} dropped");
+        assert!(cell.sih.completed > 0 && cell.dsh.completed > 0, "{w}");
+    }
+}
+
+#[test]
+fn fig15_fat_tree_variant_runs() {
+    let cell = fig15::run_cell(Workload::WebSearch, true, 0.5, &micro_base(), 4);
+    assert!(cell.sih.completed > 0 && cell.dsh.completed > 0);
+}
+
+#[test]
+fn fig05_fct_improves_with_more_buffer() {
+    let base = micro_base();
+    let lo = fig05::run_point(14, &base);
+    let hi = fig05::run_point(30, &base);
+    assert!(lo.completed > 0 && hi.completed > 0);
+    // With a scaled-down run the gap is noisy but the ordering must hold:
+    // less buffer can never make average FCT better than +5% of the big
+    // buffer's.
+    assert!(
+        lo.avg_fct_ms >= hi.avg_fct_ms * 0.95,
+        "14 MiB: {} ms vs 30 MiB: {} ms",
+        lo.avg_fct_ms,
+        hi.avg_fct_ms
+    );
+}
+
+#[test]
+fn fig06_utilization_is_low() {
+    // Needs enough hosts that fan-in backlogs reach the headroom region.
+    let r = fig06::run(4, 8, Delta::from_ms(1), 3);
+    let cdf = &r.utilization;
+    assert!(cdf.len() > 10, "need headroom-peak samples, got {}", cdf.len());
+    let med = cdf.quantile(0.5).unwrap();
+    assert!((0.0..=1.0).contains(&med));
+    // The paper's point: headroom is mostly idle even under load.
+    assert!(med < 0.5, "median utilization {med}");
+}
+
+#[test]
+fn fig04_rows_are_exact() {
+    let rows = fig04::rows();
+    assert_eq!(rows.len(), 5);
+    assert!((rows[0].us_per_capacity - 157.3).abs() < 0.5);
+    assert!((rows[4].headroom_fraction - 0.678).abs() < 0.01);
+}

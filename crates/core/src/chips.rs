@@ -1,0 +1,159 @@
+//! Broadcom switching-chip generations used by the paper's Fig. 4 to show
+//! the buffer-vs-headroom trend.
+//!
+//! The paper's observation: over a decade, buffer per unit of switching
+//! capacity fell ~4× (157 µs → 37 µs) while the fraction of buffer SIH must
+//! reserve as headroom grew from ~43% to ~67%.
+
+use crate::headroom;
+use dsh_simcore::{Bandwidth, ByteSize, Delta};
+
+/// Public specification of one switching-chip generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChipSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u16,
+    /// Switching capacity in Gb/s.
+    pub capacity_gbps: u64,
+    /// Packet buffer size.
+    pub buffer: ByteSize,
+    /// Number of front-panel ports in the highest-speed configuration
+    /// (capacity / port speed), which is what the paper's headroom numbers
+    /// correspond to.
+    pub ports: usize,
+    /// Per-port speed in that configuration.
+    pub port_speed: Bandwidth,
+}
+
+impl ChipSpec {
+    /// Buffer per unit of capacity, in microseconds (Fig. 4's right axis).
+    #[must_use]
+    pub fn buffer_per_capacity_us(&self) -> f64 {
+        self.buffer.as_u64() as f64 * 8.0 / (self.capacity_gbps as f64 * 1e9) * 1e6
+    }
+
+    /// Per-queue headroom `η` for this chip (Eq. 1) for the given cable
+    /// propagation delay and MTU.
+    #[must_use]
+    pub fn eta(&self, prop_delay: Delta, mtu_bytes: u64) -> ByteSize {
+        headroom::eta(self.port_speed, prop_delay, mtu_bytes)
+    }
+
+    /// Total SIH headroom with `queues_per_port` PFC queues (Eq. 3).
+    #[must_use]
+    pub fn sih_headroom(&self, queues_per_port: usize, prop_delay: Delta, mtu: u64) -> ByteSize {
+        headroom::sih_total_headroom(self.ports, queues_per_port, self.eta(prop_delay, mtu))
+    }
+
+    /// Fraction of this chip's buffer consumed by SIH headroom (Fig. 4's
+    /// starred series).
+    #[must_use]
+    pub fn sih_headroom_fraction(
+        &self,
+        queues_per_port: usize,
+        prop_delay: Delta,
+        mtu: u64,
+    ) -> f64 {
+        headroom::sih_headroom_fraction(
+            self.buffer,
+            self.ports,
+            queues_per_port,
+            self.eta(prop_delay, mtu),
+        )
+    }
+}
+
+/// The five Broadcom generations plotted in Fig. 4.
+pub const BROADCOM_CHIPS: [ChipSpec; 5] = [
+    ChipSpec {
+        name: "Trident+",
+        year: 2010,
+        capacity_gbps: 480,
+        buffer: ByteSize::mib(9),
+        ports: 48,
+        port_speed: Bandwidth::from_gbps(10),
+    },
+    ChipSpec {
+        name: "Trident2",
+        year: 2012,
+        capacity_gbps: 1_280,
+        buffer: ByteSize::mib(12),
+        ports: 32,
+        port_speed: Bandwidth::from_gbps(40),
+    },
+    ChipSpec {
+        name: "Tomahawk2",
+        year: 2016,
+        capacity_gbps: 6_400,
+        buffer: ByteSize::mib(42),
+        ports: 64,
+        port_speed: Bandwidth::from_gbps(100),
+    },
+    ChipSpec {
+        name: "Tomahawk3",
+        year: 2017,
+        capacity_gbps: 12_800,
+        buffer: ByteSize::mib(64),
+        ports: 32,
+        port_speed: Bandwidth::from_gbps(400),
+    },
+    ChipSpec {
+        name: "Tomahawk4",
+        year: 2019,
+        capacity_gbps: 25_600,
+        buffer: ByteSize::mib(113),
+        ports: 64,
+        port_speed: Bandwidth::from_gbps(400),
+    },
+];
+
+/// The propagation delay Fig. 4 assumes (300 m single-mode fiber ≈ 1.5 µs,
+/// §II-C).
+pub const FIG4_PROP_DELAY: Delta = Delta::from_ns(1_500);
+
+/// MTU assumed by Fig. 4.
+pub const FIG4_MTU: u64 = 1_500;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_per_capacity_trend_matches_paper() {
+        // "has decreased by 4x in the last decade (from 157us to 37us)".
+        let first = BROADCOM_CHIPS[0].buffer_per_capacity_us();
+        let last = BROADCOM_CHIPS[4].buffer_per_capacity_us();
+        assert!((first - 157.0).abs() < 1.0, "Trident+ {first}");
+        assert!((last - 37.0).abs() < 1.0, "Tomahawk4 {last}");
+        assert!(first / last > 4.0);
+    }
+
+    #[test]
+    fn headroom_fraction_trend_matches_paper() {
+        // "the fraction of required headroom has increased by 56%
+        // (from 43% to 67%)". Fig. 4 uses all 8 queues.
+        let first = BROADCOM_CHIPS[0].sih_headroom_fraction(8, FIG4_PROP_DELAY, FIG4_MTU);
+        let last = BROADCOM_CHIPS[4].sih_headroom_fraction(8, FIG4_PROP_DELAY, FIG4_MTU);
+        assert!((first - 0.43).abs() < 0.01, "Trident+ {first}");
+        assert!((last - 0.67).abs() < 0.02, "Tomahawk4 {last}");
+        // Monotonically increasing across generations.
+        let fracs: Vec<f64> = BROADCOM_CHIPS
+            .iter()
+            .map(|c| c.sih_headroom_fraction(8, FIG4_PROP_DELAY, FIG4_MTU))
+            .collect();
+        assert!(fracs.windows(2).all(|w| w[1] > w[0]), "{fracs:?}");
+    }
+
+    #[test]
+    fn trident2_example_from_section_3a() {
+        // "MMU needs to allocate ~5.33MB memory for headroom buffer in
+        // total, which occupies 44.4% of total memory."
+        let t2 = &BROADCOM_CHIPS[1];
+        let h = t2.sih_headroom(8, FIG4_PROP_DELAY, FIG4_MTU);
+        assert!((h.as_mib_f64() - 5.33).abs() < 0.01);
+        let f = t2.sih_headroom_fraction(8, FIG4_PROP_DELAY, FIG4_MTU);
+        assert!((f - 0.444).abs() < 0.001);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dynamic Threshold (DT) buffer sharing — Eq. (2), after Choudhury &
+//! Hahne.
+
+use dsh_simcore::ByteSize;
+
+/// The Dynamic Threshold: `T(t) = α · (B_s − Σ w_ij(t))`.
+///
+/// The threshold rises when the shared pool is empty (letting bursts use
+/// the buffer) and falls under congestion (enforcing fairness). It is the
+/// buffer-management scheme on virtually all commodity switching chips and
+/// the substrate both SIH and DSH build their PFC thresholds on.
+///
+/// # Example
+///
+/// ```
+/// use dsh_core::DtThreshold;
+/// use dsh_simcore::ByteSize;
+///
+/// let dt = DtThreshold::new(0.5, ByteSize::bytes(1000));
+/// assert_eq!(dt.threshold(0), 500);
+/// assert_eq!(dt.threshold(600), 200);
+/// assert_eq!(dt.threshold(1000), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DtThreshold {
+    alpha: f64,
+    shared_size: u64,
+}
+
+impl DtThreshold {
+    /// Creates a DT with control parameter `alpha` over a shared pool of
+    /// `shared_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    #[must_use]
+    pub fn new(alpha: f64, shared_size: ByteSize) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive and finite");
+        DtThreshold { alpha, shared_size: shared_size.as_u64() }
+    }
+
+    /// The control parameter `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The shared pool size `B_s` in bytes.
+    #[must_use]
+    pub fn shared_size(&self) -> u64 {
+        self.shared_size
+    }
+
+    /// Computes `T(t)` in bytes given the current total shared occupancy
+    /// `Σ w_ij(t)`, floored at zero.
+    #[must_use]
+    pub fn threshold(&self, total_shared_occupancy: u64) -> u64 {
+        let free = self.shared_size.saturating_sub(total_shared_occupancy);
+        (self.alpha * free as f64) as u64
+    }
+
+    /// The steady-state per-queue occupancy if `n` queues are persistently
+    /// congested: each converges to `α·B_s / (1 + α·n)` (standard DT
+    /// fixed point). Useful for sizing tests and the theory module.
+    #[must_use]
+    pub fn steady_state_per_queue(&self, n: usize) -> f64 {
+        self.alpha * self.shared_size as f64 / (1.0 + self.alpha * n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_decreases_with_occupancy() {
+        let dt = DtThreshold::new(1.0 / 16.0, ByteSize::mib(14));
+        let t0 = dt.threshold(0);
+        let t1 = dt.threshold(1_000_000);
+        let t2 = dt.threshold(10_000_000);
+        assert!(t0 > t1 && t1 > t2);
+        assert_eq!(t0, (14 * 1024 * 1024) / 16);
+    }
+
+    #[test]
+    fn threshold_floors_at_zero() {
+        let dt = DtThreshold::new(2.0, ByteSize::bytes(100));
+        assert_eq!(dt.threshold(100), 0);
+        assert_eq!(dt.threshold(1_000), 0);
+    }
+
+    #[test]
+    fn steady_state_fixed_point() {
+        // At the fixed point, each of n queues holds exactly T:
+        // w = alpha (B - n w)  =>  w = alpha B / (1 + alpha n).
+        let dt = DtThreshold::new(0.0625, ByteSize::bytes(1_000_000));
+        for n in [1usize, 4, 16, 64] {
+            let w = dt.steady_state_per_queue(n);
+            let t = dt.threshold((w * n as f64) as u64);
+            assert!((t as f64 - w).abs() < 2.0, "n={n}: T={t} w={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_panics() {
+        let _ = DtThreshold::new(0.0, ByteSize::bytes(1));
+    }
+
+    proptest! {
+        /// T is monotonically non-increasing in occupancy and never exceeds
+        /// alpha * B_s.
+        #[test]
+        fn prop_monotone(occ1 in 0u64..20_000_000, occ2 in 0u64..20_000_000) {
+            let dt = DtThreshold::new(0.0625, ByteSize::mib(14));
+            let (lo, hi) = if occ1 <= occ2 { (occ1, occ2) } else { (occ2, occ1) };
+            prop_assert!(dt.threshold(lo) >= dt.threshold(hi));
+            prop_assert!(dt.threshold(lo) <= (0.0625 * dt.shared_size() as f64) as u64);
+        }
+    }
+}

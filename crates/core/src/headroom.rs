@@ -1,0 +1,116 @@
+//! Headroom sizing equations from the paper (§II-C and §IV-B).
+//!
+//! The per-queue worst-case headroom `η` (Eq. 1) covers the five components
+//! of the PFC reaction delay: waiting delay (one MTU), PAUSE propagation,
+//! PAUSE processing (capped at 3840 B by IEEE 802.1Qbb), response delay (one
+//! MTU) and the propagation of the last in-flight packet.
+
+use dsh_simcore::{Bandwidth, ByteSize, Delta};
+
+/// Bytes of PFC processing-delay allowance fixed by the 802.1Qbb standard
+/// (the downstream may take up to `3840 B / C` to react).
+pub const PFC_PROCESSING_BYTES: u64 = 3840;
+
+/// Per-ingress-queue worst-case headroom `η` — Eq. (1):
+/// `η = 2(C·D_prop + L_MTU) + 3840 B`.
+///
+/// # Example
+///
+/// ```
+/// use dsh_core::headroom::eta;
+/// use dsh_simcore::{Bandwidth, Delta};
+///
+/// // The paper's microbenchmark setting: 100 Gb/s links, 2 us delay,
+/// // 1500 B MTU gives 56840 B (§V-A).
+/// let h = eta(Bandwidth::from_gbps(100), Delta::from_us(2), 1500);
+/// assert_eq!(h.as_u64(), 56_840);
+/// ```
+#[must_use]
+pub fn eta(capacity: Bandwidth, prop_delay: Delta, mtu_bytes: u64) -> ByteSize {
+    let in_flight = capacity.bytes_in(prop_delay);
+    ByteSize::bytes(2 * (in_flight + mtu_bytes) + PFC_PROCESSING_BYTES)
+}
+
+/// Total headroom reserved by SIH — Eq. (3): `h = N_p · N_q · η`.
+///
+/// `N_q` counts the *lossless* queues per port (the paper reserves one of
+/// the eight priority queues for control traffic, leaving seven).
+#[must_use]
+pub fn sih_total_headroom(num_ports: usize, queues_per_port: usize, eta: ByteSize) -> ByteSize {
+    ByteSize::bytes(num_ports as u64 * queues_per_port as u64 * eta.as_u64())
+}
+
+/// Total insurance headroom reserved by DSH — Eq. (4): `B_i = N_p · η`.
+#[must_use]
+pub fn dsh_insurance_total(num_ports: usize, eta: ByteSize) -> ByteSize {
+    ByteSize::bytes(num_ports as u64 * eta.as_u64())
+}
+
+/// Fraction of a chip's buffer consumed by SIH headroom (used by Fig. 4).
+///
+/// # Panics
+///
+/// Panics if `buffer` is zero.
+#[must_use]
+pub fn sih_headroom_fraction(
+    buffer: ByteSize,
+    num_ports: usize,
+    queues_per_port: usize,
+    eta: ByteSize,
+) -> f64 {
+    assert!(buffer.as_u64() > 0, "chip buffer must be non-zero");
+    sih_total_headroom(num_ports, queues_per_port, eta).as_u64() as f64 / buffer.as_u64() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_matches_paper_microbenchmark() {
+        // 100G, 2us, 1500B -> 2*(25000+1500)+3840 = 56840 B.
+        let h = eta(Bandwidth::from_gbps(100), Delta::from_us(2), 1500);
+        assert_eq!(h.as_u64(), 56_840);
+    }
+
+    #[test]
+    fn eta_matches_trident2_example() {
+        // Paper §III-A: Trident2, 32x40GbE, D_prop = 1.5us, MTU 1500 B ->
+        // total SIH headroom ~5.33 MB over 32 ports x 8 queues.
+        let h = eta(Bandwidth::from_gbps(40), Delta::from_ns(1500), 1500);
+        // 40Gbps = 5 B/ns; 1.5us -> 7500 B in flight; 2*(7500+1500)+3840 = 21840 B.
+        assert_eq!(h.as_u64(), 21_840);
+        let total = sih_total_headroom(32, 8, h);
+        // 21840 * 256 = 5,591,040 B ~ 5.33 MiB (paper: "~5.33MB").
+        assert!((total.as_mib_f64() - 5.33).abs() < 0.01, "{}", total.as_mib_f64());
+        // Out of 12 MB: 44.4% (paper: "occupies 44.4% of total memory").
+        let frac = total.as_u64() as f64 / (12.0 * 1024.0 * 1024.0) as f64;
+        assert!((frac - 0.444).abs() < 0.001, "{frac}");
+    }
+
+    #[test]
+    fn sih_total_scales_with_queues_dsh_does_not() {
+        let h = ByteSize::bytes(56_840);
+        assert_eq!(sih_total_headroom(32, 7, h).as_u64(), 32 * 7 * 56_840);
+        assert_eq!(dsh_insurance_total(32, h).as_u64(), 32 * 56_840);
+        // DSH reserves N_q x less headroom.
+        assert_eq!(
+            sih_total_headroom(32, 7, h).as_u64() / dsh_insurance_total(32, h).as_u64(),
+            7
+        );
+    }
+
+    #[test]
+    fn headroom_fraction() {
+        let h = eta(Bandwidth::from_gbps(100), Delta::from_us(2), 1500);
+        let f = sih_headroom_fraction(ByteSize::mib(16), 32, 7, h);
+        // 12.73 MB of 16 MiB ~ 75.9%.
+        assert!((f - 0.7588).abs() < 0.001, "{f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_buffer_panics() {
+        let _ = sih_headroom_fraction(ByteSize::ZERO, 1, 1, ByteSize::bytes(1));
+    }
+}

@@ -1,0 +1,937 @@
+//! The Memory Management Unit: ingress admission, buffer accounting and
+//! PFC flow-control decisions for SIH and DSH.
+
+use crate::action::{FcAction, FcActions, Outcome, Region};
+use crate::config::{MmuConfig, Scheme};
+use crate::dt::DtThreshold;
+
+/// Per-ingress-queue accounting and PFC state.
+#[derive(Clone, Copy, Debug, Default)]
+struct QueueState {
+    /// Bytes in the private segment (≤ φ).
+    private: u64,
+    /// Bytes in the shared segment (`w_ij`).
+    shared: u64,
+    /// SIH only: bytes in this queue's static headroom (≤ η).
+    headroom: u64,
+    /// `true` = QOFF (upstream paused for this priority).
+    paused: bool,
+}
+
+/// Per-ingress-port accounting and PFC state (DSH).
+#[derive(Clone, Copy, Debug, Default)]
+struct PortState {
+    /// Sum of `shared` over this port's queues.
+    shared_sum: u64,
+    /// DSH only: bytes in this port's insurance headroom (≤ η).
+    insurance: u64,
+    /// `true` = POFF (upstream fully paused).
+    paused: bool,
+}
+
+/// Tracks local maxima of a byte counter (used for the paper's Fig. 6
+/// headroom-utilization analysis).
+#[derive(Clone, Debug, Default)]
+struct PeakTracker {
+    current: u64,
+    rising: bool,
+    peaks: Vec<u64>,
+}
+
+impl PeakTracker {
+    fn add(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.rising = true;
+    }
+
+    fn sub(&mut self, bytes: u64) {
+        if self.rising && self.current > 0 {
+            // Turning point: the occupancy was rising and now falls.
+            self.peaks.push(self.current);
+        }
+        self.rising = false;
+        self.current = self.current.checked_sub(bytes).expect("peak tracker underflow");
+    }
+}
+
+/// Aggregate MMU counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// Packets admitted into any segment.
+    pub admitted_packets: u64,
+    /// Packets dropped (congestion loss — must stay 0 when upstreams obey
+    /// PFC).
+    pub dropped_packets: u64,
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+    /// Queue-level PAUSE frames requested.
+    pub queue_pauses: u64,
+    /// Queue-level RESUME frames requested.
+    pub queue_resumes: u64,
+    /// Port-level PAUSE frames requested (DSH).
+    pub port_pauses: u64,
+    /// Port-level RESUME frames requested (DSH).
+    pub port_resumes: u64,
+}
+
+/// A point-in-time view of an [`Mmu`]'s occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Total shared-segment bytes (`Σ w_ij`).
+    pub shared: u64,
+    /// Total private-segment bytes.
+    pub private: u64,
+    /// Total SIH headroom bytes in use.
+    pub headroom: u64,
+    /// Total DSH insurance bytes in use.
+    pub insurance: u64,
+    /// Current `T(t)`.
+    pub threshold: u64,
+    /// Queues currently in QOFF.
+    pub paused_queues: usize,
+    /// Ports currently in POFF.
+    pub paused_ports: usize,
+}
+
+/// The lossless-pool MMU of one switch.
+///
+/// See the [crate documentation](crate) for the model; drive it with
+/// [`Mmu::on_arrival`] / [`Mmu::on_departure`].
+#[derive(Clone, Debug)]
+pub struct Mmu {
+    cfg: MmuConfig,
+    dt: DtThreshold,
+    queues: Vec<QueueState>,
+    ports: Vec<PortState>,
+    total_shared: u64,
+    headroom_peaks: Vec<PeakTracker>,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Creates an MMU with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MmuConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: MmuConfig) -> Self {
+        cfg.validate().expect("invalid MMU configuration");
+        let dt = DtThreshold::new(cfg.alpha, cfg.shared_size());
+        let nq = cfg.total_queues();
+        let np = cfg.num_ports;
+        Mmu {
+            cfg,
+            dt,
+            queues: vec![QueueState::default(); nq],
+            ports: vec![PortState::default(); np],
+            total_shared: 0,
+            headroom_peaks: vec![PeakTracker::default(); np],
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// The configuration this MMU runs.
+    #[must_use]
+    pub fn config(&self) -> &MmuConfig {
+        &self.cfg
+    }
+
+    fn qidx(&self, port: usize, queue: usize) -> usize {
+        assert!(port < self.cfg.num_ports, "port {port} out of range");
+        assert!(queue < self.cfg.queues_per_port, "queue {queue} out of range");
+        port * self.cfg.queues_per_port + queue
+    }
+
+    /// Current Dynamic Threshold `T(t)` in bytes.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.dt.threshold(self.total_shared)
+    }
+
+    /// DSH queue-level pause threshold `X_qoff(t) = T(t) − η` (Eq. 5),
+    /// with the default `η`.
+    #[must_use]
+    pub fn x_qoff(&self) -> u64 {
+        self.threshold().saturating_sub(self.cfg.eta.as_u64())
+    }
+
+    /// DSH queue-level pause threshold for a specific ingress port's `η`.
+    #[must_use]
+    pub fn x_qoff_for(&self, port: usize) -> u64 {
+        self.threshold().saturating_sub(self.cfg.eta_for(port).as_u64())
+    }
+
+    /// DSH port-level pause threshold `X_poff(t) = N_q·T(t)` (Eq. 6).
+    #[must_use]
+    pub fn x_poff(&self) -> u64 {
+        self.cfg.queues_per_port as u64 * self.threshold()
+    }
+
+    /// Total shared-segment occupancy `Σ w_ij(t)`.
+    #[must_use]
+    pub fn total_shared(&self) -> u64 {
+        self.total_shared
+    }
+
+    /// Shared occupancy `w_ij` of one ingress queue.
+    #[must_use]
+    pub fn shared_occupancy(&self, port: usize, queue: usize) -> u64 {
+        self.queues[self.qidx(port, queue)].shared
+    }
+
+    /// SIH headroom occupancy of one ingress queue.
+    #[must_use]
+    pub fn headroom_occupancy(&self, port: usize, queue: usize) -> u64 {
+        self.queues[self.qidx(port, queue)].headroom
+    }
+
+    /// Total occupancy of one ingress queue across all segments.
+    #[must_use]
+    pub fn queue_occupancy(&self, port: usize, queue: usize) -> u64 {
+        let q = self.queues[self.qidx(port, queue)];
+        q.private + q.shared + q.headroom
+    }
+
+    /// DSH insurance-headroom occupancy of one port.
+    #[must_use]
+    pub fn insurance_occupancy(&self, port: usize) -> u64 {
+        self.ports[port].insurance
+    }
+
+    /// Sum of shared occupancies over a port's queues.
+    #[must_use]
+    pub fn port_shared_occupancy(&self, port: usize) -> u64 {
+        self.ports[port].shared_sum
+    }
+
+    /// Per-port headroom occupancy (SIH: static headroom; DSH: insurance).
+    /// This is the quantity whose local maxima Fig. 6 analyses.
+    #[must_use]
+    pub fn port_headroom_occupancy(&self, port: usize) -> u64 {
+        match self.cfg.scheme {
+            Scheme::Sih => {
+                let base = port * self.cfg.queues_per_port;
+                self.queues[base..base + self.cfg.queues_per_port]
+                    .iter()
+                    .map(|q| q.headroom)
+                    .sum()
+            }
+            Scheme::Dsh => self.ports[port].insurance,
+        }
+    }
+
+    /// Whether a queue is in QOFF (upstream paused).
+    #[must_use]
+    pub fn queue_paused(&self, port: usize, queue: usize) -> bool {
+        self.queues[self.qidx(port, queue)].paused
+    }
+
+    /// Whether a port is in POFF (upstream fully paused; DSH only).
+    #[must_use]
+    pub fn port_paused(&self, port: usize) -> bool {
+        self.ports[port].paused
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// A point-in-time snapshot of the MMU's buffer occupancy, useful for
+    /// probes and debugging dashboards.
+    #[must_use]
+    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        let mut private = 0;
+        let mut headroom = 0;
+        for q in &self.queues {
+            private += q.private;
+            headroom += q.headroom;
+        }
+        let insurance = self.ports.iter().map(|p| p.insurance).sum();
+        OccupancySnapshot {
+            shared: self.total_shared,
+            private,
+            headroom,
+            insurance,
+            threshold: self.threshold(),
+            paused_queues: self.queues.iter().filter(|q| q.paused).count(),
+            paused_ports: self.ports.iter().filter(|p| p.paused).count(),
+        }
+    }
+
+    /// Returns the MMU to its empty initial state, keeping the
+    /// configuration and cumulative statistics.
+    pub fn reset_occupancy(&mut self) {
+        for q in &mut self.queues {
+            *q = QueueState::default();
+        }
+        for p in &mut self.ports {
+            *p = PortState::default();
+        }
+        self.total_shared = 0;
+        for t in &mut self.headroom_peaks {
+            *t = PeakTracker::default();
+        }
+    }
+
+    /// Drains and returns the recorded local maxima of per-port headroom
+    /// occupancy (Fig. 6's measurement), one `Vec` per port.
+    pub fn take_headroom_peaks(&mut self) -> Vec<Vec<u64>> {
+        self.headroom_peaks
+            .iter_mut()
+            .map(|p| std::mem::take(&mut p.peaks))
+            .collect()
+    }
+
+    /// Admits a packet of `bytes` arriving at ingress `port` for priority
+    /// `queue`.
+    ///
+    /// Returns where the packet was placed (`None` ⇒ dropped) plus any
+    /// PAUSE/RESUME actions the switch must send upstream. The caller must
+    /// remember the region and pass it to [`Mmu::on_departure`] when the
+    /// packet leaves the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port`/`queue` are out of range.
+    pub fn on_arrival(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
+        let outcome = match self.cfg.scheme {
+            Scheme::Sih => self.arrival_sih(port, queue, bytes),
+            Scheme::Dsh => self.arrival_dsh(port, queue, bytes),
+        };
+        if outcome.is_admitted() {
+            self.stats.admitted_packets += 1;
+        } else {
+            self.stats.dropped_packets += 1;
+            self.stats.dropped_bytes += bytes;
+        }
+        self.debug_check();
+        outcome
+    }
+
+    /// Releases a packet's accounting when it leaves the switch (is
+    /// scheduled for transmission on its egress port).
+    ///
+    /// Following real MMU implementations (and the ns-3 switch model the
+    /// paper's evaluation descends from), departures drain the *headroom*
+    /// counters first — SIH's per-queue headroom, DSH's per-port insurance
+    /// — then the queue's shared counter, then its private counter. This
+    /// restores pause slack as fast as possible and is what makes the
+    /// "resume only when headroom is empty" rule effective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes depart than were ever admitted for this port
+    /// (accounting mismatch).
+    pub fn on_departure(&mut self, port: usize, queue: usize, bytes: u64) -> FcActions {
+        let idx = self.qidx(port, queue);
+        let mut rest = bytes;
+
+        // 1. Headroom first: SIH per-queue headroom / DSH port insurance.
+        match self.cfg.scheme {
+            Scheme::Sih => {
+                let q = &mut self.queues[idx];
+                let take = q.headroom.min(rest);
+                q.headroom -= take;
+                rest -= take;
+                if take > 0 {
+                    self.headroom_peaks[port].sub(take);
+                }
+            }
+            Scheme::Dsh => {
+                let p = &mut self.ports[port];
+                let take = p.insurance.min(rest);
+                p.insurance -= take;
+                rest -= take;
+                if take > 0 {
+                    self.headroom_peaks[port].sub(take);
+                }
+            }
+        }
+
+        // 2. The queue's shared counter.
+        {
+            let q = &mut self.queues[idx];
+            let take = q.shared.min(rest);
+            q.shared -= take;
+            rest -= take;
+            self.ports[port].shared_sum -= take;
+            self.total_shared -= take;
+        }
+
+        // 3. The queue's private counter.
+        {
+            let q = &mut self.queues[idx];
+            let take = q.private.min(rest);
+            q.private -= take;
+            rest -= take;
+        }
+
+        // 4. Residual slop (DSH only): the packet's bytes were charged to
+        // the port's insurance but another queue's departure drained it
+        // first. Settle against the port's other shared counters.
+        if rest > 0 {
+            assert_eq!(self.cfg.scheme, Scheme::Dsh, "departure exceeds admission");
+            let base = port * self.cfg.queues_per_port;
+            for j in 0..self.cfg.queues_per_port {
+                let q = &mut self.queues[base + j];
+                let take = q.shared.min(rest);
+                q.shared -= take;
+                rest -= take;
+                self.ports[port].shared_sum -= take;
+                self.total_shared -= take;
+                if rest == 0 {
+                    break;
+                }
+            }
+            // Last resort: the port's private counters (bytes whose owners
+            // were themselves settled out of private space earlier).
+            if rest > 0 {
+                for j in 0..self.cfg.queues_per_port {
+                    let q = &mut self.queues[base + j];
+                    let take = q.private.min(rest);
+                    q.private -= take;
+                    rest -= take;
+                    if rest == 0 {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(rest, 0, "departure exceeds port admission");
+        }
+
+        let mut actions = FcActions::none();
+        self.check_resume(port, queue, &mut actions);
+        self.debug_check();
+        actions
+    }
+
+    // ---- SIH ------------------------------------------------------------
+
+    fn arrival_sih(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
+        let idx = self.qidx(port, queue);
+        let phi = self.cfg.private_per_queue.as_u64();
+        let eta = self.cfg.eta_for(port).as_u64();
+        let t = self.threshold();
+
+        let region = {
+            let q = &self.queues[idx];
+            if q.private + bytes <= phi {
+                Some(Region::Private)
+            } else if q.shared + bytes <= t && self.total_shared + bytes <= self.dt.shared_size()
+            {
+                Some(Region::Shared)
+            } else if q.headroom + bytes <= eta {
+                Some(Region::Headroom)
+            } else {
+                None
+            }
+        };
+
+        let mut actions = FcActions::none();
+        match region {
+            Some(Region::Private) => {
+                self.queues[idx].private += bytes;
+                self.check_resume_queue(port, queue, &mut actions);
+            }
+            Some(Region::Shared) => {
+                self.queues[idx].shared += bytes;
+                self.ports[port].shared_sum += bytes;
+                self.total_shared += bytes;
+                self.check_resume_queue(port, queue, &mut actions);
+            }
+            Some(Region::Headroom) => {
+                self.queues[idx].headroom += bytes;
+                self.headroom_peaks[port].add(bytes);
+                // Case ③ (§II-C): entering headroom pauses the upstream.
+                self.pause_queue(port, queue, &mut actions);
+            }
+            Some(Region::Insurance) => unreachable!("SIH never uses insurance"),
+            None => {
+                // Defensive: a drop means headroom was exhausted; make sure
+                // the upstream is paused (it should already be).
+                self.pause_queue(port, queue, &mut actions);
+            }
+        }
+
+        Outcome { region, actions }
+    }
+
+    // ---- DSH ------------------------------------------------------------
+
+    fn arrival_dsh(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
+        let idx = self.qidx(port, queue);
+        let phi = self.cfg.private_per_queue.as_u64();
+        let eta = self.cfg.eta_for(port).as_u64();
+
+        let region = {
+            let q = &self.queues[idx];
+            let p = &self.ports[port];
+            if q.private + bytes <= phi {
+                Some(Region::Private)
+            } else if !p.paused && self.total_shared + bytes <= self.dt.shared_size() {
+                // PON: packets go into the shared segment, which includes
+                // the dynamically allocated headroom (the paper's key idea).
+                Some(Region::Shared)
+            } else if self.cfg.dsh_port_fc && p.insurance + bytes <= eta {
+                // POFF (or the shared pool is physically full): in-flight
+                // packets are absorbed by the per-port insurance headroom.
+                Some(Region::Insurance)
+            } else {
+                None
+            }
+        };
+
+        let mut actions = FcActions::none();
+        match region {
+            Some(Region::Private) => {
+                self.queues[idx].private += bytes;
+                self.check_resume(port, queue, &mut actions);
+            }
+            Some(Region::Shared) => {
+                self.queues[idx].shared += bytes;
+                self.ports[port].shared_sum += bytes;
+                self.total_shared += bytes;
+                // Recompute thresholds with the new occupancy and fire the
+                // queue- and port-level state machines (Fig. 8).
+                let x_qoff = self.x_qoff_for(port);
+                let x_poff = self.x_poff();
+                if self.queues[idx].shared > x_qoff {
+                    self.pause_queue(port, queue, &mut actions);
+                } else {
+                    self.check_resume_queue(port, queue, &mut actions);
+                }
+                if self.cfg.dsh_port_fc && self.port_total_occupancy(port) > x_poff {
+                    self.pause_port(port, &mut actions);
+                }
+            }
+            Some(Region::Insurance) => {
+                self.ports[port].insurance += bytes;
+                self.headroom_peaks[port].add(bytes);
+                // Insurance occupancy means the port must be (or go) POFF.
+                self.pause_port(port, &mut actions);
+            }
+            Some(Region::Headroom) => unreachable!("DSH never uses static headroom"),
+            None => {
+                if self.cfg.dsh_port_fc {
+                    self.pause_port(port, &mut actions);
+                }
+            }
+        }
+
+        Outcome { region, actions }
+    }
+
+    // ---- shared state-machine helpers ------------------------------------
+
+    /// Port-level occupancy compared against `X_poff`/`X_pon`: shared plus
+    /// insurance bytes of the port.
+    fn port_total_occupancy(&self, port: usize) -> u64 {
+        let p = &self.ports[port];
+        p.shared_sum + p.insurance
+    }
+
+    fn pause_queue(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
+        let idx = self.qidx(port, queue);
+        if !self.queues[idx].paused {
+            self.queues[idx].paused = true;
+            self.stats.queue_pauses += 1;
+            actions.push(FcAction::QueuePause { port, queue });
+        }
+    }
+
+    fn pause_port(&mut self, port: usize, actions: &mut FcActions) {
+        if !self.ports[port].paused {
+            self.ports[port].paused = true;
+            self.stats.port_pauses += 1;
+            actions.push(FcAction::PortPause { port });
+        }
+    }
+
+    /// Queue-level resume check (paper case ② / Fig. 8a).
+    fn check_resume_queue(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
+        let idx = self.qidx(port, queue);
+        if !self.queues[idx].paused {
+            return;
+        }
+        let x_on = match self.cfg.scheme {
+            // SIH: X_on = T(t) − δ (compared against shared occupancy,
+            // footnote 1). Resuming also requires the queue's headroom to
+            // have drained, otherwise the next pause cycle would find less
+            // than η of slack and could overflow.
+            Scheme::Sih => {
+                if self.queues[idx].headroom > 0 {
+                    return;
+                }
+                self.threshold().saturating_sub(self.cfg.resume_delta_queue.as_u64())
+            }
+            // DSH: X_qon = X_qoff − δ_q. The slack here is recomputed from
+            // the live threshold (T − w ≥ η whenever w ≤ X_qoff), so no
+            // headroom-empty gate is needed.
+            Scheme::Dsh => {
+                self.x_qoff_for(port).saturating_sub(self.cfg.resume_delta_queue.as_u64())
+            }
+        };
+        // `<=` (not `<`) so a fully drained queue always resumes even when
+        // the threshold itself is 0.
+        if self.queues[idx].shared <= x_on {
+            self.queues[idx].paused = false;
+            self.stats.queue_resumes += 1;
+            actions.push(FcAction::QueueResume { port, queue });
+        }
+    }
+
+    /// Port-level resume check (Fig. 8b). Requires the insurance headroom
+    /// to be empty so the next port-pause cycle has its full η of slack.
+    fn check_resume_port(&mut self, port: usize, actions: &mut FcActions) {
+        if !self.ports[port].paused {
+            return;
+        }
+        if self.ports[port].insurance > 0 {
+            return;
+        }
+        let x_pon = self.x_poff().saturating_sub(self.cfg.resume_delta_port.as_u64());
+        if self.port_total_occupancy(port) <= x_pon {
+            self.ports[port].paused = false;
+            self.stats.port_resumes += 1;
+            actions.push(FcAction::PortResume { port });
+        }
+    }
+
+    fn check_resume(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
+        self.check_resume_queue(port, queue, actions);
+        if self.cfg.scheme == Scheme::Dsh {
+            self.check_resume_port(port, actions);
+        }
+    }
+
+    /// Debug-build conservation checks.
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let phi = self.cfg.private_per_queue.as_u64();
+            let mut sum_shared = 0;
+            for (i, q) in self.queues.iter().enumerate() {
+                let eta = self.cfg.eta_for(i / self.cfg.queues_per_port).as_u64();
+                debug_assert!(q.private <= phi);
+                debug_assert!(q.headroom <= eta);
+                sum_shared += q.shared;
+            }
+            debug_assert_eq!(sum_shared, self.total_shared);
+            debug_assert!(self.total_shared <= self.dt.shared_size());
+            for (i, p) in self.ports.iter().enumerate() {
+                debug_assert!(p.insurance <= self.cfg.eta_for(i).as_u64());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_simcore::ByteSize;
+
+    fn small_cfg(scheme: Scheme) -> MmuConfig {
+        MmuConfig::builder()
+            .scheme(scheme)
+            .total_buffer(ByteSize::mib(2))
+            .ports(4)
+            .lossless_queues(2)
+            .private_per_queue(ByteSize::kib(3))
+            .eta(ByteSize::bytes(50_000))
+            .alpha(0.5)
+            .build()
+    }
+
+    /// Drives arrivals of `n` packets of `sz` bytes into (port, queue),
+    /// returning outcomes.
+    fn blast(mmu: &mut Mmu, port: usize, queue: usize, n: usize, sz: u64) -> Vec<Outcome> {
+        (0..n).map(|_| mmu.on_arrival(port, queue, sz)).collect()
+    }
+
+    #[test]
+    fn private_fills_first() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let o = mmu.on_arrival(0, 0, 1500);
+        assert_eq!(o.region, Some(Region::Private));
+        assert_eq!(mmu.queue_occupancy(0, 0), 1500);
+        // 3 KiB private: two 1500 B packets fit, third goes to shared.
+        let o = mmu.on_arrival(0, 0, 1500);
+        assert_eq!(o.region, Some(Region::Private));
+        let o = mmu.on_arrival(0, 0, 1500);
+        assert_eq!(o.region, Some(Region::Shared));
+    }
+
+    #[test]
+    fn sih_pauses_when_entering_headroom() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let outcomes = blast(&mut mmu, 0, 0, 2000, 1500);
+        let pause_at = outcomes
+            .iter()
+            .position(|o| o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { port: 0, queue: 0 })))
+            .expect("must eventually pause");
+        assert_eq!(outcomes[pause_at].region, Some(Region::Headroom));
+        assert!(mmu.queue_paused(0, 0));
+        // All headroom-region packets stay within eta.
+        assert!(mmu.headroom_occupancy(0, 0) <= 50_000);
+    }
+
+    #[test]
+    fn sih_drops_only_after_headroom_full() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let outcomes = blast(&mut mmu, 0, 0, 5000, 1000);
+        let first_drop = outcomes.iter().position(|o| !o.is_admitted());
+        let first_pause = outcomes
+            .iter()
+            .position(|o| o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })));
+        let (drop, pause) = (first_drop.unwrap(), first_pause.unwrap());
+        assert!(pause < drop, "pause {pause} must precede drop {drop}");
+        // Between pause and drop, eta worth of packets was absorbed.
+        let absorbed: u64 = outcomes[pause..drop]
+            .iter()
+            .filter(|o| o.region == Some(Region::Headroom))
+            .count() as u64
+            * 1000;
+        assert!(absorbed >= 49_000, "absorbed {absorbed}");
+    }
+
+    #[test]
+    fn sih_resume_after_drain() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let outcomes = blast(&mut mmu, 0, 0, 400, 1500);
+        assert!(mmu.queue_paused(0, 0));
+        // Drain everything in arrival order.
+        let mut resumed = false;
+        for o in &outcomes {
+            if o.region.is_some() {
+                let acts = mmu.on_departure(0, 0, 1500);
+                if acts.iter().any(|a| matches!(a, FcAction::QueueResume { port: 0, queue: 0 })) {
+                    resumed = true;
+                }
+            }
+        }
+        assert!(resumed);
+        assert!(!mmu.queue_paused(0, 0));
+        assert_eq!(mmu.queue_occupancy(0, 0), 0);
+        assert_eq!(mmu.total_shared(), 0);
+    }
+
+    #[test]
+    fn dsh_queue_pause_at_t_minus_eta() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let outcomes = blast(&mut mmu, 0, 0, 2000, 1500);
+        let pause_at = outcomes
+            .iter()
+            .position(|o| o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })))
+            .expect("queue must pause");
+        // At the pause instant the queue's shared occupancy just exceeded
+        // X_qoff = T - eta.
+        let w = 1500u64 * (pause_at as u64 + 1) - 3000; // minus private fill
+        let x_qoff_now = mmu.x_qoff();
+        // After the burst continued the threshold fell further, so the pause
+        // point must be above the *current* X_qoff.
+        assert!(w > x_qoff_now, "w={w} x_qoff={x_qoff_now}");
+    }
+
+    #[test]
+    fn dsh_absorbs_more_than_sih_before_pausing() {
+        // Identical chips; one queue bursts. DSH pauses at T - eta but its
+        // shared pool is much larger (no static headroom reservation).
+        let mut sih = Mmu::new(small_cfg(Scheme::Sih));
+        let mut dsh = Mmu::new(small_cfg(Scheme::Dsh));
+        let count_until_pause = |mmu: &mut Mmu| -> usize {
+            for i in 0..10_000 {
+                let o = mmu.on_arrival(0, 0, 1500);
+                if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
+                    return i;
+                }
+            }
+            panic!("never paused");
+        };
+        let s = count_until_pause(&mut sih);
+        let d = count_until_pause(&mut dsh);
+        // SIH reserved 4*2*50000 = 400 KB of headroom out of 2 MiB, DSH only
+        // 4*50000 = 200 KB; DSH's T is higher, but it also pauses eta early.
+        // Net effect on this small chip: DSH still absorbs more.
+        assert!(d > s, "DSH {d} <= SIH {s}");
+    }
+
+    #[test]
+    fn dsh_port_pause_under_multi_queue_congestion() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        // Both queues of port 0 blast; keep going until the port pauses.
+        let mut port_paused = false;
+        'outer: for _ in 0..20_000 {
+            for q in 0..2 {
+                let o = mmu.on_arrival(0, q, 1500);
+                if o.actions.iter().any(|a| matches!(a, FcAction::PortPause { port: 0 })) {
+                    port_paused = true;
+                    break 'outer;
+                }
+                if !o.is_admitted() {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(port_paused, "port-level flow control must engage");
+        assert!(mmu.port_paused(0));
+        // After POFF, arrivals land in insurance headroom.
+        let o = mmu.on_arrival(0, 0, 1500);
+        assert_eq!(o.region, Some(Region::Insurance));
+        assert!(mmu.insurance_occupancy(0) >= 1500);
+    }
+
+    #[test]
+    fn dsh_drops_only_after_insurance_full() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let outcomes = blast(&mut mmu, 0, 0, 20_000, 1000);
+        let first_drop = outcomes.iter().position(|o| !o.is_admitted()).expect("tiny chip must eventually drop");
+        // Everything up to the drop was admitted, and insurance is nearly
+        // full at the drop point.
+        assert!(mmu.insurance_occupancy(0) + 1000 > 50_000);
+        // Pause happened well before the drop.
+        let first_port_pause = outcomes
+            .iter()
+            .position(|o| o.actions.iter().any(|a| matches!(a, FcAction::PortPause { .. })))
+            .unwrap();
+        assert!(first_port_pause < first_drop);
+    }
+
+    #[test]
+    fn dsh_port_resume_after_drain() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let outcomes = blast(&mut mmu, 0, 0, 1000, 1500);
+        assert!(mmu.port_paused(0));
+        let mut port_resumed = false;
+        for o in &outcomes {
+            if o.region.is_some() {
+                let acts = mmu.on_departure(0, 0, 1500);
+                if acts.iter().any(|a| matches!(a, FcAction::PortResume { port: 0 })) {
+                    port_resumed = true;
+                }
+            }
+        }
+        assert!(port_resumed);
+        assert!(!mmu.port_paused(0));
+        assert_eq!(mmu.insurance_occupancy(0), 0);
+    }
+
+    #[test]
+    fn uncongested_queue_contributes_buffer_to_congested_one() {
+        // Paper §IV-B: an uncongested queue leaves room, raising T and thus
+        // X_qoff for others. With 1 congested queue the absorbed volume
+        // should exceed the steady-state share under 2 congested queues.
+        let cfg = small_cfg(Scheme::Dsh);
+        let mut one = Mmu::new(cfg.clone());
+        let n_one = (0..10_000)
+            .take_while(|_| {
+                let o = one.on_arrival(0, 0, 1500);
+                !o.actions.into_iter().any(|a| matches!(a, FcAction::QueuePause { .. }))
+            })
+            .count();
+        let mut two = Mmu::new(cfg);
+        let mut n_two = 0;
+        'l: for _ in 0..10_000 {
+            for q in 0..2 {
+                let o = two.on_arrival(0, q, 1500);
+                if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
+                    break 'l;
+                }
+                n_two += 1;
+            }
+        }
+        // Per-queue absorption shrinks when more queues are congested, but
+        // a single congested queue gets more than half the two-queue total.
+        assert!(n_one > n_two / 2, "n_one={n_one} n_two={n_two}");
+    }
+
+    #[test]
+    fn headroom_peaks_are_recorded() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let outcomes = blast(&mut mmu, 0, 0, 400, 1500);
+        // Drain fully: one local maximum at the high-water mark.
+        let hw = mmu.port_headroom_occupancy(0);
+        assert!(hw > 0);
+        for o in &outcomes {
+            if o.region.is_some() {
+                let _ = mmu.on_departure(0, 0, 1500);
+            }
+        }
+        let peaks = mmu.take_headroom_peaks();
+        assert_eq!(peaks[0], vec![hw]);
+        assert!(peaks[1].is_empty());
+    }
+
+    #[test]
+    fn stats_track_pauses_and_drops() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = blast(&mut mmu, 0, 0, 5000, 1500);
+        let st = mmu.stats();
+        assert!(st.queue_pauses >= 1);
+        assert!(st.dropped_packets > 0);
+        assert_eq!(st.admitted_packets + st.dropped_packets, 5000);
+        assert_eq!(st.dropped_bytes, st.dropped_packets * 1500);
+    }
+
+    #[test]
+    fn occupancy_snapshot_tracks_segments() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = blast(&mut mmu, 0, 0, 100, 1500);
+        let snap = mmu.occupancy_snapshot();
+        assert_eq!(snap.private, 3000);
+        assert_eq!(snap.shared, mmu.total_shared());
+        assert_eq!(snap.shared + snap.private + snap.headroom, 100 * 1500);
+        assert_eq!(snap.insurance, 0, "SIH never uses insurance");
+    }
+
+    #[test]
+    fn reset_occupancy_clears_state_keeps_stats() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let _ = blast(&mut mmu, 0, 0, 2000, 1500);
+        let pauses = mmu.stats().queue_pauses;
+        assert!(pauses > 0);
+        mmu.reset_occupancy();
+        let snap = mmu.occupancy_snapshot();
+        assert_eq!(snap.shared + snap.private + snap.headroom + snap.insurance, 0);
+        assert_eq!(snap.paused_queues + snap.paused_ports, 0);
+        assert_eq!(mmu.stats().queue_pauses, pauses, "stats survive reset");
+        // Usable again after reset.
+        assert!(mmu.on_arrival(0, 0, 1500).is_admitted());
+    }
+
+    #[test]
+    fn ablated_dsh_drops_where_full_dsh_insures() {
+        let mut b = MmuConfig::builder();
+        b.scheme(Scheme::Dsh)
+            .total_buffer(ByteSize::mib(2))
+            .ports(4)
+            .lossless_queues(2)
+            .private_per_queue(ByteSize::kib(3))
+            .eta(ByteSize::bytes(50_000))
+            .alpha(0.5)
+            .without_dsh_port_fc();
+        let mut ablated = Mmu::new(b.build());
+        let outcomes = blast(&mut ablated, 0, 0, 20_000, 1000);
+        // Without insurance, the shared pool eventually rejects and there
+        // is no second chance.
+        assert!(outcomes.iter().any(|o| !o.is_admitted()), "ablated DSH must drop");
+        assert_eq!(ablated.stats().port_pauses, 0, "no port-level FC when ablated");
+        assert_eq!(ablated.insurance_occupancy(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_port_panics() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = mmu.on_arrival(99, 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "departure exceeds admission")]
+    fn mismatched_departure_panics() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = mmu.on_departure(0, 0, 100);
+    }
+}

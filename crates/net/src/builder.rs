@@ -1,0 +1,305 @@
+//! Network construction: parameters, nodes, links and routing setup.
+
+use crate::ecn::EcnConfig;
+use crate::host::HostNode;
+use crate::ids::{NodeId, NUM_DATA_CLASSES};
+use crate::network::{Network, Node};
+use crate::port::EgressPort;
+use crate::routing::{bfs_distances, RouteTable};
+use crate::switch::SwitchNode;
+use dsh_core::{headroom, Mmu, MmuConfig, Scheme};
+use dsh_simcore::{Bandwidth, ByteSize, Delta};
+
+/// Global simulation parameters.
+#[derive(Clone, Debug)]
+pub struct NetParams {
+    /// Headroom scheme of every switch.
+    pub scheme: Scheme,
+    /// Lossless-pool buffer per switch.
+    pub total_buffer: ByteSize,
+    /// DT parameter `α`.
+    pub alpha: f64,
+    /// Private buffer per queue (`φ`).
+    pub private_per_queue: ByteSize,
+    /// Explicit `η` (otherwise derived per switch from its fastest link via
+    /// Eq. 1).
+    pub eta_override: Option<ByteSize>,
+    /// MTU (payload bytes per data frame).
+    pub mtu: u64,
+    /// ECN marking profile.
+    pub ecn: EcnConfig,
+    /// Base RTT used to size PowerTCP windows.
+    pub base_rtt: Delta,
+    /// Measurement tick.
+    pub sample_interval: Delta,
+    /// A port continuously blocked this long is declared deadlocked.
+    pub deadlock_threshold: Delta,
+    /// PFC watchdog: if `Some(d)`, a class paused continuously for `d`
+    /// is forcibly resumed and its queued frames are dropped (the
+    /// industry's deadlock-mitigation feature; breaks losslessness by
+    /// design). `None` disables the watchdog (the paper's setting).
+    pub pfc_watchdog: Option<Delta>,
+    /// RNG seed (ECN randomness).
+    pub seed: u64,
+}
+
+impl NetParams {
+    /// The paper's evaluation defaults: Tomahawk buffer (16 MB), `α = 1/16`,
+    /// 3 KB private buffer, MTU 1500, DCQCN ECN profile, 16 µs base RTT.
+    #[must_use]
+    pub fn tomahawk(scheme: Scheme) -> Self {
+        NetParams {
+            scheme,
+            total_buffer: ByteSize::mib(16),
+            alpha: 1.0 / 16.0,
+            private_per_queue: ByteSize::kib(3),
+            eta_override: None,
+            mtu: 1500,
+            ecn: EcnConfig::for_100g(),
+            base_rtt: Delta::from_us(16),
+            sample_interval: Delta::from_us(10),
+            deadlock_threshold: Delta::from_ms(5),
+            pfc_watchdog: None,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ProtoNode {
+    Host,
+    Switch,
+}
+
+/// Incremental builder for a [`Network`].
+///
+/// Add nodes, connect them with full-duplex links, then [`build`]
+/// (routing tables and per-switch MMUs are derived automatically).
+///
+/// [`build`]: NetworkBuilder::build
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    params: NetParams,
+    nodes: Vec<ProtoNode>,
+    links: Vec<(NodeId, NodeId, Bandwidth, Delta)>,
+}
+
+impl NetworkBuilder {
+    /// Starts a new topology with the given parameters.
+    #[must_use]
+    pub fn new(params: NetParams) -> Self {
+        NetworkBuilder { params, nodes: Vec::new(), links: Vec::new() }
+    }
+
+    /// Adds a host; returns its id.
+    pub fn host(&mut self) -> NodeId {
+        self.nodes.push(ProtoNode::Host);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a switch; returns its id.
+    pub fn switch(&mut self) -> NodeId {
+        self.nodes.push(ProtoNode::Switch);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects `a` and `b` with a full-duplex link.
+    pub fn link(&mut self, a: NodeId, b: NodeId, bandwidth: Bandwidth, delay: Delta) {
+        assert_ne!(a, b, "self-links are not allowed");
+        self.links.push((a, b, bandwidth, delay));
+    }
+
+    /// Removes the link between `a` and `b` (link-failure experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such link exists.
+    pub fn remove_link(&mut self, a: NodeId, b: NodeId) {
+        let before = self.links.len();
+        self.links.retain(|&(x, y, _, _)| !((x == a && y == b) || (x == b && y == a)));
+        assert!(self.links.len() < before, "no link between {a} and {b}");
+    }
+
+    /// Finalizes the topology: creates ports, per-switch MMUs and ECMP
+    /// routing tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed topologies (multi-homed hosts, unreachable
+    /// destinations are tolerated until routed to).
+    #[must_use]
+    pub fn build(self) -> Network {
+        let n = self.nodes.len();
+        // Ports per node, in link insertion order.
+        let mut ports: Vec<Vec<EgressPort>> = (0..n).map(|_| Vec::new()).collect();
+        // adjacency over all nodes: (neighbor, local port index)
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for &(a, b, bw, d) in &self.links {
+            let pa = ports[a.0].len();
+            let pb = ports[b.0].len();
+            ports[a.0].push(EgressPort::new(b, pb, bw, d));
+            ports[b.0].push(EgressPort::new(a, pa, bw, d));
+            adj[a.0].push((b.0, pa));
+            adj[b.0].push((a.0, pb));
+        }
+
+        // Switch-graph adjacency (indices into `nodes`).
+        let is_switch: Vec<bool> =
+            self.nodes.iter().map(|p| matches!(p, ProtoNode::Switch)).collect();
+        let switch_adj: Vec<Vec<usize>> = (0..n)
+            .map(|u| {
+                if !is_switch[u] {
+                    return Vec::new();
+                }
+                adj[u].iter().filter(|&&(v, _)| is_switch[v]).map(|&(v, _)| v).collect()
+            })
+            .collect();
+
+        // Each host's ToR (single-homed).
+        let mut tor: Vec<Option<usize>> = vec![None; n];
+        for u in 0..n {
+            if !is_switch[u] {
+                assert!(adj[u].len() <= 1, "host n{u} must be single-homed");
+                if let Some(&(v, _)) = adj[u].first() {
+                    assert!(is_switch[v], "host n{u} must attach to a switch");
+                    tor[u] = Some(v);
+                }
+            }
+        }
+
+        // Routing: for each destination host, BFS from its ToR over the
+        // switch graph; each switch forwards to any neighbour strictly
+        // closer to the ToR (ECMP).
+        let mut tables: Vec<RouteTable> = (0..n).map(|_| RouteTable::new(n)).collect();
+        for h in 0..n {
+            if is_switch[h] {
+                continue;
+            }
+            let Some(t) = tor[h] else { continue };
+            let dist = bfs_distances(&switch_adj, t);
+            for s in 0..n {
+                if !is_switch[s] {
+                    continue;
+                }
+                if s == t {
+                    // Access port straight to the host.
+                    let p = adj[s]
+                        .iter()
+                        .find(|&&(v, _)| v == h)
+                        .map(|&(_, p)| p)
+                        .expect("ToR must be adjacent to its host");
+                    tables[s].set(h, vec![p]);
+                } else if dist[s] != usize::MAX {
+                    let cands: Vec<usize> = adj[s]
+                        .iter()
+                        .filter(|&&(v, _)| is_switch[v] && dist[v] + 1 == dist[s])
+                        .map(|&(_, p)| p)
+                        .collect();
+                    tables[s].set(h, cands);
+                }
+            }
+        }
+
+        // Materialize nodes.
+        let mut nodes = Vec::with_capacity(n);
+        let mut tables = tables.into_iter();
+        for (i, (proto, nports)) in self.nodes.iter().zip(ports).enumerate() {
+            let table = tables.next().expect("one table per node");
+            match proto {
+                ProtoNode::Host => {
+                    let mut h = HostNode::new(NodeId(i));
+                    let mut it = nports.into_iter();
+                    h.port = it.next();
+                    assert!(it.next().is_none(), "host n{i} must have one uplink");
+                    nodes.push(Node::Host(h));
+                }
+                ProtoNode::Switch => {
+                    let num_ports = nports.len().max(1);
+                    // Per-port headroom, sized from each port's own link
+                    // (Eq. 1) — this is how real deployments configure
+                    // mixed-speed fabrics.
+                    let port_etas: Vec<_> = nports
+                        .iter()
+                        .map(|p| {
+                            self.params.eta_override.unwrap_or_else(|| {
+                                headroom::eta(p.bandwidth, p.prop_delay, self.params.mtu)
+                            })
+                        })
+                        .collect();
+                    let default_eta = port_etas
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or_else(|| {
+                            headroom::eta(
+                                Bandwidth::from_gbps(100),
+                                Delta::from_us(2),
+                                self.params.mtu,
+                            )
+                        });
+                    let mut builder = MmuConfig::builder();
+                    builder
+                        .scheme(self.params.scheme)
+                        .total_buffer(self.params.total_buffer)
+                        .ports(num_ports)
+                        .lossless_queues(NUM_DATA_CLASSES)
+                        .private_per_queue(self.params.private_per_queue)
+                        .eta(default_eta)
+                        .alpha(self.params.alpha);
+                    if !port_etas.is_empty() {
+                        builder.port_etas(port_etas);
+                    }
+                    let cfg: MmuConfig = builder.build();
+                    nodes.push(Node::Switch(SwitchNode {
+                        id: NodeId(i),
+                        ports: nports,
+                        mmu: Mmu::new(cfg),
+                        routes: table,
+                    }));
+                }
+            }
+        }
+
+        Network::from_parts(self.params, nodes)
+    }
+}
+
+/// Which scheme a [`NetParams`] is configured with (convenience for
+/// experiment harnesses).
+impl NetParams {
+    /// Returns a copy with a different scheme.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different lossless-pool buffer size.
+    #[must_use]
+    pub fn with_buffer(mut self, buffer: ByteSize) -> Self {
+        self.total_buffer = buffer;
+        self
+    }
+
+    /// Returns a copy with ECN marking disabled (uncontrolled
+    /// microbenchmarks).
+    #[must_use]
+    pub fn without_ecn(mut self) -> Self {
+        self.ecn = EcnConfig::disabled();
+        self
+    }
+
+    /// Returns a copy with the PFC watchdog armed at the given timeout.
+    #[must_use]
+    pub fn with_pfc_watchdog(mut self, timeout: Delta) -> Self {
+        self.pfc_watchdog = Some(timeout);
+        self
+    }
+}

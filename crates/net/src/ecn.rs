@@ -1,0 +1,80 @@
+//! RED-style ECN marking at switch egress queues (DCQCN's congestion
+//! point).
+
+use dsh_simcore::SimRng;
+
+/// ECN marking parameters (the DCQCN congestion-point RED profile).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EcnConfig {
+    /// Below this egress queue length (bytes) nothing is marked.
+    pub kmin: u64,
+    /// Above this length every packet is marked.
+    pub kmax: u64,
+    /// Marking probability at `kmax` (ramps linearly from 0 at `kmin`).
+    pub pmax: f64,
+    /// Master switch (the uncontrolled microbenchmarks disable marking).
+    pub enabled: bool,
+}
+
+impl EcnConfig {
+    /// The DCQCN defaults scaled for 100 Gb/s links (ns-3 community
+    /// settings): `Kmin = 100 KB`, `Kmax = 400 KB`, `Pmax = 0.2`.
+    #[must_use]
+    pub fn for_100g() -> Self {
+        EcnConfig { kmin: 100 * 1024, kmax: 400 * 1024, pmax: 0.2, enabled: true }
+    }
+
+    /// Marking disabled.
+    #[must_use]
+    pub fn disabled() -> Self {
+        EcnConfig { kmin: u64::MAX, kmax: u64::MAX, pmax: 0.0, enabled: false }
+    }
+
+    /// Decides whether a packet enqueued behind `qlen_bytes` is CE-marked.
+    pub fn mark(&self, qlen_bytes: u64, rng: &mut SimRng) -> bool {
+        if !self.enabled || qlen_bytes < self.kmin {
+            false
+        } else if qlen_bytes >= self.kmax {
+            true
+        } else {
+            let p = self.pmax * (qlen_bytes - self.kmin) as f64 / (self.kmax - self.kmin) as f64;
+            rng.gen_bool(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_kmin_never_marks() {
+        let cfg = EcnConfig::for_100g();
+        let mut rng = SimRng::new(1);
+        assert!((0..1000).all(|_| !cfg.mark(50_000, &mut rng)));
+    }
+
+    #[test]
+    fn above_kmax_always_marks() {
+        let cfg = EcnConfig::for_100g();
+        let mut rng = SimRng::new(1);
+        assert!((0..1000).all(|_| cfg.mark(500_000, &mut rng)));
+    }
+
+    #[test]
+    fn ramp_probability_scales() {
+        let cfg = EcnConfig::for_100g();
+        let mut rng = SimRng::new(2);
+        let mid = (cfg.kmin + cfg.kmax) / 2;
+        let hits = (0..100_000).filter(|_| cfg.mark(mid, &mut rng)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn disabled_never_marks() {
+        let cfg = EcnConfig::disabled();
+        let mut rng = SimRng::new(3);
+        assert!(!cfg.mark(u64::MAX - 1, &mut rng));
+    }
+}

@@ -1,0 +1,172 @@
+//! Wire frames: data packets, ACKs, CNPs and PFC control frames.
+
+use crate::ids::{FlowId, NodeId, CONTROL_CLASS};
+use dsh_transport::TelemetryHop;
+
+/// Wire size of an ACK/CNP/PFC control frame (minimum Ethernet frame).
+pub const CONTROL_FRAME_BYTES: u64 = 64;
+
+/// A data segment of a flow.
+#[derive(Clone, Debug)]
+pub struct DataFrame {
+    /// The flow this segment belongs to.
+    pub flow: FlowId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Byte offset of this segment within the flow.
+    pub seq: u64,
+    /// Payload bytes carried.
+    pub payload: u64,
+    /// ECN Congestion Experienced mark.
+    pub ecn: bool,
+    /// In-band telemetry appended hop by hop (PowerTCP).
+    pub hops: Vec<TelemetryHop>,
+}
+
+/// An acknowledgment for one data segment, echoing ECN and telemetry.
+#[derive(Clone, Debug)]
+pub struct AckFrame {
+    /// The acknowledged flow.
+    pub flow: FlowId,
+    /// Destination of the ACK (the flow's source host).
+    pub dst: NodeId,
+    /// Payload bytes acknowledged by this ACK.
+    pub acked: u64,
+    /// Echo of the data packet's ECN mark.
+    pub ecn_echo: bool,
+    /// Echo of the data packet's INT telemetry.
+    pub hops: Vec<TelemetryHop>,
+}
+
+/// Scope of a PFC pause/resume.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PfcScope {
+    /// One priority class (standard PFC).
+    Queue(u8),
+    /// All classes at once (a PFC frame with every priority timer set —
+    /// DSH's port-level flow control).
+    Port,
+}
+
+/// A PFC PAUSE (or zero-duration RESUME) frame.
+#[derive(Clone, Copy, Debug)]
+pub struct PfcFrame {
+    /// Which traffic the frame pauses/resumes.
+    pub scope: PfcScope,
+    /// `true` = PAUSE, `false` = RESUME.
+    pub pause: bool,
+}
+
+/// Frame payload variants.
+#[derive(Clone, Debug)]
+pub enum FrameKind {
+    /// Flow data.
+    Data(DataFrame),
+    /// Acknowledgment.
+    Ack(AckFrame),
+    /// Congestion Notification Packet (DCQCN), addressed to the flow's
+    /// source.
+    Cnp {
+        /// The congested flow.
+        flow: FlowId,
+        /// The flow's source host.
+        dst: NodeId,
+    },
+    /// Link-local PFC control frame (never forwarded).
+    Pfc(PfcFrame),
+}
+
+/// A frame on the wire.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Wire size in bytes (serialization time = `bytes / C`).
+    pub bytes: u64,
+    /// Priority class, i.e. which egress queue carries it.
+    pub class: u8,
+    /// The payload.
+    pub kind: FrameKind,
+}
+
+impl Frame {
+    /// Builds a data frame in the given class.
+    #[must_use]
+    pub fn data(d: DataFrame, class: u8) -> Frame {
+        Frame { bytes: d.payload, class, kind: FrameKind::Data(d) }
+    }
+
+    /// Builds an ACK control frame.
+    #[must_use]
+    pub fn ack(a: AckFrame) -> Frame {
+        Frame { bytes: CONTROL_FRAME_BYTES, class: CONTROL_CLASS, kind: FrameKind::Ack(a) }
+    }
+
+    /// Builds a CNP control frame.
+    #[must_use]
+    pub fn cnp(flow: FlowId, dst: NodeId) -> Frame {
+        Frame { bytes: CONTROL_FRAME_BYTES, class: CONTROL_CLASS, kind: FrameKind::Cnp { flow, dst } }
+    }
+
+    /// Builds a PFC control frame.
+    #[must_use]
+    pub fn pfc(scope: PfcScope, pause: bool) -> Frame {
+        Frame {
+            bytes: CONTROL_FRAME_BYTES,
+            class: CONTROL_CLASS,
+            kind: FrameKind::Pfc(PfcFrame { scope, pause }),
+        }
+    }
+
+    /// Routing destination, if the frame is forwardable (PFC frames are
+    /// link-local).
+    #[must_use]
+    pub fn dst(&self) -> Option<NodeId> {
+        match &self.kind {
+            FrameKind::Data(d) => Some(d.dst),
+            FrameKind::Ack(a) => Some(a.dst),
+            FrameKind::Cnp { dst, .. } => Some(*dst),
+            FrameKind::Pfc(_) => None,
+        }
+    }
+
+    /// Whether this is a data frame (subject to MMU admission and PFC).
+    #[must_use]
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, FrameKind::Data(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_class_and_size() {
+        let d = Frame::data(
+            DataFrame {
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(2),
+                seq: 0,
+                payload: 1500,
+                ecn: false,
+                hops: vec![],
+            },
+            3,
+        );
+        assert_eq!(d.bytes, 1500);
+        assert_eq!(d.class, 3);
+        assert!(d.is_data());
+        assert_eq!(d.dst(), Some(NodeId(2)));
+
+        let a = Frame::ack(AckFrame { flow: FlowId(1), dst: NodeId(0), acked: 1500, ecn_echo: true, hops: vec![] });
+        assert_eq!(a.bytes, CONTROL_FRAME_BYTES);
+        assert_eq!(a.class, CONTROL_CLASS);
+        assert_eq!(a.dst(), Some(NodeId(0)));
+
+        let p = Frame::pfc(PfcScope::Port, true);
+        assert_eq!(p.dst(), None);
+        assert!(!p.is_data());
+    }
+}

@@ -1,0 +1,201 @@
+//! Host node: a NIC with per-flow (queue-pair) send state driven by a
+//! congestion-control transport, plus receiver-side ACK/CNP generation.
+
+use crate::ids::{FlowId, NodeId};
+use crate::port::EgressPort;
+use dsh_simcore::Time;
+use dsh_transport::{Cc, CnpPolicy};
+use std::collections::HashMap;
+
+/// Sender-side state of one flow (an RDMA queue pair).
+pub struct SenderFlow {
+    /// Global flow id.
+    pub id: FlowId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Priority class (0..7).
+    pub class: u8,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Bytes handed to the wire.
+    pub sent: u64,
+    /// Bytes acknowledged.
+    pub acked: u64,
+    /// Pacing: earliest time the next segment may be sent.
+    pub next_send: Time,
+    /// Congestion control state machine.
+    pub cc: Box<dyn Cc>,
+    /// Generation counter invalidating stale CC timer events.
+    pub timer_gen: u64,
+}
+
+impl std::fmt::Debug for SenderFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SenderFlow")
+            .field("id", &self.id)
+            .field("sent", &self.sent)
+            .field("acked", &self.acked)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl SenderFlow {
+    /// Bytes in flight (sent, not yet acked).
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.acked
+    }
+
+    /// Whether every byte has been handed to the wire.
+    #[must_use]
+    pub fn fully_sent(&self) -> bool {
+        self.sent >= self.size
+    }
+}
+
+/// Receiver-side state of one flow.
+#[derive(Debug)]
+pub struct ReceiverFlow {
+    /// Payload bytes received so far.
+    pub received: u64,
+    /// DCQCN notification-point CNP policy.
+    pub cnp: CnpPolicy,
+    /// Completion already recorded.
+    pub completed: bool,
+}
+
+impl ReceiverFlow {
+    /// Fresh receiver state.
+    #[must_use]
+    pub fn new() -> Self {
+        ReceiverFlow { received: 0, cnp: CnpPolicy::standard(), completed: false }
+    }
+}
+
+impl Default for ReceiverFlow {
+    fn default() -> Self {
+        ReceiverFlow::new()
+    }
+}
+
+/// A host: one uplink NIC port plus flow state.
+#[derive(Debug)]
+pub struct HostNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The single uplink (port 0).
+    pub port: Option<EgressPort>,
+    /// Flows sourced at this host.
+    pub tx_flows: Vec<SenderFlow>,
+    /// Index from global flow id to `tx_flows` position.
+    pub tx_index: HashMap<FlowId, usize>,
+    /// Flows received at this host.
+    pub rx_flows: HashMap<FlowId, ReceiverFlow>,
+    /// Indices of `tx_flows` that still have data to hand to the wire
+    /// (kept small so the NIC's per-packet scan is O(active), not
+    /// O(all flows ever)).
+    pub active: Vec<usize>,
+    /// Round-robin cursor over `active`.
+    pub rr_cursor: usize,
+    /// Earliest already-scheduled NIC wake-up (dedup).
+    pub wake_at: Time,
+}
+
+impl HostNode {
+    /// Creates a host with no uplink yet (the builder attaches it).
+    #[must_use]
+    pub fn new(id: NodeId) -> Self {
+        HostNode {
+            id,
+            port: None,
+            tx_flows: Vec::new(),
+            tx_index: HashMap::new(),
+            rx_flows: HashMap::new(),
+            active: Vec::new(),
+            rr_cursor: 0,
+            wake_at: Time::MAX,
+        }
+    }
+
+    /// The uplink port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host was never linked into the topology.
+    #[must_use]
+    pub fn uplink(&self) -> &EgressPort {
+        self.port.as_ref().unwrap_or_else(|| panic!("host {} has no uplink; call NetworkBuilder::link", self.id))
+    }
+
+    /// Mutable access to the uplink port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host was never linked into the topology.
+    pub fn uplink_mut(&mut self) -> &mut EgressPort {
+        self.port.as_mut().expect("host has no uplink; call NetworkBuilder::link")
+    }
+
+    /// Registers a new sender flow (marked active).
+    pub fn add_sender(&mut self, flow: SenderFlow) {
+        let idx = self.tx_flows.len();
+        self.tx_index.insert(flow.id, idx);
+        self.tx_flows.push(flow);
+        self.active.push(idx);
+    }
+
+    /// Looks up a sender flow by global id.
+    pub fn sender_mut(&mut self, id: FlowId) -> Option<&mut SenderFlow> {
+        let idx = *self.tx_index.get(&id)?;
+        Some(&mut self.tx_flows[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsh_simcore::Bandwidth;
+    use dsh_transport::Uncontrolled;
+
+    fn flow(id: usize) -> SenderFlow {
+        SenderFlow {
+            id: FlowId(id),
+            dst: NodeId(9),
+            class: 0,
+            size: 10_000,
+            sent: 0,
+            acked: 0,
+            next_send: Time::ZERO,
+            cc: Box::new(Uncontrolled::new(Bandwidth::from_gbps(100))),
+            timer_gen: 0,
+        }
+    }
+
+    #[test]
+    fn sender_bookkeeping() {
+        let mut f = flow(1);
+        f.sent = 4000;
+        f.acked = 1000;
+        assert_eq!(f.in_flight(), 3000);
+        assert!(!f.fully_sent());
+        f.sent = 10_000;
+        assert!(f.fully_sent());
+    }
+
+    #[test]
+    fn host_flow_registry() {
+        let mut h = HostNode::new(NodeId(0));
+        h.add_sender(flow(5));
+        h.add_sender(flow(9));
+        assert_eq!(h.sender_mut(FlowId(9)).unwrap().id, FlowId(9));
+        assert!(h.sender_mut(FlowId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no uplink")]
+    fn unlinked_host_panics() {
+        let h = HostNode::new(NodeId(0));
+        let _ = h.uplink();
+    }
+}

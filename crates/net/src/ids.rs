@@ -1,0 +1,47 @@
+//! Identifier newtypes for network entities.
+
+use std::fmt;
+
+/// Number of priority queues per port (IEEE 802.1Qbb classes).
+pub const NUM_CLASSES: usize = 8;
+
+/// The strict-priority control class carrying ACK/CNP/PFC traffic
+/// (reserved, pause-exempt — the paper's evaluation setup).
+pub const CONTROL_CLASS: u8 = 7;
+
+/// Number of lossless data classes scheduled by DWRR (classes `0..7`).
+pub const NUM_DATA_CLASSES: usize = 7;
+
+/// Identifies a node (host or switch) in a [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a flow added via [`crate::Network::add_flow`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub usize);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(FlowId(7).to_string(), "f7");
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NUM_DATA_CLASSES + 1, NUM_CLASSES);
+        assert_eq!(CONTROL_CLASS as usize, NUM_CLASSES - 1);
+    }
+}

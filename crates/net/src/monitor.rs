@@ -1,0 +1,88 @@
+//! Measurement plumbing: FCT records, throughput samples, pause ledgers
+//! and deadlock reports.
+
+use crate::ids::{FlowId, NodeId};
+use dsh_simcore::{Delta, Time};
+
+/// Completion record of one flow (taken when the receiver gets the last
+/// payload byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FctRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Start time (sender's first transmission opportunity).
+    pub start: Time,
+    /// Completion time.
+    pub finish: Time,
+}
+
+impl FctRecord {
+    /// Flow completion time.
+    #[must_use]
+    pub fn fct(&self) -> Delta {
+        self.finish - self.start
+    }
+}
+
+/// One point of a flow-throughput time series (Fig. 13).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputSample {
+    /// Sample instant.
+    pub time: Time,
+    /// Goodput since the previous sample, in Gb/s.
+    pub gbps: f64,
+}
+
+/// Summary of PFC pause time observed at one egress port (Fig. 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PauseLedger {
+    /// Node owning the egress port.
+    pub node: NodeId,
+    /// Port index.
+    pub port: usize,
+    /// Sum of per-class queue-level pause time.
+    pub queue_level: Delta,
+    /// Port-level pause time.
+    pub port_level: Delta,
+}
+
+impl PauseLedger {
+    /// Total pause time (queue-level + port-level).
+    #[must_use]
+    pub fn total(&self) -> Delta {
+        self.queue_level + self.port_level
+    }
+}
+
+/// Result of deadlock detection over a run (Fig. 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct DeadlockReport {
+    /// First time at which some egress port had been continuously blocked
+    /// (non-empty, all non-empty data classes paused) beyond the detection
+    /// threshold — the *onset* is the start of that blocked interval.
+    pub onset: Option<Time>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_arithmetic() {
+        let r = FctRecord { flow: FlowId(0), size: 64_000, start: Time::from_us(10), finish: Time::from_us(110) };
+        assert_eq!(r.fct(), Delta::from_us(100));
+    }
+
+    #[test]
+    fn pause_ledger_total() {
+        let l = PauseLedger {
+            node: NodeId(0),
+            port: 1,
+            queue_level: Delta::from_us(30),
+            port_level: Delta::from_us(12),
+        };
+        assert_eq!(l.total(), Delta::from_us(42));
+    }
+}

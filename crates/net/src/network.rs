@@ -1,0 +1,1070 @@
+//! The network model: event dispatch, switching, host NIC logic and
+//! measurement.
+
+use crate::builder::NetParams;
+use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, PfcScope};
+use crate::host::{HostNode, ReceiverFlow, SenderFlow};
+use crate::ids::{FlowId, NodeId, NUM_DATA_CLASSES};
+use crate::monitor::{DeadlockReport, FctRecord, PauseLedger, ThroughputSample};
+use crate::port::{IngressTag, QueuedFrame};
+use crate::switch::SwitchNode;
+use dsh_core::headroom::PFC_PROCESSING_BYTES;
+use dsh_simcore::{Model, Scheduler, SimRng, Simulation, Time};
+use dsh_transport::{new_cc, AckInfo, CcKind, TelemetryHop};
+
+/// Specification of one flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Size in payload bytes.
+    pub size: u64,
+    /// Priority class (0..7; class 7 is reserved for control traffic).
+    pub class: u8,
+    /// Start time.
+    pub start: Time,
+    /// Transport.
+    pub cc: CcKind,
+}
+
+/// The simulator's event alphabet.
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// A frame finished arriving at `node` on ingress `in_port`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port index at the receiving node.
+        in_port: usize,
+        /// The frame.
+        frame: Frame,
+    },
+    /// `node`'s egress `port` finished serializing its current frame.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// Egress port index.
+        port: usize,
+    },
+    /// A received PFC frame takes effect after the standard processing
+    /// delay.
+    ApplyPause {
+        /// Node whose egress is paused/resumed.
+        node: NodeId,
+        /// Egress port index (the port the PFC frame arrived on).
+        port: usize,
+        /// Queue- or port-level.
+        scope: PfcScope,
+        /// `true` = pause.
+        pause: bool,
+    },
+    /// A flow becomes active at its source host.
+    FlowStart {
+        /// The flow.
+        flow: FlowId,
+    },
+    /// NIC pacing wake-up.
+    HostWake {
+        /// The host.
+        host: NodeId,
+    },
+    /// Congestion-control timer for one flow.
+    CcTimer {
+        /// The flow's source host.
+        host: NodeId,
+        /// The flow.
+        flow: FlowId,
+        /// Generation guard (stale timers are ignored).
+        gen: u64,
+    },
+    /// Periodic measurement tick.
+    Sample,
+}
+
+/// A node in the network.
+#[derive(Debug)]
+pub(crate) enum Node {
+    /// A switch.
+    Switch(SwitchNode),
+    /// A host.
+    Host(HostNode),
+}
+
+#[derive(Debug)]
+struct FlowMeta {
+    spec: FlowSpec,
+    completed: bool,
+}
+
+#[derive(Debug)]
+struct FlowMonitor {
+    flow: FlowId,
+    last_bytes: u64,
+    samples: Vec<ThroughputSample>,
+}
+
+/// A complete simulated network: implements [`Model`] over [`NetEvent`].
+///
+/// Build with [`crate::NetworkBuilder`], add flows, convert into a
+/// simulation with [`Network::into_sim`], run, then read measurements back
+/// from the model.
+#[derive(Debug)]
+pub struct Network {
+    pub(crate) params: NetParams,
+    pub(crate) nodes: Vec<Node>,
+    flows: Vec<FlowMeta>,
+    flow_rx: Vec<u64>,
+    fct: Vec<FctRecord>,
+    monitors: Vec<FlowMonitor>,
+    rng: SimRng,
+    data_drops: u64,
+    watchdog_drops: u64,
+    deadlock: DeadlockReport,
+}
+
+impl Network {
+    pub(crate) fn from_parts(params: NetParams, nodes: Vec<Node>) -> Self {
+        let rng = SimRng::new(params.seed);
+        Network {
+            params,
+            nodes,
+            flows: Vec::new(),
+            flow_rx: Vec::new(),
+            fct: Vec::new(),
+            monitors: Vec::new(),
+            rng,
+            data_drops: 0,
+            watchdog_drops: 0,
+            deadlock: DeadlockReport::default(),
+        }
+    }
+
+    /// Registers a flow; returns its id. All flows must be added before
+    /// [`Network::into_sim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is not a data class or the endpoints are not
+    /// hosts.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!((spec.class as usize) < NUM_DATA_CLASSES, "class must be 0..7");
+        assert!(matches!(self.nodes[spec.src.0], Node::Host(_)), "src must be a host");
+        assert!(matches!(self.nodes[spec.dst.0], Node::Host(_)), "dst must be a host");
+        assert!(spec.size > 0, "flow size must be positive");
+        let id = FlowId(self.flows.len());
+        self.flows.push(FlowMeta { spec, completed: false });
+        self.flow_rx.push(0);
+        id
+    }
+
+    /// Starts recording a goodput time series for `flow` (sampled every
+    /// [`NetParams::sample_interval`]).
+    pub fn monitor_flow(&mut self, flow: FlowId) {
+        self.monitors.push(FlowMonitor { flow, last_bytes: 0, samples: Vec::new() });
+    }
+
+    /// Converts the network into a ready-to-run simulation: flow starts
+    /// and the sampling tick are scheduled.
+    #[must_use]
+    pub fn into_sim(self) -> Simulation<Network> {
+        let starts: Vec<(Time, FlowId)> =
+            self.flows.iter().enumerate().map(|(i, f)| (f.spec.start, FlowId(i))).collect();
+        let tick = self.params.sample_interval;
+        let mut sim = Simulation::new(self);
+        for (t, flow) in starts {
+            sim.schedule(t, NetEvent::FlowStart { flow });
+        }
+        sim.schedule(Time::ZERO + tick, NetEvent::Sample);
+        sim
+    }
+
+    // ---- measurement accessors -------------------------------------------
+
+    /// Completed-flow records.
+    #[must_use]
+    pub fn fct_records(&self) -> &[FctRecord] {
+        &self.fct
+    }
+
+    /// Data packets dropped by MMU admission (0 in a correct lossless
+    /// configuration).
+    #[must_use]
+    pub fn data_drops(&self) -> u64 {
+        self.data_drops
+    }
+
+    /// Deadlock detection result.
+    #[must_use]
+    pub fn deadlock_report(&self) -> DeadlockReport {
+        self.deadlock
+    }
+
+    /// Frames dropped by the PFC watchdog (0 unless
+    /// [`NetParams::pfc_watchdog`] is armed).
+    #[must_use]
+    pub fn watchdog_drops(&self) -> u64 {
+        self.watchdog_drops
+    }
+
+    /// Goodput time series recorded for `flow` (see
+    /// [`Network::monitor_flow`]).
+    #[must_use]
+    pub fn flow_throughput(&self, flow: FlowId) -> &[ThroughputSample] {
+        self.monitors
+            .iter()
+            .find(|m| m.flow == flow)
+            .map(|m| m.samples.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Payload bytes received so far for `flow`.
+    #[must_use]
+    pub fn flow_rx_bytes(&self, flow: FlowId) -> u64 {
+        self.flow_rx[flow.0]
+    }
+
+    /// Pause ledgers for every egress port in the network at `now`.
+    #[must_use]
+    pub fn pause_ledgers(&self, now: Time) -> Vec<PauseLedger> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ports: Vec<&crate::port::EgressPort> = match n {
+                Node::Switch(s) => s.ports.iter().collect(),
+                Node::Host(h) => h.port.iter().collect(),
+            };
+            for (p, port) in ports.into_iter().enumerate() {
+                let queue_level = (0..NUM_DATA_CLASSES)
+                    .map(|c| port.class_pause_total(c as u8, now))
+                    .sum();
+                out.push(PauseLedger {
+                    node: NodeId(i),
+                    port: p,
+                    queue_level,
+                    port_level: port.port_pause_total(now),
+                });
+            }
+        }
+        out
+    }
+
+    /// Drains per-port headroom-occupancy local maxima from every switch
+    /// MMU (Fig. 6's measurement): `(switch, per-port peak lists)`.
+    pub fn take_headroom_peaks(&mut self) -> Vec<(NodeId, Vec<Vec<u64>>)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if let Node::Switch(s) = n {
+                out.push((NodeId(i), s.mmu.take_headroom_peaks()));
+            }
+        }
+        out
+    }
+
+    /// Diagnostic: a sender flow's current congestion window and pacing
+    /// rate, if the flow is active.
+    #[must_use]
+    pub fn flow_cc_state(&self, flow: FlowId) -> Option<(u64, u64)> {
+        let spec = self.flows.get(flow.0)?.spec;
+        match &self.nodes[spec.src.0] {
+            Node::Host(h) => {
+                let idx = *h.tx_index.get(&flow)?;
+                let f = &h.tx_flows[idx];
+                Some((f.cc.cwnd_bytes(), f.in_flight()))
+            }
+            Node::Switch(_) => None,
+        }
+    }
+
+    /// Diagnostic: every currently-blocked switch egress port as
+    /// `(node, port, blocked_since, port_paused, paused_classes,
+    /// queued_bytes)`.
+    #[must_use]
+    pub fn blocked_ports(&self) -> Vec<(NodeId, usize, Time, bool, Vec<u8>, u64)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::Switch(s) = n {
+                for (pi, p) in s.ports.iter().enumerate() {
+                    if let Some(b) = p.blocked_since() {
+                        let classes: Vec<u8> = (0..NUM_DATA_CLASSES as u8)
+                            .filter(|&c| p.class_paused(c))
+                            .collect();
+                        out.push((
+                            NodeId(i),
+                            pi,
+                            b,
+                            p.port_paused(),
+                            classes,
+                            p.total_queued_bytes(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of MMU pause/drop counters over all switches.
+    #[must_use]
+    pub fn mmu_stats(&self) -> dsh_core::MmuStats {
+        let mut agg = dsh_core::MmuStats::default();
+        for n in &self.nodes {
+            if let Node::Switch(s) = n {
+                let st = s.mmu.stats();
+                agg.admitted_packets += st.admitted_packets;
+                agg.dropped_packets += st.dropped_packets;
+                agg.dropped_bytes += st.dropped_bytes;
+                agg.queue_pauses += st.queue_pauses;
+                agg.queue_resumes += st.queue_resumes;
+                agg.port_pauses += st.port_pauses;
+                agg.port_resumes += st.port_resumes;
+            }
+        }
+        agg
+    }
+
+    /// The flow's specification.
+    #[must_use]
+    pub fn flow_spec(&self, flow: FlowId) -> FlowSpec {
+        self.flows[flow.0].spec
+    }
+
+    /// Number of flows registered.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    // ---- node plumbing ----------------------------------------------------
+
+    fn host_mut(&mut self, id: NodeId) -> &mut HostNode {
+        match &mut self.nodes[id.0] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("{id} is not a host"),
+        }
+    }
+
+    fn switch_mut(&mut self, id: NodeId) -> &mut SwitchNode {
+        match &mut self.nodes[id.0] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("{id} is not a switch"),
+        }
+    }
+
+    fn port_mut(&mut self, id: NodeId, port: usize) -> &mut crate::port::EgressPort {
+        match &mut self.nodes[id.0] {
+            Node::Switch(s) => &mut s.ports[port],
+            Node::Host(h) => {
+                assert_eq!(port, 0, "hosts have a single uplink");
+                h.uplink_mut()
+            }
+        }
+    }
+
+    // ---- transmission ------------------------------------------------------
+
+    /// Starts a transmission on `(node, port)` if the serializer is idle
+    /// and a frame is eligible.
+    fn try_transmit(&mut self, node: NodeId, port: usize, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        let mut fc_out: Vec<(usize, Frame)> = Vec::new();
+
+        let tx = {
+            let is_switch = matches!(self.nodes[node.0], Node::Switch(_));
+            // Pick under a scoped borrow.
+            let picked = {
+                let p = self.port_mut(node, port);
+                if p.is_busy() {
+                    None
+                } else {
+                    p.pick(now)
+                }
+            };
+            let Some(mut qf) = picked else {
+                return;
+            };
+            // Release MMU accounting and collect PFC actions.
+            if let Some(IngressTag { in_port, in_queue }) = qf.ingress {
+                let sw = self.switch_mut(node);
+                let actions = sw.mmu.on_departure(in_port, in_queue, qf.frame.bytes);
+                for a in actions {
+                    fc_out.push(SwitchNode::fc_frame(a));
+                }
+            }
+            // Stamp INT telemetry (switch egress only).
+            let p = self.port_mut(node, port);
+            if is_switch {
+                if let FrameKind::Data(d) = &mut qf.frame.kind {
+                    d.hops.push(TelemetryHop {
+                        qlen_bytes: p.queue_bytes(qf.frame.class),
+                        tx_bytes: p.tx_bytes(),
+                        timestamp: now,
+                        bandwidth: p.bandwidth,
+                    });
+                }
+            }
+            let bytes = qf.frame.bytes;
+            let txd = p.bandwidth.tx_delay(bytes);
+            let prop = p.prop_delay;
+            let peer = p.peer;
+            let peer_port = p.peer_port;
+            p.set_busy();
+            p.note_tx(bytes);
+            (qf.frame, txd, prop, peer, peer_port)
+        };
+
+        let (frame, txd, prop, peer, peer_port) = tx;
+        sched.at(now + txd, NetEvent::TxDone { node, port });
+        sched.at(now + txd + prop, NetEvent::Arrive { node: peer, in_port: peer_port, frame });
+
+        for (p, f) in fc_out {
+            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
+            if p != port {
+                self.try_transmit(node, p, sched);
+            }
+        }
+    }
+
+    fn handle_tx_done(&mut self, node: NodeId, port: usize, sched: &mut Scheduler<'_, NetEvent>) {
+        self.port_mut(node, port).set_idle();
+        if matches!(self.nodes[node.0], Node::Host(_)) {
+            // Refill the NIC queue from flow state, then transmit.
+            self.host_try_send(node, sched);
+        } else {
+            self.try_transmit(node, port, sched);
+        }
+    }
+
+    // ---- switch dataplane ---------------------------------------------------
+
+    fn switch_arrive(
+        &mut self,
+        node: NodeId,
+        in_port: usize,
+        frame: Frame,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        // PFC frames are link-local: they pause this node's egress side of
+        // `in_port` after the standard processing delay.
+        if let FrameKind::Pfc(p) = frame.kind {
+            let bw = self.port_mut(node, in_port).bandwidth;
+            let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
+            sched.at(
+                now + delay,
+                NetEvent::ApplyPause { node, port: in_port, scope: p.scope, pause: p.pause },
+            );
+            return;
+        }
+
+        let dst = frame.dst().expect("forwardable frame");
+        let flow = match &frame.kind {
+            FrameKind::Data(d) => d.flow,
+            FrameKind::Ack(a) => a.flow,
+            FrameKind::Cnp { flow, .. } => *flow,
+            FrameKind::Pfc(_) => unreachable!(),
+        };
+
+        let mut fc_out: Vec<(usize, Frame)> = Vec::new();
+        let (out_port, tag) = {
+            let sw = self.switch_mut(node);
+            let out_port = sw.routes.pick(dst.0, flow, sw.id);
+            if frame.is_data() {
+                let q = frame.class as usize;
+                let outcome = sw.mmu.on_arrival(in_port, q, frame.bytes);
+                for a in outcome.actions {
+                    fc_out.push(SwitchNode::fc_frame(a));
+                }
+                match outcome.region {
+                    Some(_region) => {
+                        (out_port, Some(IngressTag { in_port, in_queue: q }))
+                    }
+                    None => {
+                        // Congestion loss. Lossless configurations must
+                        // never reach this (tests assert on the counter).
+                        self.data_drops += 1;
+                        for (p, f) in fc_out {
+                            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
+                            self.try_transmit(node, p, sched);
+                        }
+                        return;
+                    }
+                }
+            } else {
+                (out_port, None)
+            }
+        };
+
+        // ECN marking against the egress queue length (congestion point).
+        let mut frame = frame;
+        if frame.is_data() && self.params.ecn.enabled {
+            let qlen = self.port_mut(node, out_port).queue_bytes(frame.class);
+            let mark = self.params.ecn.mark(qlen, &mut self.rng);
+            if mark {
+                if let FrameKind::Data(d) = &mut frame.kind {
+                    d.ecn = true;
+                }
+            }
+        }
+
+        self.port_mut(node, out_port).enqueue(QueuedFrame { frame, ingress: tag });
+        for (p, f) in fc_out {
+            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
+            self.try_transmit(node, p, sched);
+        }
+        self.try_transmit(node, out_port, sched);
+    }
+
+    // ---- host dataplane -------------------------------------------------------
+
+    fn host_arrive(
+        &mut self,
+        node: NodeId,
+        in_port: usize,
+        frame: Frame,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        match frame.kind {
+            FrameKind::Pfc(p) => {
+                let bw = self.port_mut(node, in_port).bandwidth;
+                let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
+                sched.at(
+                    now + delay,
+                    NetEvent::ApplyPause { node, port: in_port, scope: p.scope, pause: p.pause },
+                );
+            }
+            FrameKind::Data(d) => self.host_receive_data(node, d, sched),
+            FrameKind::Ack(a) => {
+                let host = self.host_mut(node);
+                if let Some(f) = host.sender_mut(a.flow) {
+                    f.acked = (f.acked + a.acked).min(f.size);
+                    let info =
+                        AckInfo { acked_bytes: a.acked, ecn_echo: a.ecn_echo, hops: &a.hops };
+                    f.cc.on_ack(now, &info);
+                }
+                self.arm_cc_timer(node, a.flow, sched);
+                // Window space may have opened.
+                self.host_try_send(node, sched);
+            }
+            FrameKind::Cnp { flow, .. } => {
+                let host = self.host_mut(node);
+                if let Some(f) = host.sender_mut(flow) {
+                    f.cc.on_cnp(now);
+                }
+                self.arm_cc_timer(node, flow, sched);
+            }
+        }
+    }
+
+    fn host_receive_data(
+        &mut self,
+        node: NodeId,
+        d: DataFrame,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        let meta_size = self.flows[d.flow.0].spec.size;
+        let meta_start = self.flows[d.flow.0].spec.start;
+
+        let (send_cnp, completed) = {
+            let host = self.host_mut(node);
+            let rx = host.rx_flows.entry(d.flow).or_insert_with(ReceiverFlow::new);
+            rx.received += d.payload;
+            let send_cnp = rx.cnp.on_data(now, d.ecn);
+            let completed = !rx.completed && rx.received >= meta_size;
+            if completed {
+                rx.completed = true;
+            }
+            (send_cnp, completed)
+        };
+
+        self.flow_rx[d.flow.0] += d.payload;
+        if completed {
+            self.flows[d.flow.0].completed = true;
+            self.fct.push(FctRecord { flow: d.flow, size: meta_size, start: meta_start, finish: now });
+        }
+
+        // Reply path: ACK (always) + CNP (DCQCN NP policy).
+        let ack = Frame::ack(AckFrame {
+            flow: d.flow,
+            dst: d.src,
+            acked: d.payload,
+            ecn_echo: d.ecn,
+            hops: d.hops,
+        });
+        let host = self.host_mut(node);
+        host.uplink_mut().enqueue(QueuedFrame { frame: ack, ingress: None });
+        if send_cnp {
+            let cnp = Frame::cnp(d.flow, d.src);
+            host.uplink_mut().enqueue(QueuedFrame { frame: cnp, ingress: None });
+        }
+        self.try_transmit(node, 0, sched);
+    }
+
+    fn handle_flow_start(&mut self, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
+        let spec = self.flows[flow.0].spec;
+        let (bw, base_rtt) = {
+            let host = self.host_mut(spec.src);
+            (host.uplink().bandwidth, self.params.base_rtt)
+        };
+        let cc = new_cc(spec.cc, bw, base_rtt);
+        let host = self.host_mut(spec.src);
+        host.add_sender(SenderFlow {
+            id: flow,
+            dst: spec.dst,
+            class: spec.class,
+            size: spec.size,
+            sent: 0,
+            acked: 0,
+            next_send: spec.start,
+            cc,
+            timer_gen: 0,
+        });
+        self.host_try_send(spec.src, sched);
+    }
+
+    /// Generates data frames from eligible flows into the NIC queue and
+    /// kicks the serializer; schedules a pacing wake-up if needed.
+    fn host_try_send(&mut self, node: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        let mtu = self.params.mtu;
+        loop {
+            let host = self.host_mut(node);
+            let n = host.active.len();
+            if n == 0 || host.port.is_none() {
+                break;
+            }
+            let mut chosen = None;
+            for k in 0..n {
+                let slot = (host.rr_cursor + k) % n;
+                let i = host.active[slot];
+                let f = &host.tx_flows[i];
+                debug_assert!(!f.fully_sent(), "completed flow left on active list");
+                if f.next_send > now {
+                    continue;
+                }
+                let seg = mtu.min(f.size - f.sent);
+                let port = host.uplink();
+                if !port.class_sendable(f.class) {
+                    continue;
+                }
+                // Keep at most ~2 MTU queued per class: the NIC pulls from
+                // queue pairs on demand rather than dumping the whole flow.
+                if port.queue_bytes(f.class) >= 2 * mtu {
+                    continue;
+                }
+                let cwnd = f.cc.cwnd_bytes();
+                if f.in_flight() + seg > cwnd.max(seg) {
+                    continue;
+                }
+                chosen = Some(slot);
+                break;
+            }
+            let Some(slot) = chosen else { break };
+            let i = host.active[slot];
+            let f = &mut host.tx_flows[i];
+            let seg = mtu.min(f.size - f.sent);
+            let frame = Frame::data(
+                DataFrame {
+                    flow: f.id,
+                    src: node,
+                    dst: f.dst,
+                    seq: f.sent,
+                    payload: seg,
+                    ecn: false,
+                    hops: Vec::new(),
+                },
+                f.class,
+            );
+            f.sent += seg;
+            f.cc.on_sent(now, seg);
+            let rate = f.cc.rate();
+            f.next_send = now + rate.tx_delay(seg);
+            let flow_id = f.id;
+            let done_sending = f.fully_sent();
+            if done_sending {
+                host.active.swap_remove(slot);
+                if host.rr_cursor >= host.active.len() {
+                    host.rr_cursor = 0;
+                }
+            } else {
+                host.rr_cursor = (slot + 1) % n;
+            }
+            host.uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
+            self.arm_cc_timer(node, flow_id, sched);
+        }
+        self.try_transmit(node, 0, sched);
+
+        // Pacing wake-up for flows waiting only on their send clock.
+        let host = self.host_mut(node);
+        let next = host
+            .active
+            .iter()
+            .map(|&i| host.tx_flows[i].next_send)
+            .filter(|&t| t > now)
+            .min();
+        if let Some(t) = next {
+            if t < host.wake_at {
+                host.wake_at = t;
+                sched.at(t, NetEvent::HostWake { host: node });
+            }
+        }
+    }
+
+    /// (Re)arms the CC timer event for a flow if its deadline moved.
+    fn arm_cc_timer(&mut self, node: NodeId, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        let host = self.host_mut(node);
+        let Some(f) = host.sender_mut(flow) else { return };
+        if f.acked >= f.size {
+            // Completed flows need no more transport timers.
+            f.timer_gen += 1;
+            return;
+        }
+        if let Some(t) = f.cc.next_timer() {
+            f.timer_gen += 1;
+            let gen = f.timer_gen;
+            sched.at(t.max(now), NetEvent::CcTimer { host: node, flow, gen });
+        }
+    }
+
+    fn handle_cc_timer(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        gen: u64,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        {
+            let host = self.host_mut(node);
+            let Some(f) = host.sender_mut(flow) else { return };
+            if f.timer_gen != gen {
+                return; // stale
+            }
+            f.cc.on_timer(now);
+        }
+        self.arm_cc_timer(node, flow, sched);
+        // Rate may have increased: the pacing clock stands, but window
+        // growth can unblock sending.
+        self.host_try_send(node, sched);
+    }
+
+    fn handle_apply_pause(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        scope: PfcScope,
+        pause: bool,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        {
+            let p = self.port_mut(node, port);
+            match scope {
+                PfcScope::Queue(c) => p.apply_class_pause(c, pause, now),
+                PfcScope::Port => p.apply_port_pause(pause, now),
+            }
+        }
+        if !pause {
+            // Resumed: traffic may flow again.
+            if matches!(self.nodes[node.0], Node::Host(_)) {
+                self.host_try_send(node, sched);
+            } else {
+                self.try_transmit(node, port, sched);
+            }
+        }
+    }
+
+    /// Scans every switch egress port for over-age pauses and flushes
+    /// them (releasing MMU accounting for the dropped frames).
+    fn run_watchdog(&mut self, now: Time, timeout: dsh_simcore::Delta, sched: &mut Scheduler<'_, NetEvent>) {
+        let node_count = self.nodes.len();
+        for ni in 0..node_count {
+            if !matches!(self.nodes[ni], Node::Switch(_)) {
+                continue;
+            }
+            let port_count = match &self.nodes[ni] {
+                Node::Switch(s) => s.ports.len(),
+                Node::Host(_) => 0,
+            };
+            for pi in 0..port_count {
+                for class in 0..crate::ids::NUM_DATA_CLASSES as u8 {
+                    let expired = {
+                        let Node::Switch(s) = &self.nodes[ni] else { unreachable!() };
+                        let p = &s.ports[pi];
+                        let since = p.class_paused_since(class).or_else(|| {
+                            p.port_paused_since()
+                                .filter(|_| p.queue_bytes(class) > 0)
+                        });
+                        matches!(since, Some(t) if now.saturating_since(t) >= timeout)
+                    };
+                    if !expired {
+                        continue;
+                    }
+                    let flushed = {
+                        let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
+                        s.ports[pi].watchdog_flush_class(class, now)
+                    };
+                    // Release the MMU accounting of the dropped frames and
+                    // forward any resumes that releases.
+                    let mut fc_out: Vec<(usize, Frame)> = Vec::new();
+                    for qf in &flushed {
+                        if let Some(IngressTag { in_port, in_queue }) = qf.ingress {
+                            let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
+                            let actions = s.mmu.on_departure(in_port, in_queue, qf.frame.bytes);
+                            for a in actions {
+                                fc_out.push(SwitchNode::fc_frame(a));
+                            }
+                        }
+                    }
+                    self.watchdog_drops += flushed.len() as u64;
+                    for (p, f) in fc_out {
+                        self.port_mut(NodeId(ni), p).enqueue(QueuedFrame { frame: f, ingress: None });
+                        self.try_transmit(NodeId(ni), p, sched);
+                    }
+                    // The unpaused port may transmit again.
+                    self.try_transmit(NodeId(ni), pi, sched);
+                }
+            }
+        }
+    }
+
+    fn handle_sample(&mut self, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        let dt = self.params.sample_interval;
+        // Flow goodput monitors.
+        for m in &mut self.monitors {
+            let bytes = self.flow_rx[m.flow.0];
+            let gbps = (bytes - m.last_bytes) as f64 * 8.0 / dt.as_secs_f64() / 1e9;
+            m.last_bytes = bytes;
+            m.samples.push(ThroughputSample { time: now, gbps });
+        }
+        // PFC watchdog (if armed): a class paused beyond the timeout is
+        // force-resumed and its queue flushed — the standard deadlock
+        // mitigation, trading losslessness for liveness.
+        if let Some(wd) = self.params.pfc_watchdog {
+            self.run_watchdog(now, wd, sched);
+        }
+
+        // Deadlock detection: a switch egress port continuously unable to
+        // serve queued data for longer than the threshold. Recomputed on
+        // every sample — transient congestion that eventually resolves
+        // clears the report, so at the end of a run `onset` is set only if
+        // the network is *still* wedged (a true deadlock never unblocks).
+        let thresh = self.params.deadlock_threshold;
+        let mut onset: Option<Time> = None;
+        for n in &self.nodes {
+            if let Node::Switch(s) = n {
+                for p in &s.ports {
+                    if let Some(b) = p.blocked_since() {
+                        if now.saturating_since(b) >= thresh {
+                            onset = Some(onset.map_or(b, |o: Time| o.min(b)));
+                        }
+                    }
+                }
+            }
+        }
+        self.deadlock.onset = onset;
+        sched.at(now + dt, NetEvent::Sample);
+    }
+}
+
+impl Model for Network {
+    type Event = NetEvent;
+
+    fn handle(&mut self, event: NetEvent, sched: &mut Scheduler<'_, NetEvent>) {
+        match event {
+            NetEvent::Arrive { node, in_port, frame } => {
+                if matches!(self.nodes[node.0], Node::Switch(_)) {
+                    self.switch_arrive(node, in_port, frame, sched);
+                } else {
+                    self.host_arrive(node, in_port, frame, sched);
+                }
+            }
+            NetEvent::TxDone { node, port } => self.handle_tx_done(node, port, sched),
+            NetEvent::ApplyPause { node, port, scope, pause } => {
+                self.handle_apply_pause(node, port, scope, pause, sched);
+            }
+            NetEvent::FlowStart { flow } => self.handle_flow_start(flow, sched),
+            NetEvent::HostWake { host } => {
+                self.host_mut(host).wake_at = Time::MAX;
+                self.host_try_send(host, sched);
+            }
+            NetEvent::CcTimer { host, flow, gen } => self.handle_cc_timer(host, flow, gen, sched),
+            NetEvent::Sample => self.handle_sample(sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use dsh_core::Scheme;
+    use dsh_simcore::{Bandwidth, Delta};
+
+    fn two_hosts_one_switch(scheme: Scheme) -> (Network, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
+        let h0 = b.host();
+        let h1 = b.host();
+        let s = b.switch();
+        b.link(h0, s, Bandwidth::from_gbps(100), Delta::from_us(2));
+        b.link(h1, s, Bandwidth::from_gbps(100), Delta::from_us(2));
+        (b.build(), h0, h1)
+    }
+
+    #[test]
+    fn single_flow_fct_matches_hand_calculation() {
+        let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Dsh);
+        // One MTU of payload.
+        let f = net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 1500,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+        let mut sim = net.into_sim();
+        sim.run_until(Time::from_ms(1));
+        let net = sim.into_model();
+        let rec = net.fct_records()[0];
+        assert_eq!(rec.flow, f);
+        // Store-and-forward: 2 serializations (120 ns each) + 2
+        // propagations (2 us each) = 4.24 us.
+        let expect = Delta::from_ns(2 * 120 + 2 * 2_000);
+        assert_eq!(rec.fct(), expect, "got {}", rec.fct());
+    }
+
+    #[test]
+    fn flow_rx_bytes_and_monitor_series() {
+        let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Dsh);
+        let f = net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 3_000_000,
+            class: 2,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+        net.monitor_flow(f);
+        let mut sim = net.into_sim();
+        sim.run_until(Time::from_us(100));
+        let net = sim.model();
+        assert!(net.flow_rx_bytes(f) > 0);
+        let series = net.flow_throughput(f);
+        assert!(!series.is_empty());
+        // Steady-state samples run at ~line rate.
+        let peak = series.iter().map(|s| s.gbps).fold(0.0, f64::max);
+        assert!(peak > 90.0, "peak {peak} Gb/s");
+    }
+
+    #[test]
+    fn flows_on_different_classes_share_via_dwrr() {
+        let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Dsh);
+        let a = net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 2_000_000,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+        let b = net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 2_000_000,
+            class: 1,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+        let mut sim = net.into_sim();
+        sim.run_until(Time::from_us(120));
+        let net = sim.model();
+        let ra = net.flow_rx_bytes(a) as f64;
+        let rb = net.flow_rx_bytes(b) as f64;
+        assert!(ra > 0.0 && rb > 0.0);
+        let ratio = ra / rb;
+        assert!((0.8..1.25).contains(&ratio), "DWRR share skewed: {ratio}");
+    }
+
+    #[test]
+    fn pause_ledgers_report_all_ports() {
+        let (net, _, _) = two_hosts_one_switch(Scheme::Sih);
+        let ledgers = net.pause_ledgers(Time::ZERO);
+        // 2 host uplinks + 2 switch ports.
+        assert_eq!(ledgers.len(), 4);
+        assert!(ledgers.iter().all(|l| l.total() == Delta::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "class must be 0..7")]
+    fn control_class_flows_are_rejected() {
+        let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Dsh);
+        net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 100,
+            class: 7,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "src must be a host")]
+    fn switch_sources_are_rejected() {
+        let (mut net, _, h1) = two_hosts_one_switch(Scheme::Dsh);
+        net.add_flow(FlowSpec {
+            src: NodeId(2),
+            dst: h1,
+            size: 100,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Sih);
+            for i in 0..4 {
+                net.add_flow(FlowSpec {
+                    src: if i % 2 == 0 { h0 } else { h1 },
+                    dst: if i % 2 == 0 { h1 } else { h0 },
+                    size: 100_000 + i * 7_777,
+                    class: (i % 3) as u8,
+                    start: Time::from_us(i),
+                    cc: CcKind::Dcqcn,
+                });
+            }
+            let mut sim = net.into_sim();
+            sim.run_until(Time::from_ms(5));
+            let net = sim.into_model();
+            net.fct_records().iter().map(|r| (r.flow, r.finish)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn ack_clocking_completes_windowed_flows() {
+        // PowerTCP is window-limited; without working ACKs it would stall.
+        let (mut net, h0, h1) = two_hosts_one_switch(Scheme::Dsh);
+        net.add_flow(FlowSpec {
+            src: h0,
+            dst: h1,
+            size: 1_000_000,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::PowerTcp,
+        });
+        let mut sim = net.into_sim();
+        sim.run_until(Time::from_ms(5));
+        let net = sim.into_model();
+        assert_eq!(net.fct_records().len(), 1);
+        assert_eq!(net.data_drops(), 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! The egress side of a full-duplex port: 8 priority queues, DWRR
+//! scheduling, PFC pause state, and transmission bookkeeping.
+
+use crate::frame::Frame;
+use crate::ids::{NodeId, CONTROL_CLASS, NUM_CLASSES};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use std::collections::VecDeque;
+
+/// DWRR quantum used by the paper's evaluation (1600 B).
+pub const DWRR_QUANTUM: u64 = 1600;
+
+/// Where a queued frame was admitted on ingress — needed to release the
+/// MMU accounting when it departs.
+#[derive(Clone, Copy, Debug)]
+pub struct IngressTag {
+    /// Ingress port index the frame arrived on.
+    pub in_port: usize,
+    /// MMU queue (lossless class) it was accounted under.
+    pub in_queue: usize,
+}
+
+/// A frame waiting in an egress queue.
+#[derive(Clone, Debug)]
+pub struct QueuedFrame {
+    /// The frame.
+    pub frame: Frame,
+    /// MMU accounting tag (switch ingress only; `None` on hosts).
+    pub ingress: Option<IngressTag>,
+}
+
+/// Per-class pause bookkeeping: total paused wall-clock (Fig. 11's
+/// metric) and the currently open pause interval.
+#[derive(Clone, Copy, Debug, Default)]
+struct PauseClock {
+    paused: bool,
+    since: Time,
+    total: Delta,
+}
+
+impl PauseClock {
+    fn paused_since(&self) -> Option<Time> {
+        self.paused.then_some(self.since)
+    }
+
+    fn set(&mut self, pause: bool, now: Time) {
+        if pause && !self.paused {
+            self.paused = true;
+            self.since = now;
+        } else if !pause && self.paused {
+            self.paused = false;
+            self.total += now - self.since;
+        }
+    }
+
+    fn total_at(&self, now: Time) -> Delta {
+        if self.paused {
+            self.total + (now - self.since)
+        } else {
+            self.total
+        }
+    }
+}
+
+/// The egress side of one port.
+#[derive(Clone, Debug)]
+pub struct EgressPort {
+    /// Peer node this port transmits toward.
+    pub peer: NodeId,
+    /// Port index on the peer that receives our frames.
+    pub peer_port: usize,
+    /// Link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Link propagation delay.
+    pub prop_delay: Delta,
+
+    queues: Vec<VecDeque<QueuedFrame>>,
+    qbytes: Vec<u64>,
+    deficit: Vec<u64>,
+    /// Round-robin order of active (non-empty) data queues.
+    active: VecDeque<usize>,
+    in_active: Vec<bool>,
+
+    /// Serializer busy until further notice (a `TxDone` event is pending).
+    busy: bool,
+    /// PFC pause state per data class (set by frames from the peer).
+    class_pause: Vec<PauseClock>,
+    /// Port-level pause (DSH).
+    port_pause: PauseClock,
+    /// First instant since which the port continuously had queued data but
+    /// could transmit nothing (deadlock detection).
+    blocked_since: Option<Time>,
+    /// Cumulative bytes transmitted (INT telemetry λ source).
+    tx_bytes: u64,
+    /// Frames transmitted.
+    tx_frames: u64,
+}
+
+impl EgressPort {
+    /// Creates an idle egress port toward `peer`.
+    #[must_use]
+    pub fn new(peer: NodeId, peer_port: usize, bandwidth: Bandwidth, prop_delay: Delta) -> Self {
+        EgressPort {
+            peer,
+            peer_port,
+            bandwidth,
+            prop_delay,
+            queues: (0..NUM_CLASSES).map(|_| VecDeque::new()).collect(),
+            qbytes: vec![0; NUM_CLASSES],
+            deficit: vec![0; NUM_CLASSES],
+            active: VecDeque::new(),
+            in_active: vec![false; NUM_CLASSES],
+            busy: false,
+            class_pause: vec![PauseClock::default(); NUM_CLASSES],
+            port_pause: PauseClock::default(),
+            blocked_since: None,
+            tx_bytes: 0,
+            tx_frames: 0,
+        }
+    }
+
+    /// Queued bytes in one class's egress queue (ECN input).
+    #[must_use]
+    pub fn queue_bytes(&self, class: u8) -> u64 {
+        self.qbytes[class as usize]
+    }
+
+    /// Total queued bytes across all classes.
+    #[must_use]
+    pub fn total_queued_bytes(&self) -> u64 {
+        self.qbytes.iter().sum()
+    }
+
+    /// Cumulative transmitted bytes.
+    #[must_use]
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Cumulative transmitted frames.
+    #[must_use]
+    pub fn tx_frames(&self) -> u64 {
+        self.tx_frames
+    }
+
+    /// Whether the serializer is mid-frame.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Marks the serializer busy (a frame transmission started).
+    pub fn set_busy(&mut self) {
+        debug_assert!(!self.busy, "transmission while busy");
+        self.busy = true;
+    }
+
+    /// Marks the serializer idle (`TxDone`).
+    pub fn set_idle(&mut self) {
+        debug_assert!(self.busy, "TxDone while idle");
+        self.busy = false;
+    }
+
+    /// Whether `class` may transmit right now (control class is
+    /// pause-exempt).
+    #[must_use]
+    pub fn class_sendable(&self, class: u8) -> bool {
+        if class == CONTROL_CLASS {
+            return true;
+        }
+        !self.class_pause[class as usize].paused && !self.port_pause.paused
+    }
+
+    /// Applies a queue-level PFC pause/resume received from the peer.
+    pub fn apply_class_pause(&mut self, class: u8, pause: bool, now: Time) {
+        self.class_pause[class as usize].set(pause, now);
+    }
+
+    /// Applies a port-level PFC pause/resume received from the peer.
+    pub fn apply_port_pause(&mut self, pause: bool, now: Time) {
+        self.port_pause.set(pause, now);
+    }
+
+    /// Whether a queue-level pause is asserted for `class`.
+    #[must_use]
+    pub fn class_paused(&self, class: u8) -> bool {
+        self.class_pause[class as usize].paused
+    }
+
+    /// Whether the port-level pause is asserted.
+    #[must_use]
+    pub fn port_paused(&self) -> bool {
+        self.port_pause.paused
+    }
+
+    /// Total time `class` has spent paused up to `now` (includes the
+    /// currently open interval). Port-level pause time is accounted
+    /// separately via [`EgressPort::port_pause_total`].
+    #[must_use]
+    pub fn class_pause_total(&self, class: u8, now: Time) -> Delta {
+        self.class_pause[class as usize].total_at(now)
+    }
+
+    /// Total time the port-level pause has been asserted up to `now`.
+    #[must_use]
+    pub fn port_pause_total(&self, now: Time) -> Delta {
+        self.port_pause.total_at(now)
+    }
+
+    /// Enqueues a frame for transmission.
+    pub fn enqueue(&mut self, qf: QueuedFrame) {
+        let c = qf.frame.class as usize;
+        self.qbytes[c] += qf.frame.bytes;
+        self.queues[c].push_back(qf);
+        if c != CONTROL_CLASS as usize && !self.in_active[c] {
+            self.in_active[c] = true;
+            self.active.push_back(c);
+        }
+    }
+
+    /// Picks the next frame to transmit, honouring strict priority for the
+    /// control class, DWRR among data classes, and PFC pause state.
+    ///
+    /// Returns `None` when nothing is eligible. Updates the blocked-since
+    /// marker used by deadlock detection.
+    pub fn pick(&mut self, now: Time) -> Option<QueuedFrame> {
+        // Control queue: strict priority, never paused.
+        if let Some(qf) = self.queues[CONTROL_CLASS as usize].pop_front() {
+            self.qbytes[CONTROL_CLASS as usize] -= qf.frame.bytes;
+            self.note_service();
+            return Some(qf);
+        }
+
+        // DWRR over data classes, skipping paused queues.
+        loop {
+            let rounds = self.active.len();
+            if rounds == 0 {
+                break;
+            }
+            let mut any_eligible = false;
+            for _ in 0..rounds {
+                let Some(&c) = self.active.front() else { break };
+                let sendable = self.class_sendable(c as u8);
+                let head_bytes = self.queues[c].front().map(|f| f.frame.bytes);
+                match head_bytes {
+                    None => {
+                        // Queue drained: drop from the active list.
+                        self.active.pop_front();
+                        self.in_active[c] = false;
+                        self.deficit[c] = 0;
+                    }
+                    Some(sz) if sendable => {
+                        any_eligible = true;
+                        if self.deficit[c] >= sz {
+                            let qf = self.queues[c].pop_front().expect("head exists");
+                            self.qbytes[c] -= sz;
+                            self.deficit[c] -= sz;
+                            if self.queues[c].is_empty() {
+                                self.active.pop_front();
+                                self.in_active[c] = false;
+                                self.deficit[c] = 0;
+                            }
+                            self.note_service();
+                            return Some(qf);
+                        }
+                        // Not enough deficit yet: top up and move on.
+                        self.deficit[c] += DWRR_QUANTUM;
+                        self.active.rotate_left(1);
+                    }
+                    Some(_) => {
+                        // Paused: skip without granting quantum.
+                        self.active.rotate_left(1);
+                    }
+                }
+            }
+            if !any_eligible {
+                break;
+            }
+        }
+
+        // Data is queued but nothing may send: the port is blocked.
+        if self.total_queued_bytes() > 0 && self.blocked_since.is_none() {
+            self.blocked_since = Some(now);
+        }
+        None
+    }
+
+    /// Records that a transmission completed (`bytes` hit the wire).
+    pub fn note_tx(&mut self, bytes: u64) {
+        self.tx_bytes += bytes;
+        self.tx_frames += 1;
+    }
+
+    fn note_service(&mut self) {
+        self.blocked_since = None;
+    }
+
+    /// How long the port has continuously been unable to serve queued data
+    /// (deadlock detector input).
+    #[must_use]
+    pub fn blocked_since(&self) -> Option<Time> {
+        self.blocked_since
+    }
+
+    /// Start of the current queue-level pause for `class`, if asserted.
+    #[must_use]
+    pub fn class_paused_since(&self, class: u8) -> Option<Time> {
+        self.class_pause[class as usize].paused_since()
+    }
+
+    /// Start of the current port-level pause, if asserted.
+    #[must_use]
+    pub fn port_paused_since(&self) -> Option<Time> {
+        self.port_pause.paused_since()
+    }
+
+    /// PFC watchdog action: forcibly clears the pause state of `class`
+    /// and drains its queued frames (which the watchdog drops). Returns
+    /// the drained frames so the caller can release MMU accounting.
+    pub fn watchdog_flush_class(&mut self, class: u8, now: Time) -> Vec<QueuedFrame> {
+        self.class_pause[class as usize].set(false, now);
+        self.port_pause.set(false, now);
+        let c = class as usize;
+        self.qbytes[c] = 0;
+        self.blocked_since = None;
+        self.queues[c].drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{DataFrame, Frame};
+    use crate::ids::FlowId;
+
+    fn data_frame(class: u8, bytes: u64) -> QueuedFrame {
+        QueuedFrame {
+            frame: Frame::data(
+                DataFrame {
+                    flow: FlowId(0),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    seq: 0,
+                    payload: bytes,
+                    ecn: false,
+                    hops: vec![],
+                },
+                class,
+            ),
+            ingress: None,
+        }
+    }
+
+    fn port() -> EgressPort {
+        EgressPort::new(NodeId(1), 0, Bandwidth::from_gbps(100), Delta::from_us(2))
+    }
+
+    #[test]
+    fn control_class_has_strict_priority() {
+        let mut p = port();
+        p.enqueue(data_frame(0, 1500));
+        p.enqueue(QueuedFrame { frame: Frame::pfc(crate::frame::PfcScope::Port, true), ingress: None });
+        let first = p.pick(Time::ZERO).unwrap();
+        assert_eq!(first.frame.class, CONTROL_CLASS);
+        let second = p.pick(Time::ZERO).unwrap();
+        assert_eq!(second.frame.class, 0);
+        assert!(p.pick(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn dwrr_is_fair_between_equal_classes() {
+        let mut p = port();
+        for _ in 0..100 {
+            p.enqueue(data_frame(0, 1500));
+            p.enqueue(data_frame(1, 1500));
+        }
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            let qf = p.pick(Time::ZERO).unwrap();
+            counts[qf.frame.class as usize] += 1;
+        }
+        let diff = counts[0].abs_diff(counts[1]);
+        assert!(diff <= 2, "{counts:?}");
+    }
+
+    #[test]
+    fn dwrr_fairness_is_bytewise_not_packetwise() {
+        // Class 0 sends 500 B frames, class 1 sends 1500 B frames; over a
+        // long run both should get ~equal bytes, so class 0 sends ~3x the
+        // packets.
+        let mut p = port();
+        for _ in 0..600 {
+            p.enqueue(data_frame(0, 500));
+        }
+        for _ in 0..200 {
+            p.enqueue(data_frame(1, 1500));
+        }
+        let mut bytes = [0u64; 2];
+        for _ in 0..400 {
+            let qf = p.pick(Time::ZERO).unwrap();
+            bytes[qf.frame.class as usize] += qf.frame.bytes;
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "byte split {bytes:?}");
+    }
+
+    #[test]
+    fn paused_class_is_skipped_and_resumes() {
+        let mut p = port();
+        p.enqueue(data_frame(0, 1500));
+        p.enqueue(data_frame(1, 1500));
+        p.apply_class_pause(0, true, Time::ZERO);
+        let qf = p.pick(Time::ZERO).unwrap();
+        assert_eq!(qf.frame.class, 1);
+        assert!(p.pick(Time::ZERO).is_none(), "class 0 paused");
+        assert!(p.blocked_since().is_some());
+        p.apply_class_pause(0, false, Time::from_us(5));
+        let qf = p.pick(Time::from_us(5)).unwrap();
+        assert_eq!(qf.frame.class, 0);
+        assert!(p.blocked_since().is_none());
+    }
+
+    #[test]
+    fn port_pause_blocks_all_data_but_not_control() {
+        let mut p = port();
+        p.enqueue(data_frame(0, 1500));
+        p.enqueue(QueuedFrame { frame: Frame::pfc(crate::frame::PfcScope::Queue(0), false), ingress: None });
+        p.apply_port_pause(true, Time::ZERO);
+        let qf = p.pick(Time::ZERO).unwrap();
+        assert_eq!(qf.frame.class, CONTROL_CLASS, "control is pause-exempt");
+        assert!(p.pick(Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn pause_duration_accounting() {
+        let mut p = port();
+        p.apply_class_pause(2, true, Time::from_us(10));
+        p.apply_class_pause(2, false, Time::from_us(35));
+        p.apply_class_pause(2, true, Time::from_us(50));
+        // Closed interval 25 us + open interval 10 us at t=60.
+        assert_eq!(p.class_pause_total(2, Time::from_us(60)), Delta::from_us(35));
+        // Double-pause is idempotent.
+        p.apply_class_pause(2, true, Time::from_us(70));
+        assert_eq!(p.class_pause_total(2, Time::from_us(80)), Delta::from_us(55));
+    }
+
+    #[test]
+    fn queue_byte_accounting() {
+        let mut p = port();
+        p.enqueue(data_frame(3, 1000));
+        p.enqueue(data_frame(3, 500));
+        assert_eq!(p.queue_bytes(3), 1500);
+        let _ = p.pick(Time::ZERO).unwrap();
+        assert_eq!(p.queue_bytes(3), 500);
+        assert_eq!(p.total_queued_bytes(), 500);
+    }
+
+    #[test]
+    fn busy_flag_transitions() {
+        let mut p = port();
+        assert!(!p.is_busy());
+        p.set_busy();
+        assert!(p.is_busy());
+        p.set_idle();
+        assert!(!p.is_busy());
+    }
+}

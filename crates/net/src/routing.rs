@@ -1,0 +1,127 @@
+//! Shortest-path ECMP routing over the switch graph.
+//!
+//! For every destination ToR we run a BFS over the (possibly degraded)
+//! switch topology; each switch's next hops toward a host are the
+//! neighbours strictly closer to the host's ToR. ECMP selection hashes the
+//! flow id so a flow stays on one path (per-flow ECMP, as in the paper's
+//! setup).
+//!
+//! After link failures this "local shortest path" rule produces detour
+//! (leaf-bounce) paths — e.g. the paper's Fig. 12 scenario, where two
+//! failures force `S0→L1→S1` style bounces and create the cyclic buffer
+//! dependency that deadlocks SIH.
+
+use crate::ids::{FlowId, NodeId};
+use std::collections::VecDeque;
+
+/// Per-switch routing table: `routes[host] -> candidate egress ports`.
+#[derive(Clone, Debug, Default)]
+pub struct RouteTable {
+    routes: Vec<Vec<usize>>,
+}
+
+impl RouteTable {
+    /// Builds an empty table sized for `num_hosts` destinations.
+    #[must_use]
+    pub fn new(num_hosts: usize) -> Self {
+        RouteTable { routes: vec![Vec::new(); num_hosts] }
+    }
+
+    /// Sets the candidate egress ports toward `host`.
+    pub fn set(&mut self, host: usize, ports: Vec<usize>) {
+        self.routes[host] = ports;
+    }
+
+    /// All candidate ports toward `host`.
+    #[must_use]
+    pub fn candidates(&self, host: usize) -> &[usize] {
+        &self.routes[host]
+    }
+
+    /// Picks the ECMP port for `flow` toward `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is unreachable (empty candidate set) —
+    /// a topology construction bug.
+    #[must_use]
+    pub fn pick(&self, host: usize, flow: FlowId, node: NodeId) -> usize {
+        let c = &self.routes[host];
+        assert!(!c.is_empty(), "no route from {node} to host {host}");
+        c[(ecmp_hash(flow.0 as u64, node.0 as u64) as usize) % c.len()]
+    }
+}
+
+/// Deterministic ECMP hash (SplitMix64 finalizer over flow ⊕ node).
+#[must_use]
+pub fn ecmp_hash(flow: u64, node: u64) -> u64 {
+    let mut z = flow.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(node);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// BFS distances from `src` over an adjacency list; `usize::MAX` marks
+/// unreachable nodes.
+#[must_use]
+pub fn bfs_distances(adj: &[Vec<usize>], src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[src] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_simple_line() {
+        // 0 - 1 - 2
+        let adj = vec![vec![1], vec![0, 2], vec![1]];
+        assert_eq!(bfs_distances(&adj, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_distances(&adj, 2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let adj = vec![vec![1], vec![0], vec![]];
+        assert_eq!(bfs_distances(&adj, 0)[2], usize::MAX);
+    }
+
+    #[test]
+    fn ecmp_hash_spreads_flows() {
+        let mut counts = [0usize; 4];
+        for f in 0..4000u64 {
+            counts[(ecmp_hash(f, 7) % 4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn pick_is_stable_per_flow() {
+        let mut t = RouteTable::new(1);
+        t.set(0, vec![10, 11, 12]);
+        let p1 = t.pick(0, FlowId(42), NodeId(3));
+        let p2 = t.pick(0, FlowId(42), NodeId(3));
+        assert_eq!(p1, p2);
+        assert!(t.candidates(0).contains(&p1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_pick_panics() {
+        let t = RouteTable::new(1);
+        let _ = t.pick(0, FlowId(0), NodeId(0));
+    }
+}

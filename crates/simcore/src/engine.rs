@@ -1,0 +1,265 @@
+//! The simulation run loop: a [`Model`] consumes events from the calendar
+//! and schedules new ones through a [`Scheduler`].
+
+use crate::queue::EventQueue;
+use crate::time::{Delta, Time};
+
+/// Handle a model uses to schedule future events while processing the
+/// current one.
+///
+/// Borrowing the calendar through this handle (rather than giving the model
+/// the whole [`Simulation`]) keeps the borrow checker happy while the model
+/// mutates its own state.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: Time,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling backwards in time is
+    /// always a causality bug.
+    pub fn at(&mut self, at: Time, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `after` from now.
+    pub fn after(&mut self, after: Delta, event: E) {
+        self.queue.push(self.now + after, event);
+    }
+
+    /// Schedules `event` to fire at the current instant, after all events
+    /// already queued for this instant.
+    pub fn immediately(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+}
+
+/// A simulation model: owns all component state and reacts to events.
+pub trait Model {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Processes one event. `sched` can be used to schedule follow-ups.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Drives a [`Model`] through simulated time.
+///
+/// # Example
+///
+/// ```
+/// use dsh_simcore::{Delta, Model, Scheduler, Simulation, Time};
+///
+/// /// Counts down from n, one tick per microsecond.
+/// struct Countdown { remaining: u32 }
+/// impl Model for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, _: (), sched: &mut Scheduler<'_, ()>) {
+///         if self.remaining > 0 {
+///             self.remaining -= 1;
+///             sched.after(Delta::from_us(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Countdown { remaining: 3 });
+/// sim.schedule(Time::ZERO, ());
+/// sim.run();
+/// assert_eq!(sim.now(), Time::from_us(3));
+/// assert_eq!(sim.model().remaining, 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: Time,
+    processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation around `model` with an empty calendar, at time
+    /// zero.
+    pub fn new(model: M) -> Self {
+        Simulation { model, queue: EventQueue::new(), now: Time::ZERO, processed: 0 }
+    }
+
+    /// Schedules an initial event (before or between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time.
+    pub fn schedule(&mut self, at: Time, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the calendar is empty. Returns the number of events
+    /// processed during this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the calendar is empty or the next event is strictly after
+    /// `deadline`; the clock then rests at the last processed event (never
+    /// beyond `deadline`). Returns the number of events processed during
+    /// this call.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event calendar went backwards");
+            self.now = t;
+            let mut sched = Scheduler { now: t, queue: &mut self.queue };
+            self.model.handle(event, &mut sched);
+            n += 1;
+        }
+        self.processed += n;
+        n
+    }
+
+    /// The current simulated time (time of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events processed since construction.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Borrows the model.
+    #[must_use]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrows the model (e.g. to inject configuration between
+    /// phases).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation and returns the model (e.g. to extract final
+    /// statistics).
+    #[must_use]
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records the order and times at which labelled events fire, and chains
+    /// follow-ups.
+    struct Recorder {
+        log: Vec<(Time, u32)>,
+        chain: u32,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.log.push((sched.now(), ev));
+            if ev == 0 && self.chain > 0 {
+                self.chain -= 1;
+                sched.after(Delta::from_ns(10), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_events_in_order() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(30), 3);
+        sim.schedule(Time::from_ns(10), 1);
+        sim.schedule(Time::from_ns(20), 2);
+        assert_eq!(sim.run(), 3);
+        assert_eq!(
+            sim.model().log,
+            vec![
+                (Time::from_ns(10), 1),
+                (Time::from_ns(20), 2),
+                (Time::from_ns(30), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 5 });
+        sim.schedule(Time::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.now(), Time::from_ns(50));
+        assert_eq!(sim.events_processed(), 6);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 100 });
+        sim.schedule(Time::ZERO, 0);
+        let n = sim.run_until(Time::from_ns(35));
+        assert_eq!(n, 4); // events at 0, 10, 20, 30
+        assert_eq!(sim.now(), Time::from_ns(30));
+        assert_eq!(sim.pending(), 1);
+        // Resuming picks up where we stopped: 1 seed event + 100 chained.
+        sim.run();
+        assert_eq!(sim.events_processed(), 101);
+    }
+
+    #[test]
+    fn immediately_runs_after_current_instant_events() {
+        struct Imm {
+            log: Vec<u32>,
+        }
+        impl Model for Imm {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.log.push(ev);
+                if ev == 1 {
+                    sched.immediately(99);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Imm { log: vec![] });
+        sim.schedule(Time::ZERO, 1);
+        sim.schedule(Time::ZERO, 2);
+        sim.run();
+        // 99 was scheduled while handling 1, but 2 was already queued for
+        // t=0 and must run first (FIFO among simultaneous events).
+        assert_eq!(sim.model().log, vec![1, 2, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(10), 1);
+        sim.run();
+        sim.schedule(Time::from_ns(5), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic discrete-event simulation engine for the DSH datacenter
+//! simulator.
+//!
+//! This crate is the bottom layer of the reproduction of *"Less is More:
+//! Dynamic and Shared Headroom Allocation in PFC-Enabled Datacenter
+//! Networks"* (ICDCS 2023). It plays the role ns-3's core played for the
+//! paper's evaluation: simulated time, an event calendar, and a
+//! deterministic random-number generator, with nothing network-specific.
+//!
+//! # Design
+//!
+//! * [`Time`] and [`Delta`] are picosecond-resolution newtypes. At 100 Gb/s
+//!   one byte serializes in 80 ps, so nanoseconds would round away byte-level
+//!   timing; picoseconds in a `u64` still cover ~213 days of simulated time.
+//! * [`Bandwidth`] converts between bytes and wire time exactly (bits/s).
+//! * [`EventQueue`] is a calendar ordered by `(time, insertion sequence)` so
+//!   that simultaneous events run in FIFO order — the whole simulator is
+//!   deterministic for a given seed.
+//! * [`SimRng`] is a self-contained xoshiro256** generator (seeded via
+//!   SplitMix64) so results do not drift across `rand` versions or
+//!   platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use dsh_simcore::{Delta, EventQueue, Time};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::ZERO + Delta::from_ns(5), "later");
+//! q.push(Time::ZERO, "now");
+//! let (t0, e0) = q.pop().unwrap();
+//! assert_eq!((t0, e0), (Time::ZERO, "now"));
+//! let (t1, e1) = q.pop().unwrap();
+//! assert_eq!((t1, e1), (Time::from_ns(5), "later"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod rng;
+mod time;
+mod units;
+
+pub use engine::{Model, Scheduler, Simulation};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Delta, Time};
+pub use units::{Bandwidth, ByteSize};

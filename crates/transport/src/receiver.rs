@@ -1,0 +1,87 @@
+//! Receiver-side (notification point) logic: CNP generation for DCQCN.
+
+use dsh_simcore::{Delta, Time};
+
+/// DCQCN notification-point policy: emit at most one CNP per flow per
+/// `min_gap` while ECN-marked packets keep arriving (the standard 50 µs
+/// NP timer).
+///
+/// # Example
+///
+/// ```
+/// use dsh_transport::CnpPolicy;
+/// use dsh_simcore::{Delta, Time};
+///
+/// let mut np = CnpPolicy::new(Delta::from_us(50));
+/// assert!(np.on_data(Time::from_us(0), true));   // first mark -> CNP
+/// assert!(!np.on_data(Time::from_us(10), true)); // within the gap
+/// assert!(np.on_data(Time::from_us(60), true));  // gap elapsed -> CNP
+/// ```
+#[derive(Clone, Debug)]
+pub struct CnpPolicy {
+    min_gap: Delta,
+    last_cnp: Option<Time>,
+}
+
+impl CnpPolicy {
+    /// Creates a policy with the given minimum CNP spacing.
+    #[must_use]
+    pub fn new(min_gap: Delta) -> Self {
+        CnpPolicy { min_gap, last_cnp: None }
+    }
+
+    /// Standard DCQCN NP timer (50 µs).
+    #[must_use]
+    pub fn standard() -> Self {
+        CnpPolicy::new(Delta::from_us(50))
+    }
+
+    /// Processes an arriving data packet; returns `true` if a CNP must be
+    /// sent to the flow's source.
+    pub fn on_data(&mut self, now: Time, ecn_marked: bool) -> bool {
+        if !ecn_marked {
+            return false;
+        }
+        match self.last_cnp {
+            Some(t) if now.saturating_since(t) < self.min_gap => false,
+            _ => {
+                self.last_cnp = Some(now);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmarked_packets_never_trigger() {
+        let mut np = CnpPolicy::standard();
+        for i in 0..100 {
+            assert!(!np.on_data(Time::from_us(i), false));
+        }
+    }
+
+    #[test]
+    fn rate_limits_to_one_per_gap() {
+        let mut np = CnpPolicy::new(Delta::from_us(50));
+        let mut cnps = 0;
+        for i in 0..200 {
+            if np.on_data(Time::from_us(i), true) {
+                cnps += 1;
+            }
+        }
+        // 200 us span, 50 us gap: CNPs at 0, 50, 100, 150.
+        assert_eq!(cnps, 4);
+    }
+
+    #[test]
+    fn gap_measured_from_last_cnp() {
+        let mut np = CnpPolicy::new(Delta::from_us(50));
+        assert!(np.on_data(Time::from_us(0), true));
+        assert!(!np.on_data(Time::from_us(49), true));
+        assert!(np.on_data(Time::from_us(50), true));
+    }
+}

@@ -1,0 +1,36 @@
+//! In-band network telemetry (INT) records, the feedback signal PowerTCP
+//! consumes.
+
+use dsh_simcore::{Bandwidth, Time};
+
+/// One hop's telemetry, stamped by a switch when it dequeues a data packet
+/// and echoed back to the sender in the ACK.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryHop {
+    /// Egress queue length (bytes) at dequeue time.
+    pub qlen_bytes: u64,
+    /// Cumulative bytes transmitted by the egress port (λ is derived from
+    /// its difference between two ACKs).
+    pub tx_bytes: u64,
+    /// Switch-local timestamp of the dequeue.
+    pub timestamp: Time,
+    /// Egress link capacity.
+    pub bandwidth: Bandwidth,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_is_plain_data() {
+        let h = TelemetryHop {
+            qlen_bytes: 1500,
+            tx_bytes: 1_000_000,
+            timestamp: Time::from_us(3),
+            bandwidth: Bandwidth::from_gbps(100),
+        };
+        let h2 = h;
+        assert_eq!(h, h2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Poisson flow arrivals and load arithmetic.
+
+use dsh_simcore::{Delta, SimRng, Time};
+
+/// Flow arrival rate (flows/second) that produces a target `load` on
+/// `aggregate_bytes_per_sec` of capacity with flows of `mean_flow_size`
+/// bytes.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+#[must_use]
+pub fn flow_arrival_rate(load: f64, aggregate_bytes_per_sec: f64, mean_flow_size: f64) -> f64 {
+    assert!(load > 0.0 && aggregate_bytes_per_sec > 0.0 && mean_flow_size > 0.0);
+    load * aggregate_bytes_per_sec / mean_flow_size
+}
+
+/// An endless Poisson arrival process.
+///
+/// # Example
+///
+/// ```
+/// use dsh_workloads::PoissonArrivals;
+/// use dsh_simcore::{SimRng, Time};
+///
+/// let mut rng = SimRng::new(3);
+/// let mut arr = PoissonArrivals::new(1_000_000.0); // 1M flows/s
+/// let t1 = arr.next_after(Time::ZERO, &mut rng);
+/// let t2 = arr.next_after(t1, &mut rng);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    mean_gap_secs: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive and finite.
+    #[must_use]
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec.is_finite() && rate_per_sec > 0.0, "rate must be positive");
+        PoissonArrivals { mean_gap_secs: 1.0 / rate_per_sec }
+    }
+
+    /// Draws the next arrival instant strictly after `now`.
+    pub fn next_after(&mut self, now: Time, rng: &mut SimRng) -> Time {
+        let gap = rng.gen_exp(self.mean_gap_secs);
+        now + Delta::from_secs_f64(gap.max(1e-12))
+    }
+
+    /// All arrivals in `[0, horizon)`.
+    pub fn schedule(&mut self, horizon: Time, rng: &mut SimRng) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut t = self.next_after(Time::ZERO, rng);
+        while t < horizon {
+            out.push(t);
+            t = self.next_after(t, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_math() {
+        // 0.9 load on 256 x 12.5 GB/s with 1.7 MB flows.
+        let r = flow_arrival_rate(0.9, 256.0 * 12.5e9, 1.7e6);
+        assert!((r - 1_694_117.6).abs() / r < 0.01, "{r}");
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut rng = SimRng::new(9);
+        let mut arr = PoissonArrivals::new(1_000_000.0);
+        let events = arr.schedule(Time::from_ms(20), &mut rng);
+        // Expect ~20_000 events; Poisson std ~ 141.
+        let n = events.len() as f64;
+        assert!((n - 20_000.0).abs() < 600.0, "{n}");
+        // Strictly increasing.
+        assert!(events.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Empirical flow-size distributions from published datacenter
+//! measurements.
+
+use dsh_simcore::SimRng;
+
+/// The four workloads the paper evaluates (Fig. 14/15).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Workload {
+    /// Web search (Alizadeh et al., DCTCP, SIGCOMM 2010) — the paper's
+    /// default background workload.
+    WebSearch,
+    /// Data mining (Greenberg et al., VL2, SIGCOMM 2009) — heavy tailed.
+    DataMining,
+    /// Cache (Roy et al., *Inside the Social Network's Datacenter
+    /// Network*, SIGCOMM 2015).
+    Cache,
+    /// Hadoop (Roy et al., SIGCOMM 2015) — also used by the paper's
+    /// deadlock experiment.
+    Hadoop,
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Workload::WebSearch => "Web Search",
+            Workload::DataMining => "Data Mining",
+            Workload::Cache => "Cache",
+            Workload::Hadoop => "Hadoop",
+        })
+    }
+}
+
+impl Workload {
+    /// All four workloads.
+    pub const ALL: [Workload; 4] =
+        [Workload::WebSearch, Workload::DataMining, Workload::Cache, Workload::Hadoop];
+}
+
+/// Piecewise-linear CDF points `(size_bytes, cumulative_probability)` for
+/// the DCTCP web search workload.
+const WEB_SEARCH: &[(u64, f64)] = &[
+    (1, 0.0),
+    (10_000, 0.15),
+    (20_000, 0.20),
+    (30_000, 0.30),
+    (50_000, 0.40),
+    (80_000, 0.53),
+    (200_000, 0.60),
+    (1_000_000, 0.70),
+    (2_000_000, 0.80),
+    (5_000_000, 0.90),
+    (10_000_000, 0.97),
+    (30_000_000, 1.0),
+];
+
+/// VL2 data mining workload.
+const DATA_MINING: &[(u64, f64)] = &[
+    (1, 0.0),
+    (100, 0.03),
+    (180, 0.10),
+    (250, 0.20),
+    (560, 0.30),
+    (900, 0.40),
+    (1_100, 0.50),
+    (1_870, 0.60),
+    (3_160, 0.70),
+    (10_000, 0.80),
+    (400_000, 0.90),
+    (3_160_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.0),
+];
+
+/// Facebook cache-follower workload.
+const CACHE: &[(u64, f64)] = &[
+    (1, 0.0),
+    (100, 0.05),
+    (300, 0.10),
+    (500, 0.20),
+    (700, 0.30),
+    (1_000, 0.40),
+    (2_000, 0.50),
+    (5_000, 0.60),
+    (20_000, 0.70),
+    (50_000, 0.80),
+    (200_000, 0.90),
+    (1_000_000, 0.99),
+    (10_000_000, 1.0),
+];
+
+/// Facebook Hadoop workload.
+const HADOOP: &[(u64, f64)] = &[
+    (1, 0.0),
+    (100, 0.05),
+    (200, 0.10),
+    (400, 0.20),
+    (600, 0.30),
+    (800, 0.40),
+    (1_000, 0.50),
+    (2_000, 0.60),
+    (5_000, 0.70),
+    (10_000, 0.80),
+    (100_000, 0.90),
+    (1_000_000, 0.95),
+    (10_000_000, 0.99),
+    (100_000_000, 1.0),
+];
+
+/// A flow-size distribution defined by a piecewise-linear CDF.
+///
+/// Sampling inverts the CDF with linear interpolation inside each segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowSizeDist {
+    points: Vec<(u64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Builds a distribution from CDF points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the points are strictly increasing in size,
+    /// nondecreasing in probability, start at probability 0 and end at 1.
+    #[must_use]
+    pub fn from_cdf(points: &[(u64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert_eq!(points[0].1, 0.0, "CDF must start at probability 0");
+        assert_eq!(points[points.len() - 1].1, 1.0, "CDF must end at probability 1");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must be strictly increasing");
+            assert!(w[0].1 <= w[1].1, "probabilities must be nondecreasing");
+        }
+        FlowSizeDist { points: points.to_vec() }
+    }
+
+    /// One of the four built-in workloads.
+    #[must_use]
+    pub fn from_workload(w: Workload) -> Self {
+        let pts = match w {
+            Workload::WebSearch => WEB_SEARCH,
+            Workload::DataMining => DATA_MINING,
+            Workload::Cache => CACHE,
+            Workload::Hadoop => HADOOP,
+        };
+        FlowSizeDist::from_cdf(pts)
+    }
+
+    /// Draws one flow size (bytes ≥ 1).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_f64();
+        // Find the segment containing u and interpolate.
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return s1;
+                }
+                let frac = (u - p0) / (p1 - p0);
+                let size = s0 as f64 + frac * (s1 - s0) as f64;
+                return (size as u64).max(1);
+            }
+        }
+        self.points.last().expect("non-empty").0
+    }
+
+    /// Analytic mean of the piecewise-linear distribution (bytes).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (s0, p0) = w[0];
+                let (s1, p1) = w[1];
+                (p1 - p0) * (s0 + s1) as f64 / 2.0
+            })
+            .sum()
+    }
+
+    /// The largest possible sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.points.last().expect("non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_workloads_are_well_formed() {
+        for w in Workload::ALL {
+            let d = FlowSizeDist::from_workload(w);
+            assert!(d.mean() > 0.0, "{w}");
+        }
+    }
+
+    #[test]
+    fn sample_within_bounds_and_mean_close() {
+        for w in Workload::ALL {
+            let d = FlowSizeDist::from_workload(w);
+            let mut rng = SimRng::new(42);
+            let n = 100_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let s = d.sample(&mut rng);
+                assert!(s >= 1 && s <= d.max(), "{w}: {s}");
+                sum += s as f64;
+            }
+            let emp = sum / n as f64;
+            let err = (emp - d.mean()).abs() / d.mean();
+            // Heavy tails need slack; 15% over 100k samples is comfortable
+            // for all four curves.
+            assert!(err < 0.15, "{w}: empirical {emp} vs analytic {}", d.mean());
+        }
+    }
+
+    #[test]
+    fn web_search_mean_matches_literature() {
+        // The DCTCP web search workload is usually quoted at ~1.6-1.7 MB.
+        let d = FlowSizeDist::from_workload(Workload::WebSearch);
+        assert!((1.4e6..2.0e6).contains(&d.mean()), "{}", d.mean());
+    }
+
+    #[test]
+    fn data_mining_is_heaviest_tailed() {
+        let dm = FlowSizeDist::from_workload(Workload::DataMining);
+        let ws = FlowSizeDist::from_workload(Workload::WebSearch);
+        assert!(dm.max() > ws.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "start at probability 0")]
+    fn bad_cdf_rejected() {
+        let _ = FlowSizeDist::from_cdf(&[(1, 0.5), (10, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_sizes_rejected() {
+        let _ = FlowSizeDist::from_cdf(&[(10, 0.0), (10, 1.0)]);
+    }
+
+    #[test]
+    fn workload_display() {
+        assert_eq!(Workload::WebSearch.to_string(), "Web Search");
+        assert_eq!(Workload::Hadoop.to_string(), "Hadoop");
+    }
+}

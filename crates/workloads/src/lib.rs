@@ -1,0 +1,36 @@
+//! Datacenter traffic workloads for the DSH evaluation.
+//!
+//! Provides the four empirical flow-size distributions the paper samples
+//! from — web search (DCTCP), data mining (VL2), cache and Hadoop
+//! (Facebook) — plus Poisson flow-arrival generation and the paper's two
+//! traffic patterns: one-to-one background traffic and many-to-one
+//! (fan-in) bursts.
+//!
+//! The distributions are piecewise-linear CDF approximations of the
+//! published measurement curves (the same representation the community
+//! ns-3 harnesses use).
+//!
+//! # Example
+//!
+//! ```
+//! use dsh_workloads::{FlowSizeDist, Workload};
+//! use dsh_simcore::SimRng;
+//!
+//! let dist = FlowSizeDist::from_workload(Workload::WebSearch);
+//! let mut rng = SimRng::new(7);
+//! let s = dist.sample(&mut rng);
+//! assert!(s >= 1 && s <= 30_000_000);
+//! // The web search workload has a mean around 1.7 MB.
+//! assert!((dist.mean() - 1.7e6).abs() < 0.3e6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrivals;
+mod dist;
+mod patterns;
+
+pub use arrivals::{flow_arrival_rate, PoissonArrivals};
+pub use dist::{FlowSizeDist, Workload};
+pub use patterns::{background_flows, fan_in_bursts, GenFlow, PatternConfig};

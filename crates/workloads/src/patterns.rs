@@ -1,0 +1,163 @@
+//! The paper's traffic patterns: one-to-one background traffic and
+//! many-to-one fan-in bursts (§V-B).
+
+use crate::arrivals::{flow_arrival_rate, PoissonArrivals};
+use crate::dist::FlowSizeDist;
+use dsh_simcore::{SimRng, Time};
+
+/// A generated flow, in topology-independent terms (host indices into the
+/// experiment's host list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenFlow {
+    /// Index of the source host.
+    pub src: usize,
+    /// Index of the destination host.
+    pub dst: usize,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Start time.
+    pub start: Time,
+    /// Suggested priority class (0..7); fan-in flows share one class,
+    /// background flows are spread over the others, per the paper.
+    pub class: u8,
+}
+
+/// Parameters shared by the pattern generators.
+#[derive(Clone, Copy, Debug)]
+pub struct PatternConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Per-host link capacity in bytes/second.
+    pub host_bytes_per_sec: f64,
+    /// Target load on the aggregate host capacity (0..1].
+    pub load: f64,
+    /// Generation horizon (flows start in `[0, horizon)`).
+    pub horizon: Time,
+}
+
+/// Generates one-to-one background traffic: Poisson arrivals at the target
+/// load, uniformly random sender/receiver pairs (sender ≠ receiver), sizes
+/// from `dist`, classes uniformly random over `classes`.
+///
+/// # Panics
+///
+/// Panics if fewer than two hosts or `classes` is empty.
+pub fn background_flows(
+    cfg: &PatternConfig,
+    dist: &FlowSizeDist,
+    classes: &[u8],
+    rng: &mut SimRng,
+) -> Vec<GenFlow> {
+    assert!(cfg.hosts >= 2, "need at least two hosts");
+    assert!(!classes.is_empty(), "need at least one class");
+    let rate = flow_arrival_rate(cfg.load, cfg.hosts as f64 * cfg.host_bytes_per_sec, dist.mean());
+    let mut arr = PoissonArrivals::new(rate);
+    let starts = arr.schedule(cfg.horizon, rng);
+    starts
+        .into_iter()
+        .map(|start| {
+            let src = rng.gen_index(cfg.hosts);
+            let mut dst = rng.gen_index(cfg.hosts - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            GenFlow { src, dst, size: dist.sample(rng).max(1), start, class: *rng.choose(classes) }
+        })
+        .collect()
+}
+
+/// Generates many-to-one fan-in bursts: at Poisson instants, `fan_in`
+/// random senders (outside the receiver's position) each ship
+/// `burst_flow_size` bytes to one random receiver simultaneously. All
+/// fan-in flows use `class` (the paper puts them in one traffic class).
+///
+/// The burst arrival rate is chosen so fan-in traffic contributes
+/// `cfg.load` of the aggregate capacity.
+pub fn fan_in_bursts(
+    cfg: &PatternConfig,
+    fan_in: usize,
+    burst_flow_size: u64,
+    class: u8,
+    rng: &mut SimRng,
+) -> Vec<GenFlow> {
+    assert!(cfg.hosts > fan_in, "need more hosts than the fan-in degree");
+    let bytes_per_burst = (fan_in as u64 * burst_flow_size) as f64;
+    let rate =
+        flow_arrival_rate(cfg.load, cfg.hosts as f64 * cfg.host_bytes_per_sec, bytes_per_burst);
+    let mut arr = PoissonArrivals::new(rate);
+    let starts = arr.schedule(cfg.horizon, rng);
+    let mut out = Vec::with_capacity(starts.len() * fan_in);
+    for start in starts {
+        let dst = rng.gen_index(cfg.hosts);
+        let mut senders = Vec::with_capacity(fan_in);
+        while senders.len() < fan_in {
+            let s = rng.gen_index(cfg.hosts);
+            if s != dst && !senders.contains(&s) {
+                senders.push(s);
+            }
+        }
+        for src in senders {
+            out.push(GenFlow { src, dst, size: burst_flow_size, start, class });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Workload;
+
+    fn cfg() -> PatternConfig {
+        PatternConfig {
+            hosts: 64,
+            host_bytes_per_sec: 12.5e9,
+            load: 0.5,
+            horizon: Time::from_ms(2),
+        }
+    }
+
+    #[test]
+    fn background_respects_load() {
+        let dist = FlowSizeDist::from_workload(Workload::WebSearch);
+        let mut rng = SimRng::new(11);
+        let flows = background_flows(&cfg(), &dist, &[0, 1, 2], &mut rng);
+        let total: f64 = flows.iter().map(|f| f.size as f64).sum();
+        let offered = total / 0.002; // bytes/sec over the horizon
+        let capacity = 64.0 * 12.5e9;
+        let load = offered / capacity;
+        assert!((load - 0.5).abs() < 0.12, "load {load}");
+        // No self-flows, valid classes.
+        assert!(flows.iter().all(|f| f.src != f.dst));
+        assert!(flows.iter().all(|f| [0, 1, 2].contains(&f.class)));
+    }
+
+    #[test]
+    fn fan_in_bursts_are_synchronized_groups() {
+        let mut rng = SimRng::new(12);
+        let flows = fan_in_bursts(&cfg(), 16, 64 * 1024, 5, &mut rng);
+        assert!(!flows.is_empty());
+        assert_eq!(flows.len() % 16, 0, "whole bursts only");
+        // Each burst: one receiver, 16 distinct senders, same start.
+        for burst in flows.chunks(16) {
+            let dst = burst[0].dst;
+            let start = burst[0].start;
+            assert!(burst.iter().all(|f| f.dst == dst && f.start == start && f.class == 5));
+            let mut srcs: Vec<usize> = burst.iter().map(|f| f.src).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            assert_eq!(srcs.len(), 16, "distinct senders");
+            assert!(!srcs.contains(&dst));
+        }
+    }
+
+    #[test]
+    fn fan_in_load_accounting() {
+        let mut rng = SimRng::new(13);
+        let c = PatternConfig { load: 0.1, ..cfg() };
+        let flows = fan_in_bursts(&c, 16, 64 * 1024, 6, &mut rng);
+        let total: f64 = flows.iter().map(|f| f.size as f64).sum();
+        let load = total / 0.002 / (64.0 * 12.5e9);
+        assert!((load - 0.1).abs() < 0.05, "load {load}");
+    }
+}

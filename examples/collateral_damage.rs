@@ -1,0 +1,79 @@
+//! Reproduce the paper's collateral-damage scenario (Fig. 13): an
+//! innocent long-lived flow F0 shares a link with a flow heading into a
+//! fan-in hotspot. Under SIH the PFC pause stalls F0; under DSH it keeps
+//! its bandwidth.
+//!
+//! ```bash
+//! cargo run --release --example collateral_damage
+//! ```
+
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, NetworkBuilder, ThroughputSample};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+fn victim_series(scheme: Scheme, cc: CcKind) -> Vec<ThroughputSample> {
+    let mut params = NetParams::tomahawk(scheme);
+    if cc == CcKind::Uncontrolled {
+        params = params.without_ecn();
+    }
+    let mut b = NetworkBuilder::new(params);
+    let bw = Bandwidth::from_gbps(100);
+    let d = Delta::from_us(2);
+    let (s0, s1) = (b.switch(), b.switch());
+    b.link(s0, s1, bw, d);
+    let (h0, h1) = (b.host(), b.host());
+    b.link(h0, s0, bw, d);
+    b.link(h1, s0, bw, d);
+    let (r0, r1) = (b.host(), b.host());
+    b.link(r0, s1, bw, d);
+    b.link(r1, s1, bw, d);
+    let fan: Vec<_> = (0..24)
+        .map(|_| {
+            let h = b.host();
+            b.link(h, s1, bw, d);
+            h
+        })
+        .collect();
+    let mut net = b.build();
+
+    let f0 = net.add_flow(FlowSpec { src: h0, dst: r0, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    net.add_flow(FlowSpec { src: h1, dst: r1, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    for &h in &fan {
+        // 64 KB < 1 BDP: uncontrollable by any end-to-end CC in its first
+        // (and only) RTT, per the paper's argument.
+        net.add_flow(FlowSpec {
+            src: h,
+            dst: r1,
+            size: 64 * 1024,
+            class: 0,
+            start: Time::from_us(100),
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    net.monitor_flow(f0);
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_us(800));
+    sim.into_model().flow_throughput(f0).to_vec()
+}
+
+fn main() {
+    for cc in [CcKind::Uncontrolled, CcKind::Dcqcn, CcKind::PowerTcp] {
+        println!("== transport: {cc} ==");
+        let sih = victim_series(Scheme::Sih, cc);
+        let dsh = victim_series(Scheme::Dsh, cc);
+        println!("{:>9} {:>12} {:>12}", "time(us)", "SIH(Gb/s)", "DSH(Gb/s)");
+        for (a, b) in sih.iter().zip(&dsh) {
+            if a.time.as_ns() % 50_000 == 0 {
+                println!("{:>9.0} {:>12.1} {:>12.1}", a.time.as_us_f64(), a.gbps, b.gbps);
+            }
+        }
+        let min = |v: &[ThroughputSample]| {
+            v.iter()
+                .filter(|s| s.time > Time::from_us(110))
+                .map(|s| s.gbps)
+                .fold(f64::INFINITY, f64::min)
+        };
+        println!("victim min throughput after burst: SIH {:.1} Gb/s vs DSH {:.1} Gb/s\n", min(&sih), min(&dsh));
+    }
+}

@@ -1,0 +1,104 @@
+//! Drive a realistic leaf–spine datacenter under mixed background +
+//! fan-in traffic with DCQCN, and compare SIH vs DSH flow completion
+//! times — a scaled-down version of the paper's §V-B evaluation.
+//!
+//! ```bash
+//! cargo run --release --example datacenter_fabric
+//! ```
+
+use dsh_analysis::fct::FctSummary;
+use dsh_core::Scheme;
+use dsh_net::topology::{leaf_spine, LeafSpineShape};
+use dsh_net::{FlowSpec, NetParams};
+use dsh_simcore::{Bandwidth, Delta, SimRng, Time};
+use dsh_transport::CcKind;
+use dsh_workloads::{background_flows, fan_in_bursts, FlowSizeDist, PatternConfig, Workload};
+
+const FAN_IN_CLASS: u8 = 6;
+
+fn run(scheme: Scheme, seed: u64) -> (Option<FctSummary>, Option<FctSummary>) {
+    let shape = LeafSpineShape {
+        leaves: 4,
+        spines: 4,
+        hosts_per_leaf: 8,
+        downlink: Bandwidth::from_gbps(100),
+        uplink: Bandwidth::from_gbps(100),
+        link_delay: Delta::from_us(2),
+    };
+    let mut params = NetParams::tomahawk(scheme);
+    params.seed = seed;
+    let ls = leaf_spine(params, shape);
+    let hosts = ls.all_hosts();
+    let mut net = ls.builder.build();
+
+    let mut rng = SimRng::new(seed);
+    let horizon = Time::from_ms(2);
+    let dist = FlowSizeDist::from_workload(Workload::WebSearch);
+    let cfg = PatternConfig {
+        hosts: hosts.len(),
+        host_bytes_per_sec: 12.5e9,
+        load: 0.6,
+        horizon,
+    };
+    let mut fan_ids = Vec::new();
+    for f in background_flows(&cfg, &dist, &[0, 1, 2, 3, 4, 5], &mut rng) {
+        net.add_flow(FlowSpec {
+            src: hosts[f.src],
+            dst: hosts[f.dst],
+            size: f.size,
+            class: f.class,
+            start: f.start,
+            cc: CcKind::Dcqcn,
+        });
+    }
+    let burst_cfg = PatternConfig { load: 0.3, ..cfg };
+    for f in fan_in_bursts(&burst_cfg, 16, 64 * 1024, FAN_IN_CLASS, &mut rng) {
+        let id = net.add_flow(FlowSpec {
+            src: hosts[f.src],
+            dst: hosts[f.dst],
+            size: f.size,
+            class: f.class,
+            start: f.start,
+            cc: CcKind::Dcqcn,
+        });
+        fan_ids.push(id);
+    }
+
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(6));
+    let net = sim.into_model();
+    assert_eq!(net.data_drops(), 0, "lossless fabric dropped packets");
+
+    let fan: Vec<_> = net
+        .fct_records()
+        .iter()
+        .filter(|r| fan_ids.contains(&r.flow))
+        .map(|r| r.fct())
+        .collect();
+    let bg: Vec<_> = net
+        .fct_records()
+        .iter()
+        .filter(|r| !fan_ids.contains(&r.flow))
+        .map(|r| r.fct())
+        .collect();
+    (FctSummary::from_fcts(&fan), FctSummary::from_fcts(&bg))
+}
+
+fn main() {
+    println!("128-host leaf-spine, web search @0.6 + 16:1 fan-in @0.3, DCQCN");
+    let (sih_fan, sih_bg) = run(Scheme::Sih, 42);
+    let (dsh_fan, dsh_bg) = run(Scheme::Dsh, 42);
+    let report = |name: &str, sih: Option<FctSummary>, dsh: Option<FctSummary>| {
+        let (s, d) = (sih.expect("flows completed"), dsh.expect("flows completed"));
+        println!(
+            "{name}: SIH avg {:.1}us p99 {:.1}us | DSH avg {:.1}us p99 {:.1}us | DSH/SIH {:.3}",
+            s.avg_secs * 1e6,
+            s.p99_secs * 1e6,
+            d.avg_secs * 1e6,
+            d.p99_secs * 1e6,
+            d.normalized_avg(&s),
+        );
+    };
+    report("fan-in    ", sih_fan, dsh_fan);
+    report("background", sih_bg, dsh_bg);
+}

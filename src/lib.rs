@@ -1,0 +1,54 @@
+//! # dsh — Dynamic and Shared Headroom allocation for PFC networks
+//!
+//! Facade crate for the reproduction of *"Less is More: Dynamic and
+//! Shared Headroom Allocation in PFC-Enabled Datacenter Networks"*
+//! (ICDCS 2023). Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the paper's contribution: the switch MMU with Dynamic
+//!   Threshold, PFC state machines, the SIH baseline and DSH;
+//! * [`simcore`] — deterministic discrete-event engine;
+//! * [`net`] — packet-level dataplane, topologies, routing, measurement;
+//! * [`transport`] — DCQCN, PowerTCP, uncontrolled senders;
+//! * [`workloads`] — datacenter flow-size distributions and patterns;
+//! * [`analysis`] — burst-absorption theory (Theorems 1–2) and statistics.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! modelling decisions.
+//!
+//! # Example
+//!
+//! ```
+//! use dsh::core::Scheme;
+//! use dsh::net::{FlowSpec, NetParams, NetworkBuilder};
+//! use dsh::simcore::{Bandwidth, Delta, Time};
+//! use dsh::transport::CcKind;
+//!
+//! let mut b = NetworkBuilder::new(NetParams::tomahawk(Scheme::Dsh));
+//! let (h0, h1, s) = (b.host(), b.host(), b.switch());
+//! b.link(h0, s, Bandwidth::from_gbps(100), Delta::from_us(2));
+//! b.link(h1, s, Bandwidth::from_gbps(100), Delta::from_us(2));
+//! let mut net = b.build();
+//! net.add_flow(FlowSpec {
+//!     src: h0,
+//!     dst: h1,
+//!     size: 150_000,
+//!     class: 0,
+//!     start: Time::ZERO,
+//!     cc: CcKind::Dcqcn,
+//! });
+//! let mut sim = net.into_sim();
+//! sim.run_until(Time::from_ms(5));
+//! let net = sim.into_model();
+//! assert_eq!(net.fct_records().len(), 1);
+//! assert_eq!(net.data_drops(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dsh_analysis as analysis;
+pub use dsh_core as core;
+pub use dsh_net as net;
+pub use dsh_simcore as simcore;
+pub use dsh_transport as transport;
+pub use dsh_workloads as workloads;

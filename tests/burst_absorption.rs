@@ -1,0 +1,62 @@
+//! Fig. 11 behaviour at integration scale: DSH absorbs substantially
+//! larger fan-in bursts than SIH before any PFC PAUSE is generated.
+
+mod common;
+
+use common::{add_incast, raw_params, run, star};
+use dsh_core::Scheme;
+use dsh_simcore::Time;
+use dsh_transport::CcKind;
+
+/// Whether a 16-way fan-in of `per_sender` bytes triggers any PFC pause.
+///
+/// Uses a full 32-port switch (as in Fig. 11: the headroom SIH reserves —
+/// and DSH reclaims — scales with the chip's port count, which is what
+/// produces the 4x gap on a Tomahawk).
+fn burst_pauses(scheme: Scheme, per_sender: u64) -> bool {
+    let (mut net, hosts) = star(raw_params(scheme), 32);
+    let dst = hosts[30];
+    add_incast(&mut net, &hosts[2..18], dst, per_sender, 0, Time::ZERO, CcKind::Uncontrolled);
+    let net = run(net, Time::from_ms(50));
+    assert_eq!(net.data_drops(), 0, "must stay lossless");
+    assert_eq!(net.fct_records().len(), 16, "all burst flows must finish");
+    net.mmu_stats().queue_pauses + net.mmu_stats().port_pauses > 0
+}
+
+/// Largest per-sender burst (in 16 KB steps) that completes pause-free.
+fn pause_free_limit(scheme: Scheme) -> u64 {
+    let step = 16 * 1024;
+    let mut last_ok = 0;
+    for mult in 1..=80 {
+        let size = mult * step;
+        if burst_pauses(scheme, size) {
+            break;
+        }
+        last_ok = size;
+    }
+    last_ok
+}
+
+#[test]
+fn dsh_absorbs_several_times_more_burst_than_sih() {
+    let sih = pause_free_limit(Scheme::Sih);
+    let dsh = pause_free_limit(Scheme::Dsh);
+    assert!(sih > 0, "SIH must absorb something");
+    // Paper Fig. 11: DSH absorbs over 4x more (40% vs <10% of buffer).
+    assert!(
+        dsh >= 3 * sih,
+        "DSH {dsh} bytes vs SIH {sih} bytes per sender"
+    );
+}
+
+#[test]
+fn tiny_bursts_are_pause_free_for_both() {
+    assert!(!burst_pauses(Scheme::Sih, 16 * 1024));
+    assert!(!burst_pauses(Scheme::Dsh, 16 * 1024));
+}
+
+#[test]
+fn huge_bursts_pause_both() {
+    assert!(burst_pauses(Scheme::Sih, 2_000_000));
+    assert!(burst_pauses(Scheme::Dsh, 2_000_000));
+}

@@ -1,0 +1,114 @@
+//! Fig. 13 behaviour: a fan-in burst into R1 must not collapse the
+//! throughput of the innocent flow F0 (H0→R0) under DSH, while SIH's low
+//! pause threshold stalls it.
+
+mod common;
+
+use common::{raw_params, run};
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetworkBuilder, ThroughputSample};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+/// Builds the paper's Fig. 13a unit and returns F0's goodput series.
+fn victim_throughput(scheme: Scheme) -> Vec<ThroughputSample> {
+    let mut b = NetworkBuilder::new(raw_params(scheme));
+    let bw = Bandwidth::from_gbps(100);
+    let d = Delta::from_us(2);
+    let s0 = b.switch();
+    let s1 = b.switch();
+    b.link(s0, s1, bw, d);
+    let h0 = b.host();
+    let h1 = b.host();
+    b.link(h0, s0, bw, d);
+    b.link(h1, s0, bw, d);
+    let r0 = b.host();
+    let r1 = b.host();
+    b.link(r0, s1, bw, d);
+    b.link(r1, s1, bw, d);
+    // 24 fan-in senders attached to S1 (so the congestion point is S1 and
+    // the S0→S1 ingress queue at S1 is what gets paused).
+    let fan: Vec<_> = (0..24)
+        .map(|_| {
+            let h = b.host();
+            b.link(h, s1, bw, d);
+            h
+        })
+        .collect();
+    let mut net = b.build();
+
+    // Long-lived flows F0: H0→R0 (innocent) and F1: H1→R1 (shares the
+    // congested destination). They share the S0-S1 link, so each runs at
+    // ~50 Gb/s before the burst.
+    let f0 = net.add_flow(FlowSpec {
+        src: h0,
+        dst: r0,
+        size: 40_000_000,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
+    net.add_flow(FlowSpec {
+        src: h1,
+        dst: r1,
+        size: 40_000_000,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
+    // At t = 0.1 ms, 24 concurrent 64 KB fan-in flows hit R1.
+    for &h in &fan {
+        net.add_flow(FlowSpec {
+            src: h,
+            dst: r1,
+            size: 64 * 1024,
+            class: 0,
+            start: Time::from_us(100),
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    net.monitor_flow(f0);
+    let net = run(net, Time::from_us(800));
+    assert_eq!(net.data_drops(), 0, "must stay lossless");
+    net.flow_throughput(f0).to_vec()
+}
+
+/// Minimum goodput seen in the window after the burst begins.
+fn min_after_burst(samples: &[ThroughputSample]) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.time >= Time::from_us(120) && s.time <= Time::from_us(500))
+        .map(|s| s.gbps)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn innocent_flow_reaches_half_line_rate_before_burst() {
+    let samples = victim_throughput(Scheme::Dsh);
+    let pre: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.time >= Time::from_us(60) && s.time < Time::from_us(100))
+        .map(|s| s.gbps)
+        .collect();
+    let avg = pre.iter().sum::<f64>() / pre.len() as f64;
+    assert!((avg - 50.0).abs() < 8.0, "pre-burst avg {avg} Gb/s");
+}
+
+#[test]
+fn sih_collateral_damage_stalls_the_victim() {
+    let min = min_after_burst(&victim_throughput(Scheme::Sih));
+    // The paper's Fig. 13b: F0's throughput is dragged far down by the
+    // pause on the S0→S1 ingress class.
+    assert!(min < 20.0, "SIH victim min throughput {min} Gb/s");
+}
+
+#[test]
+fn dsh_protects_the_victim() {
+    let sih_min = min_after_burst(&victim_throughput(Scheme::Sih));
+    let dsh_min = min_after_burst(&victim_throughput(Scheme::Dsh));
+    assert!(
+        dsh_min > sih_min + 10.0,
+        "DSH min {dsh_min} Gb/s must be well above SIH min {sih_min} Gb/s"
+    );
+    assert!(dsh_min > 30.0, "DSH victim min throughput {dsh_min} Gb/s");
+}

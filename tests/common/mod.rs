@@ -1,0 +1,47 @@
+#![allow(dead_code)] // helpers are shared; each test file uses a subset
+//! Shared helpers for the integration tests.
+
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, Network, NetworkBuilder, NodeId};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+/// A single switch with `n` hosts attached at 100 Gb/s / 2 µs (the paper's
+/// microbenchmark unit).
+pub fn star(params: NetParams, n: usize) -> (Network, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new(params);
+    let hosts: Vec<NodeId> = (0..n).map(|_| b.host()).collect();
+    let s = b.switch();
+    for &h in &hosts {
+        b.link(h, s, Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    (b.build(), hosts)
+}
+
+/// Tomahawk params with ECN off (uncontrolled microbenchmarks).
+pub fn raw_params(scheme: Scheme) -> NetParams {
+    NetParams::tomahawk(scheme).without_ecn()
+}
+
+/// Adds an incast: `senders` each ship `size` bytes to `dst` at `start`,
+/// all in `class`, uncontrolled.
+pub fn add_incast(
+    net: &mut Network,
+    senders: &[NodeId],
+    dst: NodeId,
+    size: u64,
+    class: u8,
+    start: Time,
+    cc: CcKind,
+) {
+    for &src in senders {
+        net.add_flow(FlowSpec { src, dst, size, class, start, cc });
+    }
+}
+
+/// Runs until `deadline` and returns the finished model.
+pub fn run(net: Network, deadline: Time) -> Network {
+    let mut sim = net.into_sim();
+    sim.run_until(deadline);
+    sim.into_model()
+}

@@ -1,0 +1,133 @@
+//! Routing and topology behaviour: ECMP spreading, reroute around failed
+//! links, fat-tree reachability.
+
+mod common;
+
+use common::raw_params;
+use dsh_core::Scheme;
+use dsh_net::topology::{fat_tree, leaf_spine, LeafSpineShape};
+use dsh_net::{FlowSpec, NetworkBuilder};
+use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_transport::CcKind;
+
+#[test]
+fn ecmp_spreads_flows_across_spines() {
+    // 2 racks x 1 host, 4 spines: many flows between the racks must use
+    // more than one spine (per-flow hashing).
+    let shape = LeafSpineShape {
+        leaves: 2,
+        spines: 4,
+        hosts_per_leaf: 1,
+        downlink: Bandwidth::from_gbps(100),
+        uplink: Bandwidth::from_gbps(100),
+        link_delay: Delta::from_us(2),
+    };
+    let ls = leaf_spine(raw_params(Scheme::Dsh), shape);
+    let src = ls.hosts[0][0];
+    let dst = ls.hosts[1][0];
+    let mut net = ls.builder.build();
+    // 64 one-packet flows; if ECMP hashed them all to one spine the
+    // completion span collapses to serial transmission on one uplink.
+    for i in 0..64 {
+        net.add_flow(FlowSpec {
+            src,
+            dst,
+            size: 1500,
+            class: (i % 7) as u8,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(5));
+    let net = sim.into_model();
+    assert_eq!(net.fct_records().len(), 64);
+    assert_eq!(net.data_drops(), 0);
+}
+
+#[test]
+fn traffic_reroutes_around_a_failed_spine_link() {
+    let shape = LeafSpineShape {
+        leaves: 2,
+        spines: 2,
+        hosts_per_leaf: 2,
+        downlink: Bandwidth::from_gbps(100),
+        uplink: Bandwidth::from_gbps(100),
+        link_delay: Delta::from_us(2),
+    };
+    let mut ls = leaf_spine(raw_params(Scheme::Dsh), shape);
+    // Fail L0-S0: everything L0<->L1 must go via S1.
+    let (l0, s0) = (ls.leaves[0], ls.spines[0]);
+    ls.builder.remove_link(l0, s0);
+    let src = ls.hosts[0][0];
+    let dst = ls.hosts[1][0];
+    let mut net = ls.builder.build();
+    net.add_flow(FlowSpec { src, dst, size: 500_000, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(5));
+    let net = sim.into_model();
+    assert_eq!(net.fct_records().len(), 1, "flow must complete via the surviving spine");
+    assert_eq!(net.data_drops(), 0);
+}
+
+#[test]
+fn bounce_paths_form_after_the_fig12_failures() {
+    // With S0-L3 and S1-L0 failed, L0->L3 must take a 4-hop bounce path
+    // (L0 -> S0 -> L1|L2 -> S1 -> L3). The flow still completes, and its
+    // FCT reflects the extra hops.
+    let mut ls = leaf_spine(raw_params(Scheme::Dsh), LeafSpineShape::paper_deadlock());
+    let (s0, s1) = (ls.spines[0], ls.spines[1]);
+    let (l0, l3) = (ls.leaves[0], ls.leaves[3]);
+    ls.builder.remove_link(s0, l3);
+    ls.builder.remove_link(s1, l0);
+    let src = ls.hosts[0][0];
+    let dst = ls.hosts[3][0];
+    let mut net = ls.builder.build();
+    net.add_flow(FlowSpec { src, dst, size: 1500, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(5));
+    let net = sim.into_model();
+    assert_eq!(net.fct_records().len(), 1);
+    let fct = net.fct_records()[0].fct();
+    // Five links (host->L0->S0->Lx->S1->L3->host is 6 links): at least
+    // 6 propagation delays of 2 us.
+    assert!(fct >= Delta::from_us(12), "bounce path too short: {fct}");
+}
+
+#[test]
+fn fat_tree_all_pairs_reachable_across_pods() {
+    let ft = fat_tree(raw_params(Scheme::Dsh), 4, Bandwidth::from_gbps(100), Delta::from_us(2));
+    let hosts = ft.all_hosts();
+    let mut net = ft.builder.build();
+    // One flow from every pod to the next pod.
+    let per_pod = hosts.len() / 4;
+    for pod in 0..4 {
+        let src = hosts[pod * per_pod];
+        let dst = hosts[((pod + 1) % 4) * per_pod + 1];
+        net.add_flow(FlowSpec { src, dst, size: 64_000, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    }
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(5));
+    let net = sim.into_model();
+    assert_eq!(net.fct_records().len(), 4, "cross-pod flows must complete");
+    assert_eq!(net.data_drops(), 0);
+}
+
+#[test]
+fn intra_pod_and_intra_rack_paths_work() {
+    let ft = fat_tree(raw_params(Scheme::Dsh), 4, Bandwidth::from_gbps(100), Delta::from_us(2));
+    let hosts = ft.all_hosts();
+    let mut net = ft.builder.build();
+    // Same edge switch (hosts 0,1) and same pod different edge (0, 2).
+    net.add_flow(FlowSpec { src: hosts[0], dst: hosts[1], size: 1500, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    net.add_flow(FlowSpec { src: hosts[0], dst: hosts[2], size: 1500, class: 1, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    let mut sim = net.into_sim();
+    sim.run_until(Time::from_ms(2));
+    let net = sim.into_model();
+    let recs = net.fct_records();
+    assert_eq!(recs.len(), 2);
+    // Intra-rack (2 links) is faster than intra-pod (4 links).
+    let same_edge = recs.iter().find(|r| r.flow.0 == 0).unwrap().fct();
+    let same_pod = recs.iter().find(|r| r.flow.0 == 1).unwrap().fct();
+    assert!(same_edge < same_pod, "{same_edge} !< {same_pod}");
+}
