@@ -79,11 +79,7 @@ impl Cdf {
     #[must_use]
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
-            .collect()
+        self.sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n as f64)).collect()
     }
 }
 

@@ -242,7 +242,8 @@ mod tests {
         let sc = BurstScenario { offered_load: 1.5, ..paper_scenario() };
         assert!(sc.offered_load < sc.regime_boundary());
         let closed = dsh_burst_tolerance(&sc);
-        let fluid = fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
+        let fluid =
+            fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
         let t = fluid.first_pause.expect("must pause eventually");
         assert!((t - closed).abs() / closed < 0.02, "fluid {t} vs closed {closed}");
     }
@@ -252,7 +253,8 @@ mod tests {
         let sc = BurstScenario { offered_load: 8.0, ..paper_scenario() };
         assert!(sc.offered_load > sc.regime_boundary());
         let closed = dsh_burst_tolerance(&sc);
-        let fluid = fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
+        let fluid =
+            fluid_first_pause(&sc, sc.dsh_shared(), sc.eta, closed * 3.0, closed / 20_000.0);
         let t = fluid.first_pause.expect("must pause eventually");
         assert!((t - closed).abs() / closed < 0.02, "fluid {t} vs closed {closed}");
     }

@@ -15,8 +15,8 @@ fn mmu_roundtrip(c: &mut Criterion) {
                     for round in 0..64u64 {
                         let port = (round % 16) as usize;
                         let o = mmu.on_arrival(port, 0, 1500);
-                        if o.is_admitted() {
-                            let _ = mmu.on_departure(port, 0, 1500);
+                        if let Some(region) = o.region {
+                            let _ = mmu.on_departure(port, 0, 1500, region);
                         }
                     }
                 },

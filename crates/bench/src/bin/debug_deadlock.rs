@@ -6,15 +6,24 @@ use dsh_transport::CcKind;
 
 fn main() {
     let mut cfg = Fig12Config::small();
-    if let Ok(f) = std::env::var("FAN") { cfg.fan_in = f.parse().unwrap(); }
-    if let Ok(l) = std::env::var("LOAD") { cfg.load = l.parse().unwrap(); }
-    if let Ok(j) = std::env::var("JIT") { cfg.arrival_jitter = dsh_simcore::Delta::from_us(j.parse().unwrap()); }
+    if let Ok(f) = std::env::var("FAN") {
+        cfg.fan_in = f.parse().unwrap();
+    }
+    if let Ok(l) = std::env::var("LOAD") {
+        cfg.load = l.parse().unwrap();
+    }
+    if let Ok(j) = std::env::var("JIT") {
+        cfg.arrival_jitter = dsh_simcore::Delta::from_us(j.parse().unwrap());
+    }
     eprintln!("fan={} load={} jitter={:?}", cfg.fan_in, cfg.load, cfg.arrival_jitter);
     for cc in [CcKind::Dcqcn] {
         for scheme in [Scheme::Sih, Scheme::Dsh] {
             for seed in 1..=4 {
                 let r = run_once(scheme, cc, &cfg, seed);
-                println!("{scheme}/{cc} seed {seed}: onset {:?} ms", r.onset.map(|t| t.as_ms_f64()));
+                println!(
+                    "{scheme}/{cc} seed {seed}: onset {:?} ms",
+                    r.onset.map(|t| t.as_ms_f64())
+                );
             }
         }
     }

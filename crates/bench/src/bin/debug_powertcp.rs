@@ -16,8 +16,12 @@ fn main() {
     let mut ids = vec![];
     for &src in &hosts[..16] {
         ids.push(net.add_flow(FlowSpec {
-            src, dst: hosts[16], size: 4_000_000, class: 0,
-            start: Time::ZERO, cc: CcKind::PowerTcp,
+            src,
+            dst: hosts[16],
+            size: 4_000_000,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::PowerTcp,
         }));
     }
     net.monitor_flow(ids[0]);
@@ -31,8 +35,10 @@ fn main() {
             "t={:>5}us rx0={:>8}B cwnd={:>8} inflight={:>7} pauses={} resumes={} done={} drops={}",
             step * 100,
             net.flow_rx_bytes(ids[0]),
-            cwnd, inflight,
-            st.queue_pauses, st.queue_resumes,
+            cwnd,
+            inflight,
+            st.queue_pauses,
+            st.queue_resumes,
             net.fct_records().len(),
             net.data_drops(),
         );

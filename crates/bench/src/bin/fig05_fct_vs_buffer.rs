@@ -19,11 +19,8 @@ fn main() {
         base.horizon = Delta::from_ms(10);
         base.run_until = Delta::from_ms(30);
     }
-    let buffers: Vec<u64> = if full {
-        (14..=30).step_by(2).collect()
-    } else {
-        vec![14, 18, 22, 26, 30]
-    };
+    let buffers: Vec<u64> =
+        if full { (14..=30).step_by(2).collect() } else { vec![14, 18, 22, 26, 30] };
     println!("Fig. 5 — average FCT vs buffer size (SIH, PowerTCP, web search @0.9)");
     println!("{:>12} {:>14} {:>10}", "buffer(MiB)", "avg FCT(ms)", "flows");
     for p in fig05::sweep(&buffers, &base) {

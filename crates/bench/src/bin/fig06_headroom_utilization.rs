@@ -1,8 +1,12 @@
 //! Fig. 6: CDF of SIH headroom utilization at local-maximum points.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig06_headroom_utilization [--full] [--seed N]
+//! cargo run --release -p dsh-bench --bin fig06_headroom_utilization [--full] [--seed N] [--json]
 //! ```
+//!
+//! `--json` additionally prints the run's network telemetry (per-switch
+//! MMU audit, drop attribution, occupancy series, per-port pause
+//! durations) as one JSON document.
 
 use dsh_simcore::Delta;
 
@@ -15,9 +19,16 @@ fn main() {
     let cdf = &r.utilization;
     println!("samples: {}", cdf.len());
     for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
-        println!("  p{:<4} utilization = {:>6.2}%", (q * 100.0) as u32, cdf.quantile(q).unwrap_or(f64::NAN) * 100.0);
+        println!(
+            "  p{:<4} utilization = {:>6.2}%",
+            (q * 100.0) as u32,
+            cdf.quantile(q).unwrap_or(f64::NAN) * 100.0
+        );
     }
     println!("  fraction of peaks using <25% of headroom: {:.1}%", cdf.fraction_at(0.25) * 100.0);
     println!();
     println!("paper: median utilization 4.96%, p99 25.33% — headroom is mostly idle");
+    if dsh_bench::json_flag() {
+        println!("{}", r.telemetry);
+    }
 }

@@ -1,14 +1,19 @@
 //! Fig. 11: total PFC pause duration of fan-in flows vs burst size.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig11_pfc_avoidance [--full]
+//! cargo run --release -p dsh-bench --bin fig11_pfc_avoidance [--full] [--json]
 //! ```
+//!
+//! `--json` additionally prints, per measured point, one JSON document
+//! with the run's network telemetry embedded.
 
 use dsh_bench::fig11;
 use dsh_core::Scheme;
+use dsh_simcore::Json;
 
 fn main() {
     let (full, _) = dsh_bench::parse_args();
+    let json = dsh_bench::json_flag();
     let points: Vec<f64> = if full {
         (1..=12).map(|i| i as f64 * 0.05).collect()
     } else {
@@ -16,11 +21,26 @@ fn main() {
     };
     println!("Fig. 11 — PFC avoidance (pause duration vs burst size, 32-port Tomahawk)");
     println!("{:>10} {:>14} {:>14}", "burst(%B)", "SIH pause(ms)", "DSH pause(ms)");
+    let mut docs: Vec<Json> = Vec::new();
     for &p in &points {
-        let sih = fig11::pause_duration(Scheme::Sih, p);
-        let dsh = fig11::pause_duration(Scheme::Dsh, p);
+        let (sih, sih_tel) = fig11::pause_duration_with_telemetry(Scheme::Sih, p);
+        let (dsh, dsh_tel) = fig11::pause_duration_with_telemetry(Scheme::Dsh, p);
         println!("{:>9.0}% {:>14.3} {:>14.3}", p * 100.0, sih.pause_ms, dsh.pause_ms);
+        if json {
+            for (scheme, point, tel) in [("sih", sih, sih_tel), ("dsh", dsh, dsh_tel)] {
+                docs.push(
+                    Json::object()
+                        .with("scheme", scheme)
+                        .with("burst_pct", point.burst_pct)
+                        .with("pause_ms", point.pause_ms)
+                        .with("telemetry", tel),
+                );
+            }
+        }
     }
     println!();
     println!("paper: DSH absorbs bursts up to ~40% of buffer pause-free, >4x SIH");
+    if json {
+        println!("{}", Json::Arr(docs));
+    }
 }

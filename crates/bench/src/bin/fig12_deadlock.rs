@@ -18,10 +18,8 @@ fn main() {
         for scheme in [Scheme::Sih, Scheme::Dsh] {
             let outcomes = fig12::run_many(scheme, cc, &cfg, runs);
             let frac = fig12::deadlock_fraction(&outcomes);
-            let mut onsets: Vec<f64> = outcomes
-                .iter()
-                .filter_map(|r| r.onset.map(|t| t.as_ms_f64()))
-                .collect();
+            let mut onsets: Vec<f64> =
+                outcomes.iter().filter_map(|r| r.onset.map(|t| t.as_ms_f64())).collect();
             onsets.sort_by(|a, b| a.partial_cmp(b).unwrap());
             print!("{scheme}/{cc}: deadlocked {:>5.1}% ", frac * 100.0);
             if onsets.is_empty() {

@@ -24,5 +24,7 @@ fn main() {
             fig13::post_burst_min(&dsh)
         );
     }
-    println!("\npaper: SIH drags F0 to ~0; DSH keeps it near 50 Gb/s; CC alone cannot help within 1 RTT");
+    println!(
+        "\npaper: SIH drags F0 to ~0; DSH keeps it near 50 Gb/s; CC alone cannot help within 1 RTT"
+    );
 }

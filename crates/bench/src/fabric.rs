@@ -34,7 +34,8 @@ pub enum Topo {
 
 impl Topo {
     /// The paper's 256-server leaf–spine (§V-B).
-    pub const PAPER_LEAF_SPINE: Topo = Topo::LeafSpine { leaves: 16, spines: 16, hosts_per_leaf: 16 };
+    pub const PAPER_LEAF_SPINE: Topo =
+        Topo::LeafSpine { leaves: 16, spines: 16, hosts_per_leaf: 16 };
     /// A laptop-scale leaf–spine (64 servers) with the same oversubscription
     /// (1:1).
     pub const SMALL_LEAF_SPINE: Topo = Topo::LeafSpine { leaves: 4, spines: 4, hosts_per_leaf: 16 };

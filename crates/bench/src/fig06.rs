@@ -16,6 +16,9 @@ use dsh_workloads::{background_flows, fan_in_bursts, FlowSizeDist, PatternConfig
 pub struct Fig6Result {
     /// Per-port headroom utilization (0..1) at each local maximum.
     pub utilization: Cdf,
+    /// Structured network telemetry of the run
+    /// ([`dsh_net::Network::telemetry_report`]), JSON-serialized.
+    pub telemetry: dsh_simcore::Json,
 }
 
 /// Runs the headroom-utilization experiment on a leaf–spine under SIH +
@@ -70,7 +73,9 @@ pub fn run(leaves: usize, hosts_per_leaf: usize, horizon: Delta, seed: u64) -> F
 
     let mut sim = net.into_sim();
     sim.run_until(Time::ZERO + horizon + Delta::from_ms(2));
+    let end = sim.now();
     let mut net = sim.into_model();
+    let telemetry = net.telemetry_report(end).to_json();
 
     // Utilization of a port's headroom at each local maximum: occupancy
     // divided by the port's total SIH allocation (N_q · η for that port).
@@ -86,5 +91,5 @@ pub fn run(leaves: usize, hosts_per_leaf: usize, horizon: Delta, seed: u64) -> F
             }
         }
     }
-    Fig6Result { utilization: Cdf::new(samples) }
+    Fig6Result { utilization: Cdf::new(samples), telemetry }
 }

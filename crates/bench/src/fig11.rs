@@ -22,6 +22,16 @@ pub struct Fig11Point {
 /// Runs the Fig. 11 scenario for one burst size.
 #[must_use]
 pub fn pause_duration(scheme: Scheme, burst_pct: f64) -> Fig11Point {
+    pause_duration_with_telemetry(scheme, burst_pct).0
+}
+
+/// Like [`pause_duration`], but also returns the run's JSON-serialized
+/// network telemetry ([`dsh_net::Network::telemetry_report`]).
+#[must_use]
+pub fn pause_duration_with_telemetry(
+    scheme: Scheme,
+    burst_pct: f64,
+) -> (Fig11Point, dsh_simcore::Json) {
     let params = NetParams::tomahawk(scheme).without_ecn();
     let mut b = NetworkBuilder::new(params);
     let hosts: Vec<NodeId> = (0..32).map(|_| b.host()).collect();
@@ -62,7 +72,9 @@ pub fn pause_duration(scheme: Scheme, burst_pct: f64) -> Fig11Point {
     let end = Time::from_ms(30);
     sim.run_until(end);
     let net = sim.into_model();
-    assert_eq!(net.data_drops(), 0, "Fig. 11 run dropped packets");
+    let report = net.telemetry_report(end);
+    let violations = report.lossless_violations();
+    assert!(violations.is_empty(), "Fig. 11 run violated losslessness:\n{}", violations.join("\n"));
 
     // Total pause time of the fan-in flows = pause asserted at their
     // hosts' uplinks (queue-level + port-level).
@@ -73,7 +85,7 @@ pub fn pause_duration(scheme: Scheme, burst_pct: f64) -> Fig11Point {
         .filter(|l| fan_hosts.contains(&l.node))
         .map(|l| l.total())
         .sum();
-    Fig11Point { burst_pct, pause_ms: total.as_ms_f64() }
+    (Fig11Point { burst_pct, pause_ms: total.as_ms_f64() }, report.to_json())
 }
 
 /// Sweeps burst sizes (fractions of the buffer) for one scheme.

@@ -10,7 +10,7 @@ use dsh_transport::CcKind;
 use dsh_workloads::{fan_in_bursts, FlowSizeDist, PatternConfig, Workload};
 
 /// One run's outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DeadlockRun {
     /// Seed used.
     pub seed: u64,
@@ -18,6 +18,10 @@ pub struct DeadlockRun {
     pub onset: Option<Time>,
     /// Frames dropped by the PFC watchdog (0 when not armed).
     pub watchdog_drops: u64,
+    /// One line per egress port still wedged at run end, naming the
+    /// switch, port, pause state and queued bytes — the deadlock
+    /// diagnostic a failing test should print.
+    pub blocked: Vec<String>,
 }
 
 /// Parameters of the Fig. 12 experiment.
@@ -84,7 +88,8 @@ pub fn run_once(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, seed: u64) -> Dea
     params.seed = seed;
     params.deadlock_threshold = cfg.detect_threshold;
     params.pfc_watchdog = cfg.watchdog;
-    params.ecn = if cc == CcKind::Uncontrolled { EcnConfig::disabled() } else { EcnConfig::for_100g() };
+    params.ecn =
+        if cc == CcKind::Uncontrolled { EcnConfig::disabled() } else { EcnConfig::for_100g() };
 
     let mut ls = leaf_spine(params, LeafSpineShape::paper_deadlock());
     let (s0, s1) = (ls.spines[0], ls.spines[1]);
@@ -96,7 +101,8 @@ pub fn run_once(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, seed: u64) -> Dea
     let hosts = ls.hosts.clone();
     let mut net = ls.builder.build();
 
-    let mut rng = SimRng::new(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407));
+    let mut rng =
+        SimRng::new(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407));
     let dist = FlowSizeDist::from_workload(Workload::Hadoop);
     let pc = PatternConfig {
         hosts: 16,
@@ -126,10 +132,21 @@ pub fn run_once(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, seed: u64) -> Dea
     let mut sim = net.into_sim();
     sim.run_until(Time::ZERO + cfg.duration);
     let net = sim.into_model();
+    let blocked = net
+        .blocked_ports()
+        .into_iter()
+        .map(|(node, port, since, port_paused, classes, queued)| {
+            format!(
+                "switch {node} port {port}: blocked since {since} \
+                 (port_paused={port_paused}, paused_classes={classes:?}, {queued} B queued)"
+            )
+        })
+        .collect();
     DeadlockRun {
         seed,
         onset: net.deadlock_report().onset,
         watchdog_drops: net.watchdog_drops(),
+        blocked,
     }
 }
 

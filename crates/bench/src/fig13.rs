@@ -33,7 +33,14 @@ pub fn victim_series(scheme: Scheme, cc: CcKind) -> Vec<ThroughputSample> {
         .collect();
     let mut net = b.build();
 
-    let f0 = net.add_flow(FlowSpec { src: h0, dst: r0, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    let f0 = net.add_flow(FlowSpec {
+        src: h0,
+        dst: r0,
+        size: 40_000_000,
+        class: 0,
+        start: Time::ZERO,
+        cc,
+    });
     net.add_flow(FlowSpec { src: h1, dst: r1, size: 40_000_000, class: 0, start: Time::ZERO, cc });
     // 24 concurrent 64 KB fan-in flows (sub-BDP: CC cannot react in time).
     for &h in &fan {

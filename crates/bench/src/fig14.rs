@@ -37,13 +37,8 @@ impl Fig14Point {
 pub fn run_point(cc: CcKind, bg_load: f64, base: &FctExperiment) -> Fig14Point {
     let total = 0.9;
     let mk = |scheme| {
-        let exp = FctExperiment {
-            scheme,
-            cc,
-            bg_load,
-            fanin_load: (total - bg_load).max(0.0),
-            ..*base
-        };
+        let exp =
+            FctExperiment { scheme, cc, bg_load, fanin_load: (total - bg_load).max(0.0), ..*base };
         run_fct(&exp)
     };
     Fig14Point { bg_load, sih: mk(Scheme::Sih), dsh: mk(Scheme::Dsh) }

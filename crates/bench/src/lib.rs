@@ -30,6 +30,12 @@ pub mod fig14;
 pub mod fig15;
 pub mod theory;
 
+/// Whether `--json` was passed: figure binaries that support it then also
+/// print the run's structured telemetry as one JSON document on stdout.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
 /// Parses `--full` (paper-scale) and `--seed N` from argv; returns
 /// `(full, seed)`.
 pub fn parse_args() -> (bool, u64) {

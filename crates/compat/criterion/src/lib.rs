@@ -1,0 +1,194 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable. The benches only need `Criterion::bench_function`,
+//! benchmark groups, `iter` / `iter_batched` / `iter_batched_ref`, and the
+//! `criterion_group!` / `criterion_main!` macros — this crate provides
+//! those, timing each benchmark over a small fixed iteration count and
+//! printing `name ... mean <time>` lines instead of full statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How to batch setup output between iterations (API-compatible subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher { iterations, elapsed: Duration::ZERO }
+    }
+
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh values produced by `setup` (consumed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Times `routine` over fresh values produced by `setup` (by `&mut`).
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn run_one(label: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(iterations);
+    f(&mut b);
+    let mean = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
+    println!("{label:<50} mean {mean:>12.3?} ({} iters)", b.iterations);
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function calling each benchmark with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn batched_ref_gets_fresh_state() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("fresh", |b| {
+            b.iter_batched_ref(
+                Vec::<u64>::new,
+                |v| {
+                    v.push(1);
+                    assert_eq!(v.len(), 1);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+}

@@ -33,6 +33,34 @@ impl fmt::Display for Region {
     }
 }
 
+/// The admission rule that finally rejected a dropped packet.
+///
+/// This is the *decisive* rule — the last-resort segment that would have
+/// absorbed the packet but could not. [`crate::Mmu::drop_attribution`]
+/// additionally counts every earlier rule the packet failed on the way
+/// down (private, DT threshold, pool cap, port pause).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DropReason {
+    /// SIH: the queue's static headroom was full (private and shared had
+    /// already rejected the packet).
+    HeadroomFull,
+    /// DSH: the port's insurance headroom was full.
+    InsuranceFull,
+    /// DSH ablation (`dsh_port_fc = false`): the shared pool rejected the
+    /// packet and there is no insurance headroom to fall back on.
+    InsuranceDisabled,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropReason::HeadroomFull => "headroom-full",
+            DropReason::InsuranceFull => "insurance-full",
+            DropReason::InsuranceDisabled => "insurance-disabled",
+        })
+    }
+}
+
 /// A flow-control command the MMU asks the switch to execute.
 ///
 /// Queue-level actions map to standard PFC PAUSE/RESUME frames for one
@@ -129,6 +157,8 @@ impl IntoIterator for FcActions {
 pub struct Outcome {
     /// Where the packet was placed, or `None` if it was dropped.
     pub region: Option<Region>,
+    /// The decisive rejection rule when the packet was dropped.
+    pub drop_reason: Option<DropReason>,
     /// Flow-control actions triggered by this transition.
     pub actions: FcActions,
 }
@@ -137,13 +167,13 @@ impl Outcome {
     /// An outcome with a region and no actions.
     #[must_use]
     pub fn placed(region: Region) -> Self {
-        Outcome { region: Some(region), actions: FcActions::none() }
+        Outcome { region: Some(region), drop_reason: None, actions: FcActions::none() }
     }
 
-    /// A drop outcome.
+    /// A drop outcome attributed to `reason`.
     #[must_use]
-    pub fn dropped() -> Self {
-        Outcome { region: None, actions: FcActions::none() }
+    pub fn dropped(reason: DropReason) -> Self {
+        Outcome { region: None, drop_reason: Some(reason), actions: FcActions::none() }
     }
 
     /// Whether the packet was admitted.
@@ -167,10 +197,7 @@ mod tests {
         let v: Vec<FcAction> = a.into_iter().collect();
         assert_eq!(
             v,
-            vec![
-                FcAction::QueuePause { port: 1, queue: 2 },
-                FcAction::PortPause { port: 1 }
-            ]
+            vec![FcAction::QueuePause { port: 1, queue: 2 }, FcAction::PortPause { port: 1 }]
         );
     }
 
@@ -186,7 +213,10 @@ mod tests {
     #[test]
     fn outcome_constructors() {
         assert!(Outcome::placed(Region::Shared).is_admitted());
-        assert!(!Outcome::dropped().is_admitted());
+        let drop = Outcome::dropped(DropReason::InsuranceFull);
+        assert!(!drop.is_admitted());
+        assert_eq!(drop.drop_reason, Some(DropReason::InsuranceFull));
         assert_eq!(Region::Insurance.to_string(), "insurance");
+        assert_eq!(DropReason::HeadroomFull.to_string(), "headroom-full");
     }
 }

@@ -1,0 +1,174 @@
+//! Release-mode invariant auditing for the MMU.
+//!
+//! [`crate::Mmu::audit`] walks every accounting invariant the MMU relies
+//! on and returns a structured [`AuditReport`] instead of panicking: each
+//! [`AuditViolation`] names the invariant and the port/queue it failed on,
+//! so a failing simulation can say *which switch, which port, which rule*
+//! rather than dying with a bare `debug_assert!`. Debug builds still
+//! assert after every transition, but the audit itself is plain release
+//! code — integration tests and telemetry exports run it on every
+//! simulated switch.
+
+use crate::config::Scheme;
+use crate::mmu::OccupancySnapshot;
+use dsh_simcore::Json;
+use std::fmt;
+
+/// One violated accounting invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Stable kebab-case name of the invariant (e.g.
+    /// `port-shared-sum-consistent`).
+    pub invariant: &'static str,
+    /// Ingress port the violation is scoped to, if any.
+    pub port: Option<usize>,
+    /// Priority queue the violation is scoped to, if any.
+    pub queue: Option<usize>,
+    /// The value (or bound) the invariant requires.
+    pub expected: u64,
+    /// The value actually observed.
+    pub actual: u64,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.invariant)?;
+        if let Some(p) = self.port {
+            write!(f, " [port {p}")?;
+            if let Some(q) = self.queue {
+                write!(f, " queue {q}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ": expected {}, actual {}", self.expected, self.actual)
+    }
+}
+
+impl AuditViolation {
+    /// JSON form (`{"invariant":…,"port":…,"queue":…,"expected":…,"actual":…}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("invariant", self.invariant)
+            .with("port", self.port.map_or(Json::Null, Json::from))
+            .with("queue", self.queue.map_or(Json::Null, Json::from))
+            .with("expected", self.expected)
+            .with("actual", self.actual)
+    }
+}
+
+/// The result of one [`crate::Mmu::audit`] pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditReport {
+    /// The scheme the audited MMU runs.
+    pub scheme: Scheme,
+    /// Occupancy at audit time (context for the violations).
+    pub snapshot: OccupancySnapshot,
+    /// Every violated invariant, in check order. Empty ⇒ clean.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// JSON form, suitable for embedding in telemetry exports.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("scheme", self.scheme.to_string())
+            .with("clean", self.is_clean())
+            .with(
+                "occupancy",
+                Json::object()
+                    .with("shared", self.snapshot.shared)
+                    .with("private", self.snapshot.private)
+                    .with("headroom", self.snapshot.headroom)
+                    .with("insurance", self.snapshot.insurance)
+                    .with("threshold", self.snapshot.threshold)
+                    .with("paused_queues", self.snapshot.paused_queues)
+                    .with("paused_ports", self.snapshot.paused_ports),
+            )
+            .with(
+                "violations",
+                Json::Arr(self.violations.iter().map(AuditViolation::to_json).collect()),
+            )
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{} MMU audit: clean", self.scheme);
+        }
+        writeln!(
+            f,
+            "{} MMU audit: {} violation(s) (shared={} private={} headroom={} insurance={})",
+            self.scheme,
+            self.violations.len(),
+            self.snapshot.shared,
+            self.snapshot.private,
+            self.snapshot.headroom,
+            self.snapshot.insurance
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation() -> AuditViolation {
+        AuditViolation {
+            invariant: "port-shared-sum-consistent",
+            port: Some(3),
+            queue: None,
+            expected: 1500,
+            actual: 3000,
+        }
+    }
+
+    #[test]
+    fn violation_display_names_the_site() {
+        let text = violation().to_string();
+        assert!(text.contains("port-shared-sum-consistent"));
+        assert!(text.contains("port 3"));
+        assert!(text.contains("expected 1500, actual 3000"));
+    }
+
+    #[test]
+    fn report_display_and_json() {
+        let report = AuditReport {
+            scheme: Scheme::Dsh,
+            snapshot: OccupancySnapshot::default(),
+            violations: vec![violation()],
+        };
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("1 violation(s)"));
+        let j = report.to_json();
+        assert_eq!(j.get("clean"), Some(&Json::Bool(false)));
+        let v = &j.get("violations").unwrap().as_arr().unwrap()[0];
+        assert_eq!(v.get("invariant").unwrap().as_str(), Some("port-shared-sum-consistent"));
+        assert_eq!(v.get("queue"), Some(&Json::Null));
+        // And the whole thing round-trips through text.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn clean_report_is_quiet() {
+        let report = AuditReport {
+            scheme: Scheme::Sih,
+            snapshot: OccupancySnapshot::default(),
+            violations: vec![],
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.to_string(), "SIH MMU audit: clean");
+    }
+}

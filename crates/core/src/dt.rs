@@ -24,12 +24,25 @@ use dsh_simcore::ByteSize;
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DtThreshold {
     alpha: f64,
+    /// `α` in 32.32 fixed point (rounded to nearest), so [`Self::threshold`]
+    /// is pure integer arithmetic: exactly monotone in the occupancy at
+    /// byte granularity and free of the float truncation that made
+    /// `(α · free) as u64` undershoot the true floor (e.g. α = 0.29,
+    /// free = 100 gave 28 instead of 29).
+    alpha_fp: u64,
     shared_size: u64,
 }
+
+/// Fractional bits of the fixed-point `α`.
+const ALPHA_FP_BITS: u32 = 32;
 
 impl DtThreshold {
     /// Creates a DT with control parameter `alpha` over a shared pool of
     /// `shared_size` bytes.
+    ///
+    /// `alpha` is quantized to a multiple of 2⁻³² (an error below
+    /// `free·2⁻³³` bytes — exact for the power-of-two values switches
+    /// use); all threshold arithmetic thereafter is exact.
     ///
     /// # Panics
     ///
@@ -37,7 +50,9 @@ impl DtThreshold {
     #[must_use]
     pub fn new(alpha: f64, shared_size: ByteSize) -> Self {
         assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive and finite");
-        DtThreshold { alpha, shared_size: shared_size.as_u64() }
+        let alpha_fp = (alpha * f64::from(2u32).powi(ALPHA_FP_BITS as i32)).round() as u64;
+        assert!(alpha_fp > 0, "alpha too small to represent");
+        DtThreshold { alpha, alpha_fp, shared_size: shared_size.as_u64() }
     }
 
     /// The control parameter `α`.
@@ -54,10 +69,16 @@ impl DtThreshold {
 
     /// Computes `T(t)` in bytes given the current total shared occupancy
     /// `Σ w_ij(t)`, floored at zero.
+    ///
+    /// Integer fixed-point arithmetic: `⌊free · α_fp / 2³²⌋` in 128-bit,
+    /// so the result is exactly non-increasing byte-for-byte in the
+    /// occupancy and does not lose precision on large pools the way
+    /// `f64` multiplication does.
     #[must_use]
     pub fn threshold(&self, total_shared_occupancy: u64) -> u64 {
         let free = self.shared_size.saturating_sub(total_shared_occupancy);
-        (self.alpha * free as f64) as u64
+        let t = (u128::from(free) * u128::from(self.alpha_fp)) >> ALPHA_FP_BITS;
+        u64::try_from(t).unwrap_or(u64::MAX)
     }
 
     /// The steady-state per-queue occupancy if `n` queues are persistently
@@ -109,6 +130,30 @@ mod tests {
         let _ = DtThreshold::new(0.0, ByteSize::bytes(1));
     }
 
+    #[test]
+    fn fixed_point_matches_exact_floor() {
+        // The old float path truncated 0.29 * 100 = 28.999999999999996
+        // down to 28; the fixed-point path floors the exact product.
+        let dt = DtThreshold::new(0.29, ByteSize::bytes(1000));
+        assert_eq!(dt.threshold(900), 29);
+        // Power-of-two alphas are represented exactly.
+        let dt = DtThreshold::new(1.0 / 16.0, ByteSize::mib(14));
+        for occ in [0u64, 1, 4096, 1 << 20] {
+            let free = dt.shared_size() - occ;
+            assert_eq!(dt.threshold(occ), free / 16);
+        }
+    }
+
+    #[test]
+    fn no_precision_loss_on_huge_pools() {
+        // free beyond 2^53: `free as f64` alone is off by hundreds of
+        // bytes; integer arithmetic keeps T exact.
+        let pool = (1u64 << 60) + 12_345;
+        let dt = DtThreshold::new(0.5, ByteSize::bytes(pool));
+        assert_eq!(dt.threshold(0), pool / 2);
+        assert_eq!(dt.threshold(1), (pool - 1) / 2);
+    }
+
     proptest! {
         /// T is monotonically non-increasing in occupancy and never exceeds
         /// alpha * B_s.
@@ -118,6 +163,30 @@ mod tests {
             let (lo, hi) = if occ1 <= occ2 { (occ1, occ2) } else { (occ2, occ1) };
             prop_assert!(dt.threshold(lo) >= dt.threshold(hi));
             prop_assert!(dt.threshold(lo) <= (0.0625 * dt.shared_size() as f64) as u64);
+        }
+
+        /// Byte granularity: admitting one more byte never raises T, and
+        /// never lowers it by more than ceil(alpha) — for awkward,
+        /// non-power-of-two alphas included.
+        #[test]
+        fn prop_monotone_at_byte_granularity(
+            occ in 0u64..14_680_063,
+            alpha in prop_oneof![
+                Just(0.0625f64),
+                Just(0.29),
+                Just(1.0 / 3.0),
+                Just(0.999_999),
+                Just(2.0),
+            ],
+        ) {
+            let dt = DtThreshold::new(alpha, ByteSize::mib(14));
+            let here = dt.threshold(occ);
+            let next = dt.threshold(occ + 1);
+            prop_assert!(next <= here, "alpha={alpha} occ={occ}: {next} > {here}");
+            prop_assert!(
+                here - next <= alpha.ceil() as u64,
+                "alpha={alpha} occ={occ}: step {}", here - next
+            );
         }
     }
 }

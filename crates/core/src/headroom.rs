@@ -84,7 +84,7 @@ mod tests {
         // 21840 * 256 = 5,591,040 B ~ 5.33 MiB (paper: "~5.33MB").
         assert!((total.as_mib_f64() - 5.33).abs() < 0.01, "{}", total.as_mib_f64());
         // Out of 12 MB: 44.4% (paper: "occupies 44.4% of total memory").
-        let frac = total.as_u64() as f64 / (12.0 * 1024.0 * 1024.0) as f64;
+        let frac = total.as_u64() as f64 / (12.0 * 1024.0 * 1024.0);
         assert!((frac - 0.444).abs() < 0.001, "{frac}");
     }
 
@@ -94,10 +94,7 @@ mod tests {
         assert_eq!(sih_total_headroom(32, 7, h).as_u64(), 32 * 7 * 56_840);
         assert_eq!(dsh_insurance_total(32, h).as_u64(), 32 * 56_840);
         // DSH reserves N_q x less headroom.
-        assert_eq!(
-            sih_total_headroom(32, 7, h).as_u64() / dsh_insurance_total(32, h).as_u64(),
-            7
-        );
+        assert_eq!(sih_total_headroom(32, 7, h).as_u64() / dsh_insurance_total(32, h).as_u64(), 7);
     }
 
     #[test]

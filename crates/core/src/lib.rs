@@ -49,13 +49,15 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod audit;
 pub mod chips;
 mod config;
 mod dt;
 pub mod headroom;
 mod mmu;
 
-pub use action::{FcAction, FcActions, Outcome, Region};
+pub use action::{DropReason, FcAction, FcActions, Outcome, Region};
+pub use audit::{AuditReport, AuditViolation};
 pub use config::{MmuConfig, MmuConfigBuilder, Scheme};
 pub use dt::DtThreshold;
-pub use mmu::{Mmu, MmuStats, OccupancySnapshot};
+pub use mmu::{DropAttribution, Mmu, MmuStats, OccupancySnapshot, PortDrops};

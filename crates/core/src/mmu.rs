@@ -1,7 +1,8 @@
 //! The Memory Management Unit: ingress admission, buffer accounting and
 //! PFC flow-control decisions for SIH and DSH.
 
-use crate::action::{FcAction, FcActions, Outcome, Region};
+use crate::action::{DropReason, FcAction, FcActions, Outcome, Region};
+use crate::audit::{AuditReport, AuditViolation};
 use crate::config::{MmuConfig, Scheme};
 use crate::dt::DtThreshold;
 
@@ -52,6 +53,52 @@ impl PeakTracker {
         self.rising = false;
         self.current = self.current.checked_sub(bytes).expect("peak tracker underflow");
     }
+
+    /// Records the in-progress local maximum, if any. Without this, a
+    /// measurement that ends while occupancy is still rising silently
+    /// loses its final (often largest) peak.
+    fn flush(&mut self) {
+        if self.rising && self.current > 0 {
+            self.peaks.push(self.current);
+            self.rising = false;
+        }
+    }
+}
+
+/// Always-on drop attribution: for every dropped packet, each admission
+/// rule it failed is counted. A single drop can increment several
+/// counters (e.g. private full *and* over the DT threshold *and* headroom
+/// full); the decisive last-resort rule is also reported per packet via
+/// [`crate::Outcome::drop_reason`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropAttribution {
+    /// The queue's private segment (`φ`) could not take the packet.
+    pub private_full: u64,
+    /// The queue's shared occupancy would exceed the DT threshold `T(t)`
+    /// (SIH shared admission).
+    pub dt_threshold: u64,
+    /// The shared pool itself (`B_s`) was physically full.
+    pub shared_cap: u64,
+    /// DSH: the port was in POFF, so shared admission was closed.
+    pub port_paused: u64,
+    /// SIH: the queue's static headroom (`η`) was full — the decisive rule.
+    pub headroom_full: u64,
+    /// DSH: the port's insurance headroom (`η`) was full — the decisive
+    /// rule.
+    pub insurance_full: u64,
+    /// DSH ablation: insurance is disabled, so nothing could absorb the
+    /// packet after the shared pool rejected it.
+    pub insurance_disabled: u64,
+}
+
+/// Per-ingress-port drop counters, so network-level reports can name the
+/// (switch, port) a loss happened on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortDrops {
+    /// Packets dropped arriving on this port.
+    pub packets: u64,
+    /// Bytes dropped arriving on this port.
+    pub bytes: u64,
 }
 
 /// Aggregate MMU counters.
@@ -106,6 +153,8 @@ pub struct Mmu {
     total_shared: u64,
     headroom_peaks: Vec<PeakTracker>,
     stats: MmuStats,
+    attribution: DropAttribution,
+    port_drops: Vec<PortDrops>,
 }
 
 impl Mmu {
@@ -128,6 +177,8 @@ impl Mmu {
             total_shared: 0,
             headroom_peaks: vec![PeakTracker::default(); np],
             stats: MmuStats::default(),
+            attribution: DropAttribution::default(),
+            port_drops: vec![PortDrops::default(); np],
         }
     }
 
@@ -212,10 +263,7 @@ impl Mmu {
         match self.cfg.scheme {
             Scheme::Sih => {
                 let base = port * self.cfg.queues_per_port;
-                self.queues[base..base + self.cfg.queues_per_port]
-                    .iter()
-                    .map(|q| q.headroom)
-                    .sum()
+                self.queues[base..base + self.cfg.queues_per_port].iter().map(|q| q.headroom).sum()
             }
             Scheme::Dsh => self.ports[port].insurance,
         }
@@ -237,6 +285,19 @@ impl Mmu {
     #[must_use]
     pub fn stats(&self) -> MmuStats {
         self.stats
+    }
+
+    /// Cumulative per-rule drop attribution (always on, release builds
+    /// included).
+    #[must_use]
+    pub fn drop_attribution(&self) -> DropAttribution {
+        self.attribution
+    }
+
+    /// Cumulative drop counters per ingress port.
+    #[must_use]
+    pub fn port_drops(&self) -> &[PortDrops] {
+        &self.port_drops
     }
 
     /// A point-in-time snapshot of the MMU's buffer occupancy, useful for
@@ -272,16 +333,27 @@ impl Mmu {
         }
         self.total_shared = 0;
         for t in &mut self.headroom_peaks {
-            *t = PeakTracker::default();
+            // Keep already-recorded peaks (they are measurements, like the
+            // cumulative stats) but close out any in-progress maximum
+            // before zeroing the live occupancy.
+            t.flush();
+            t.current = 0;
+            t.rising = false;
         }
     }
 
     /// Drains and returns the recorded local maxima of per-port headroom
     /// occupancy (Fig. 6's measurement), one `Vec` per port.
+    ///
+    /// A still-rising occupancy counts as a final peak at its current
+    /// value, so measurements that end mid-burst are not biased low.
     pub fn take_headroom_peaks(&mut self) -> Vec<Vec<u64>> {
         self.headroom_peaks
             .iter_mut()
-            .map(|p| std::mem::take(&mut p.peaks))
+            .map(|p| {
+                p.flush();
+                std::mem::take(&mut p.peaks)
+            })
             .collect()
     }
 
@@ -306,6 +378,8 @@ impl Mmu {
         } else {
             self.stats.dropped_packets += 1;
             self.stats.dropped_bytes += bytes;
+            self.port_drops[port].packets += 1;
+            self.port_drops[port].bytes += bytes;
         }
         self.debug_check();
         outcome
@@ -314,92 +388,61 @@ impl Mmu {
     /// Releases a packet's accounting when it leaves the switch (is
     /// scheduled for transmission on its egress port).
     ///
-    /// Following real MMU implementations (and the ns-3 switch model the
-    /// paper's evaluation descends from), departures drain the *headroom*
-    /// counters first — SIH's per-queue headroom, DSH's per-port insurance
-    /// — then the queue's shared counter, then its private counter. This
-    /// restores pause slack as fast as possible and is what makes the
-    /// "resume only when headroom is empty" rule effective.
+    /// `region` is the placement [`Mmu::on_arrival`] returned for this
+    /// packet — the per-packet pool tag a real MMU keeps. Departure
+    /// releases exactly the counter the arrival charged, so the
+    /// accounting is exact regardless of the order queues drain in (the
+    /// old heuristic headroom-first drain and its cross-queue "residual
+    /// slop" settlement are gone).
     ///
     /// # Panics
     ///
-    /// Panics if more bytes depart than were ever admitted for this port
-    /// (accounting mismatch).
-    pub fn on_departure(&mut self, port: usize, queue: usize, bytes: u64) -> FcActions {
+    /// Panics with "departure exceeds admission" if the released region's
+    /// counter does not hold `bytes` (the caller's tag is wrong, or more
+    /// bytes depart than arrived).
+    pub fn on_departure(
+        &mut self,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+    ) -> FcActions {
         let idx = self.qidx(port, queue);
-        let mut rest = bytes;
-
-        // 1. Headroom first: SIH per-queue headroom / DSH port insurance.
-        match self.cfg.scheme {
-            Scheme::Sih => {
+        match region {
+            Region::Private => {
                 let q = &mut self.queues[idx];
-                let take = q.headroom.min(rest);
-                q.headroom -= take;
-                rest -= take;
-                if take > 0 {
-                    self.headroom_peaks[port].sub(take);
-                }
+                q.private = q
+                    .private
+                    .checked_sub(bytes)
+                    .expect("departure exceeds admission: private segment underflow");
             }
-            Scheme::Dsh => {
+            Region::Shared => {
+                let q = &mut self.queues[idx];
+                q.shared = q
+                    .shared
+                    .checked_sub(bytes)
+                    .expect("departure exceeds admission: shared segment underflow");
+                self.ports[port].shared_sum -= bytes;
+                self.total_shared -= bytes;
+            }
+            Region::Headroom => {
+                assert_eq!(self.cfg.scheme, Scheme::Sih, "static headroom is SIH-only");
+                let q = &mut self.queues[idx];
+                q.headroom = q
+                    .headroom
+                    .checked_sub(bytes)
+                    .expect("departure exceeds admission: headroom underflow");
+                self.headroom_peaks[port].sub(bytes);
+            }
+            Region::Insurance => {
+                assert_eq!(self.cfg.scheme, Scheme::Dsh, "insurance headroom is DSH-only");
                 let p = &mut self.ports[port];
-                let take = p.insurance.min(rest);
-                p.insurance -= take;
-                rest -= take;
-                if take > 0 {
-                    self.headroom_peaks[port].sub(take);
-                }
+                p.insurance = p
+                    .insurance
+                    .checked_sub(bytes)
+                    .expect("departure exceeds admission: insurance underflow");
+                self.headroom_peaks[port].sub(bytes);
             }
-        }
-
-        // 2. The queue's shared counter.
-        {
-            let q = &mut self.queues[idx];
-            let take = q.shared.min(rest);
-            q.shared -= take;
-            rest -= take;
-            self.ports[port].shared_sum -= take;
-            self.total_shared -= take;
-        }
-
-        // 3. The queue's private counter.
-        {
-            let q = &mut self.queues[idx];
-            let take = q.private.min(rest);
-            q.private -= take;
-            rest -= take;
-        }
-
-        // 4. Residual slop (DSH only): the packet's bytes were charged to
-        // the port's insurance but another queue's departure drained it
-        // first. Settle against the port's other shared counters.
-        if rest > 0 {
-            assert_eq!(self.cfg.scheme, Scheme::Dsh, "departure exceeds admission");
-            let base = port * self.cfg.queues_per_port;
-            for j in 0..self.cfg.queues_per_port {
-                let q = &mut self.queues[base + j];
-                let take = q.shared.min(rest);
-                q.shared -= take;
-                rest -= take;
-                self.ports[port].shared_sum -= take;
-                self.total_shared -= take;
-                if rest == 0 {
-                    break;
-                }
-            }
-            // Last resort: the port's private counters (bytes whose owners
-            // were themselves settled out of private space earlier).
-            if rest > 0 {
-                for j in 0..self.cfg.queues_per_port {
-                    let q = &mut self.queues[base + j];
-                    let take = q.private.min(rest);
-                    q.private -= take;
-                    rest -= take;
-                    if rest == 0 {
-                        break;
-                    }
-                }
-            }
-            assert_eq!(rest, 0, "departure exceeds port admission");
         }
 
         let mut actions = FcActions::none();
@@ -420,8 +463,7 @@ impl Mmu {
             let q = &self.queues[idx];
             if q.private + bytes <= phi {
                 Some(Region::Private)
-            } else if q.shared + bytes <= t && self.total_shared + bytes <= self.dt.shared_size()
-            {
+            } else if q.shared + bytes <= t && self.total_shared + bytes <= self.dt.shared_size() {
                 Some(Region::Shared)
             } else if q.headroom + bytes <= eta {
                 Some(Region::Headroom)
@@ -431,6 +473,7 @@ impl Mmu {
         };
 
         let mut actions = FcActions::none();
+        let mut drop_reason = None;
         match region {
             Some(Region::Private) => {
                 self.queues[idx].private += bytes;
@@ -450,13 +493,24 @@ impl Mmu {
             }
             Some(Region::Insurance) => unreachable!("SIH never uses insurance"),
             None => {
+                // Attribute the drop to every rule that rejected it.
+                let q = &self.queues[idx];
+                self.attribution.private_full += 1;
+                if q.shared + bytes > t {
+                    self.attribution.dt_threshold += 1;
+                }
+                if self.total_shared + bytes > self.dt.shared_size() {
+                    self.attribution.shared_cap += 1;
+                }
+                self.attribution.headroom_full += 1;
+                drop_reason = Some(DropReason::HeadroomFull);
                 // Defensive: a drop means headroom was exhausted; make sure
                 // the upstream is paused (it should already be).
                 self.pause_queue(port, queue, &mut actions);
             }
         }
 
-        Outcome { region, actions }
+        Outcome { region, drop_reason, actions }
     }
 
     // ---- DSH ------------------------------------------------------------
@@ -485,6 +539,7 @@ impl Mmu {
         };
 
         let mut actions = FcActions::none();
+        let mut drop_reason = None;
         match region {
             Some(Region::Private) => {
                 self.queues[idx].private += bytes;
@@ -515,13 +570,28 @@ impl Mmu {
             }
             Some(Region::Headroom) => unreachable!("DSH never uses static headroom"),
             None => {
+                // Attribute the drop to every rule that rejected it.
+                self.attribution.private_full += 1;
+                if self.ports[port].paused {
+                    self.attribution.port_paused += 1;
+                }
+                if self.total_shared + bytes > self.dt.shared_size() {
+                    self.attribution.shared_cap += 1;
+                }
+                drop_reason = Some(if self.cfg.dsh_port_fc {
+                    self.attribution.insurance_full += 1;
+                    DropReason::InsuranceFull
+                } else {
+                    self.attribution.insurance_disabled += 1;
+                    DropReason::InsuranceDisabled
+                });
                 if self.cfg.dsh_port_fc {
                     self.pause_port(port, &mut actions);
                 }
             }
         }
 
-        Outcome { region, actions }
+        Outcome { region, drop_reason, actions }
     }
 
     // ---- shared state-machine helpers ------------------------------------
@@ -607,24 +677,121 @@ impl Mmu {
         }
     }
 
-    /// Debug-build conservation checks.
+    /// Audits every accounting invariant and returns a structured report.
+    ///
+    /// This is the release-build promotion of the old debug-only
+    /// conservation checks: it never panics, and each violation names its
+    /// invariant and the port/queue it failed on, so callers (integration
+    /// tests, the network telemetry layer) can report *where* the
+    /// accounting went wrong. Debug builds additionally assert a clean
+    /// audit after every MMU transition.
+    ///
+    /// Invariants checked, in order:
+    ///
+    /// * `queue-private-within-phi` — every queue's private occupancy ≤ φ;
+    /// * `queue-headroom-within-eta` — SIH headroom occupancy ≤ η (per
+    ///   port's η);
+    /// * `dsh-no-static-headroom` / `sih-no-insurance` /
+    ///   `sih-no-port-pause` — segments and states a scheme never uses
+    ///   stay empty;
+    /// * `port-shared-sum-consistent` — each port's cached `shared_sum`
+    ///   equals the sum over its queues;
+    /// * `total-shared-consistent` — the global `Σ w_ij` cache equals the
+    ///   sum over all queues;
+    /// * `shared-within-pool` — `Σ w_ij ≤ B_s`;
+    /// * `insurance-within-eta` — each port's insurance occupancy ≤ η;
+    /// * `queue-resumes-within-pauses` / `port-resumes-within-pauses` —
+    ///   cumulative RESUME counts never exceed PAUSE counts.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        let mut violations = Vec::new();
+        let mut violate = |invariant, port, queue, expected: u64, actual: u64| {
+            violations.push(AuditViolation { invariant, port, queue, expected, actual });
+        };
+
+        let phi = self.cfg.private_per_queue.as_u64();
+        let mut sum_shared: u64 = 0;
+        for (i, q) in self.queues.iter().enumerate() {
+            let port = i / self.cfg.queues_per_port;
+            let queue = i % self.cfg.queues_per_port;
+            let eta = self.cfg.eta_for(port).as_u64();
+            if q.private > phi {
+                violate("queue-private-within-phi", Some(port), Some(queue), phi, q.private);
+            }
+            if q.headroom > eta {
+                violate("queue-headroom-within-eta", Some(port), Some(queue), eta, q.headroom);
+            }
+            if self.cfg.scheme == Scheme::Dsh && q.headroom > 0 {
+                violate("dsh-no-static-headroom", Some(port), Some(queue), 0, q.headroom);
+            }
+            sum_shared += q.shared;
+        }
+
+        for (port, p) in self.ports.iter().enumerate() {
+            let base = port * self.cfg.queues_per_port;
+            let port_sum: u64 =
+                self.queues[base..base + self.cfg.queues_per_port].iter().map(|q| q.shared).sum();
+            if p.shared_sum != port_sum {
+                violate("port-shared-sum-consistent", Some(port), None, port_sum, p.shared_sum);
+            }
+            let eta = self.cfg.eta_for(port).as_u64();
+            if p.insurance > eta {
+                violate("insurance-within-eta", Some(port), None, eta, p.insurance);
+            }
+            if self.cfg.scheme == Scheme::Sih {
+                if p.insurance > 0 {
+                    violate("sih-no-insurance", Some(port), None, 0, p.insurance);
+                }
+                if p.paused {
+                    violate("sih-no-port-pause", Some(port), None, 0, 1);
+                }
+            }
+        }
+
+        if sum_shared != self.total_shared {
+            violate("total-shared-consistent", None, None, sum_shared, self.total_shared);
+        }
+        if self.total_shared > self.dt.shared_size() {
+            violate("shared-within-pool", None, None, self.dt.shared_size(), self.total_shared);
+        }
+        if self.stats.queue_resumes > self.stats.queue_pauses {
+            violate(
+                "queue-resumes-within-pauses",
+                None,
+                None,
+                self.stats.queue_pauses,
+                self.stats.queue_resumes,
+            );
+        }
+        if self.stats.port_resumes > self.stats.port_pauses {
+            violate(
+                "port-resumes-within-pauses",
+                None,
+                None,
+                self.stats.port_pauses,
+                self.stats.port_resumes,
+            );
+        }
+
+        AuditReport { scheme: self.cfg.scheme, snapshot: self.occupancy_snapshot(), violations }
+    }
+
+    /// Debug-build conservation checks: a full audit after every
+    /// transition.
     fn debug_check(&self) {
         #[cfg(debug_assertions)]
         {
-            let phi = self.cfg.private_per_queue.as_u64();
-            let mut sum_shared = 0;
-            for (i, q) in self.queues.iter().enumerate() {
-                let eta = self.cfg.eta_for(i / self.cfg.queues_per_port).as_u64();
-                debug_assert!(q.private <= phi);
-                debug_assert!(q.headroom <= eta);
-                sum_shared += q.shared;
-            }
-            debug_assert_eq!(sum_shared, self.total_shared);
-            debug_assert!(self.total_shared <= self.dt.shared_size());
-            for (i, p) in self.ports.iter().enumerate() {
-                debug_assert!(p.insurance <= self.cfg.eta_for(i).as_u64());
-            }
+            let report = self.audit();
+            debug_assert!(report.is_clean(), "MMU invariant violated:\n{report}");
         }
+    }
+
+    /// Deliberately corrupts a port's cached `shared_sum` by `delta`
+    /// bytes. Exists so tests can prove [`Mmu::audit`] catches (and names)
+    /// accounting corruption; never call it outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_port_shared_sum_for_test(&mut self, port: usize, delta: u64) {
+        self.ports[port].shared_sum += delta;
     }
 }
 
@@ -670,7 +837,9 @@ mod tests {
         let outcomes = blast(&mut mmu, 0, 0, 2000, 1500);
         let pause_at = outcomes
             .iter()
-            .position(|o| o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { port: 0, queue: 0 })))
+            .position(|o| {
+                o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { port: 0, queue: 0 }))
+            })
             .expect("must eventually pause");
         assert_eq!(outcomes[pause_at].region, Some(Region::Headroom));
         assert!(mmu.queue_paused(0, 0));
@@ -689,11 +858,10 @@ mod tests {
         let (drop, pause) = (first_drop.unwrap(), first_pause.unwrap());
         assert!(pause < drop, "pause {pause} must precede drop {drop}");
         // Between pause and drop, eta worth of packets was absorbed.
-        let absorbed: u64 = outcomes[pause..drop]
-            .iter()
-            .filter(|o| o.region == Some(Region::Headroom))
-            .count() as u64
-            * 1000;
+        let absorbed: u64 =
+            outcomes[pause..drop].iter().filter(|o| o.region == Some(Region::Headroom)).count()
+                as u64
+                * 1000;
         assert!(absorbed >= 49_000, "absorbed {absorbed}");
     }
 
@@ -705,8 +873,8 @@ mod tests {
         // Drain everything in arrival order.
         let mut resumed = false;
         for o in &outcomes {
-            if o.region.is_some() {
-                let acts = mmu.on_departure(0, 0, 1500);
+            if let Some(r) = o.region {
+                let acts = mmu.on_departure(0, 0, 1500, r);
                 if acts.iter().any(|a| matches!(a, FcAction::QueueResume { port: 0, queue: 0 })) {
                     resumed = true;
                 }
@@ -787,7 +955,8 @@ mod tests {
     fn dsh_drops_only_after_insurance_full() {
         let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
         let outcomes = blast(&mut mmu, 0, 0, 20_000, 1000);
-        let first_drop = outcomes.iter().position(|o| !o.is_admitted()).expect("tiny chip must eventually drop");
+        let first_drop =
+            outcomes.iter().position(|o| !o.is_admitted()).expect("tiny chip must eventually drop");
         // Everything up to the drop was admitted, and insurance is nearly
         // full at the drop point.
         assert!(mmu.insurance_occupancy(0) + 1000 > 50_000);
@@ -806,8 +975,8 @@ mod tests {
         assert!(mmu.port_paused(0));
         let mut port_resumed = false;
         for o in &outcomes {
-            if o.region.is_some() {
-                let acts = mmu.on_departure(0, 0, 1500);
+            if let Some(r) = o.region {
+                let acts = mmu.on_departure(0, 0, 1500, r);
                 if acts.iter().any(|a| matches!(a, FcAction::PortResume { port: 0 })) {
                     port_resumed = true;
                 }
@@ -855,13 +1024,37 @@ mod tests {
         let hw = mmu.port_headroom_occupancy(0);
         assert!(hw > 0);
         for o in &outcomes {
-            if o.region.is_some() {
-                let _ = mmu.on_departure(0, 0, 1500);
+            if let Some(r) = o.region {
+                let _ = mmu.on_departure(0, 0, 1500, r);
             }
         }
         let peaks = mmu.take_headroom_peaks();
         assert_eq!(peaks[0], vec![hw]);
         assert!(peaks[1].is_empty());
+    }
+
+    #[test]
+    fn take_headroom_peaks_flushes_inprogress_peak() {
+        // Occupancy still rising when measurement ends: the in-progress
+        // maximum must be reported, not silently lost.
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = blast(&mut mmu, 0, 0, 400, 1500);
+        let hw = mmu.port_headroom_occupancy(0);
+        assert!(hw > 0, "burst must reach headroom");
+        let peaks = mmu.take_headroom_peaks();
+        assert_eq!(peaks[0], vec![hw]);
+        // A second take without new traffic reports nothing new.
+        assert!(mmu.take_headroom_peaks()[0].is_empty());
+    }
+
+    #[test]
+    fn reset_occupancy_flushes_peak_before_clearing() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let _ = blast(&mut mmu, 0, 0, 1000, 1500);
+        let hw = mmu.port_headroom_occupancy(0);
+        assert!(hw > 0, "burst must reach insurance");
+        mmu.reset_occupancy();
+        assert_eq!(mmu.take_headroom_peaks()[0], vec![hw]);
     }
 
     #[test]
@@ -919,6 +1112,14 @@ mod tests {
         assert!(outcomes.iter().any(|o| !o.is_admitted()), "ablated DSH must drop");
         assert_eq!(ablated.stats().port_pauses, 0, "no port-level FC when ablated");
         assert_eq!(ablated.insurance_occupancy(0), 0);
+        // Attribution names the ablation, not a full insurance pool.
+        let n_drop = outcomes.iter().filter(|o| !o.is_admitted()).count() as u64;
+        assert_eq!(ablated.drop_attribution().insurance_disabled, n_drop);
+        assert_eq!(ablated.drop_attribution().insurance_full, 0);
+        assert!(outcomes
+            .iter()
+            .filter(|o| !o.is_admitted())
+            .all(|o| o.drop_reason == Some(DropReason::InsuranceDisabled)));
     }
 
     #[test]
@@ -932,6 +1133,81 @@ mod tests {
     #[should_panic(expected = "departure exceeds admission")]
     fn mismatched_departure_panics() {
         let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
-        let _ = mmu.on_departure(0, 0, 100);
+        let _ = mmu.on_departure(0, 0, 100, Region::Shared);
+    }
+
+    #[test]
+    fn audit_is_clean_under_normal_operation() {
+        for scheme in [Scheme::Sih, Scheme::Dsh] {
+            let mut mmu = Mmu::new(small_cfg(scheme));
+            let outcomes = blast(&mut mmu, 0, 0, 500, 1500);
+            assert!(mmu.audit().is_clean(), "{scheme}: {}", mmu.audit());
+            // Partial drain keeps it clean too.
+            for o in outcomes.iter().take(100) {
+                if let Some(r) = o.region {
+                    let _ = mmu.on_departure(0, 0, 1500, r);
+                }
+            }
+            let report = mmu.audit();
+            assert!(report.is_clean(), "{scheme}: {report}");
+        }
+    }
+
+    #[test]
+    fn audit_names_injected_corruption() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Dsh));
+        let _ = blast(&mut mmu, 0, 0, 100, 1500);
+        mmu.corrupt_port_shared_sum_for_test(0, 500);
+        let report = mmu.audit();
+        assert!(!report.is_clean());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.invariant == "port-shared-sum-consistent")
+            .expect("corruption must be attributed to the shared-sum invariant");
+        assert_eq!(v.port, Some(0));
+        assert_eq!(v.actual, v.expected + 500);
+        // The rendered report names the invariant and the port.
+        let text = report.to_string();
+        assert!(text.contains("port-shared-sum-consistent"), "{text}");
+        assert!(text.contains("port 0"), "{text}");
+    }
+
+    #[test]
+    fn drops_carry_reason_and_attribution() {
+        // SIH: the decisive rule is always the static headroom.
+        let mut sih = Mmu::new(small_cfg(Scheme::Sih));
+        let outcomes = blast(&mut sih, 0, 0, 5000, 1000);
+        let dropped: Vec<_> = outcomes.iter().filter(|o| !o.is_admitted()).collect();
+        assert!(!dropped.is_empty());
+        assert!(dropped.iter().all(|o| o.drop_reason == Some(DropReason::HeadroomFull)));
+        let attr = sih.drop_attribution();
+        assert_eq!(attr.headroom_full, dropped.len() as u64);
+        assert_eq!(attr.private_full, dropped.len() as u64);
+        assert!(attr.dt_threshold > 0, "shared rejections go through the DT rule");
+        assert_eq!(attr.insurance_full + attr.insurance_disabled, 0);
+
+        // DSH: insurance is the decisive rule.
+        let mut dsh = Mmu::new(small_cfg(Scheme::Dsh));
+        let outcomes = blast(&mut dsh, 0, 0, 20_000, 1000);
+        let n_drop = outcomes.iter().filter(|o| !o.is_admitted()).count() as u64;
+        assert!(n_drop > 0);
+        assert_eq!(dsh.drop_attribution().insurance_full, n_drop);
+        assert!(outcomes
+            .iter()
+            .filter(|o| !o.is_admitted())
+            .all(|o| o.drop_reason == Some(DropReason::InsuranceFull)));
+    }
+
+    #[test]
+    fn port_drops_name_the_ingress_port() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
+        let _ = blast(&mut mmu, 1, 0, 5000, 1000);
+        let st = mmu.stats();
+        assert!(st.dropped_packets > 0);
+        let per_port = mmu.port_drops();
+        assert_eq!(per_port[1].packets, st.dropped_packets);
+        assert_eq!(per_port[1].bytes, st.dropped_bytes);
+        assert_eq!(per_port[0], PortDrops::default());
     }
 }

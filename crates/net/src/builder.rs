@@ -226,17 +226,9 @@ impl NetworkBuilder {
                             })
                         })
                         .collect();
-                    let default_eta = port_etas
-                        .iter()
-                        .copied()
-                        .max()
-                        .unwrap_or_else(|| {
-                            headroom::eta(
-                                Bandwidth::from_gbps(100),
-                                Delta::from_us(2),
-                                self.params.mtu,
-                            )
-                        });
+                    let default_eta = port_etas.iter().copied().max().unwrap_or_else(|| {
+                        headroom::eta(Bandwidth::from_gbps(100), Delta::from_us(2), self.params.mtu)
+                    });
                     let mut builder = MmuConfig::builder();
                     builder
                         .scheme(self.params.scheme)
@@ -255,6 +247,9 @@ impl NetworkBuilder {
                         ports: nports,
                         mmu: Mmu::new(cfg),
                         routes: table,
+                        occupancy: crate::monitor::OccupancySeries::new(
+                            self.params.sample_interval,
+                        ),
                     }));
                 }
             }

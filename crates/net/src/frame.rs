@@ -105,7 +105,11 @@ impl Frame {
     /// Builds a CNP control frame.
     #[must_use]
     pub fn cnp(flow: FlowId, dst: NodeId) -> Frame {
-        Frame { bytes: CONTROL_FRAME_BYTES, class: CONTROL_CLASS, kind: FrameKind::Cnp { flow, dst } }
+        Frame {
+            bytes: CONTROL_FRAME_BYTES,
+            class: CONTROL_CLASS,
+            kind: FrameKind::Cnp { flow, dst },
+        }
     }
 
     /// Builds a PFC control frame.
@@ -160,7 +164,13 @@ mod tests {
         assert!(d.is_data());
         assert_eq!(d.dst(), Some(NodeId(2)));
 
-        let a = Frame::ack(AckFrame { flow: FlowId(1), dst: NodeId(0), acked: 1500, ecn_echo: true, hops: vec![] });
+        let a = Frame::ack(AckFrame {
+            flow: FlowId(1),
+            dst: NodeId(0),
+            acked: 1500,
+            ecn_echo: true,
+            hops: vec![],
+        });
         assert_eq!(a.bytes, CONTROL_FRAME_BYTES);
         assert_eq!(a.class, CONTROL_CLASS);
         assert_eq!(a.dst(), Some(NodeId(0)));

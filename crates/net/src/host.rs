@@ -125,7 +125,9 @@ impl HostNode {
     /// Panics if the host was never linked into the topology.
     #[must_use]
     pub fn uplink(&self) -> &EgressPort {
-        self.port.as_ref().unwrap_or_else(|| panic!("host {} has no uplink; call NetworkBuilder::link", self.id))
+        self.port
+            .as_ref()
+            .unwrap_or_else(|| panic!("host {} has no uplink; call NetworkBuilder::link", self.id))
     }
 
     /// Mutable access to the uplink port.

@@ -72,7 +72,10 @@ pub use builder::{NetParams, NetworkBuilder};
 pub use ecn::EcnConfig;
 pub use frame::{AckFrame, DataFrame, Frame, FrameKind, PfcFrame, PfcScope};
 pub use ids::{FlowId, NodeId, CONTROL_CLASS, NUM_CLASSES, NUM_DATA_CLASSES};
-pub use monitor::{DeadlockReport, FctRecord, PauseLedger, ThroughputSample};
+pub use monitor::{
+    DeadlockReport, DurationHistogram, FctRecord, OccupancyPoint, OccupancySeries, PauseLedger,
+    PortPauseTelemetry, SwitchTelemetry, TelemetryReport, ThroughputSample,
+};
 pub use network::{FlowSpec, NetEvent, Network};
 pub use port::{EgressPort, IngressTag, QueuedFrame, DWRR_QUANTUM};
 pub use routing::{ecmp_hash, RouteTable};

@@ -1,8 +1,15 @@
-//! Measurement plumbing: FCT records, throughput samples, pause ledgers
-//! and deadlock reports.
+//! Measurement plumbing: FCT records, throughput samples, pause ledgers,
+//! deadlock reports and the structured telemetry export.
+//!
+//! [`TelemetryReport`] is the network's one-stop observability snapshot:
+//! per-switch MMU audits, drop attribution, per-port PFC pause durations
+//! with pause→resume latency histograms, and occupancy time series —
+//! all serializable to JSON via [`TelemetryReport::to_json`] so figure
+//! binaries and integration tests consume the same data.
 
 use crate::ids::{FlowId, NodeId};
-use dsh_simcore::{Delta, Time};
+use dsh_core::{AuditReport, DropAttribution, MmuStats, PortDrops};
+use dsh_simcore::{Delta, Json, Time};
 
 /// Completion record of one flow (taken when the receiver gets the last
 /// payload byte).
@@ -56,6 +63,337 @@ impl PauseLedger {
     }
 }
 
+/// Number of log₂-spaced buckets in a [`DurationHistogram`] (covers the
+/// full `u64` nanosecond range).
+const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of durations (nanosecond resolution).
+///
+/// Bucket `k` counts durations in `[2^k, 2^(k+1))` ns; bucket 0 also
+/// absorbs sub-nanosecond durations. Used for PFC pause→resume latency
+/// distributions, where the interesting signal spans ~100 ns (one PFC
+/// processing delay) to milliseconds (a wedged port).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DurationHistogram {
+    counts: [u64; HIST_BUCKETS],
+    count: u64,
+    total: Delta,
+    max: Delta,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            total: Delta::ZERO,
+            max: Delta::ZERO,
+        }
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        DurationHistogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Delta) {
+        let ns = d.as_ns();
+        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.total += d;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations.
+    #[must_use]
+    pub fn total(&self) -> Delta {
+        self.total
+    }
+
+    /// Largest recorded duration.
+    #[must_use]
+    pub fn max(&self) -> Delta {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, in ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = (Delta, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(k, &c)| {
+            let lower = if k == 0 { 0 } else { 1u64 << k };
+            (Delta::from_ns(lower), c)
+        })
+    }
+
+    /// JSON form: counters plus the non-empty buckets
+    /// (`{"ge_ns": 2^k, "count": c}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("count", self.count)
+            .with("total_ns", self.total.as_ns())
+            .with("max_ns", self.max.as_ns())
+            .with(
+                "buckets",
+                Json::Arr(
+                    self.buckets()
+                        .map(|(lo, c)| Json::object().with("ge_ns", lo.as_ns()).with("count", c))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// One point of a buffer-occupancy time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OccupancyPoint {
+    /// Start of the sampling window.
+    pub time: Time,
+    /// Peak buffered bytes observed during the window.
+    pub bytes: u64,
+}
+
+/// A switch's buffered-bytes time series, sampled on every arrival and
+/// departure and coalesced to one point (the window's peak) per
+/// `resolution` so long runs stay bounded in memory.
+#[derive(Clone, Debug)]
+pub struct OccupancySeries {
+    resolution: Delta,
+    current: u64,
+    points: Vec<OccupancyPoint>,
+    window: Option<OccupancyPoint>,
+}
+
+impl OccupancySeries {
+    /// An empty series coalescing at `resolution`.
+    #[must_use]
+    pub fn new(resolution: Delta) -> Self {
+        OccupancySeries { resolution, current: 0, points: Vec::new(), window: None }
+    }
+
+    /// Records `bytes` entering the buffer at `now`.
+    pub fn add(&mut self, now: Time, bytes: u64) {
+        self.current += bytes;
+        self.observe(now);
+    }
+
+    /// Records `bytes` leaving the buffer at `now`.
+    pub fn sub(&mut self, now: Time, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+        self.observe(now);
+    }
+
+    fn observe(&mut self, now: Time) {
+        match &mut self.window {
+            Some(w) if now.saturating_since(w.time) < self.resolution => {
+                w.bytes = w.bytes.max(self.current);
+            }
+            _ => {
+                if let Some(w) = self.window.take() {
+                    self.points.push(w);
+                }
+                self.window = Some(OccupancyPoint { time: now, bytes: self.current });
+            }
+        }
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The series so far, including the in-progress window.
+    #[must_use]
+    pub fn points(&self) -> Vec<OccupancyPoint> {
+        let mut out = self.points.clone();
+        if let Some(w) = self.window {
+            out.push(w);
+        }
+        out
+    }
+}
+
+/// PFC pause telemetry for one egress port: QOFF/POFF wall-clock totals
+/// and the distribution of closed pause→resume intervals.
+#[derive(Clone, Debug)]
+pub struct PortPauseTelemetry {
+    /// Node owning the egress port.
+    pub node: NodeId,
+    /// Port index.
+    pub port: usize,
+    /// Total queue-level (QOFF) pause time, summed over classes,
+    /// including any still-open interval.
+    pub queue_level: Delta,
+    /// Total port-level (POFF) pause time, including any open interval.
+    pub port_level: Delta,
+    /// Pause→resume latency of every *closed* pause interval (queue- and
+    /// port-level merged).
+    pub pause_latency: DurationHistogram,
+}
+
+impl PortPauseTelemetry {
+    /// JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("node", self.node.0)
+            .with("port", self.port)
+            .with("queue_pause_ns", self.queue_level.as_ns())
+            .with("port_pause_ns", self.port_level.as_ns())
+            .with("pause_latency", self.pause_latency.to_json())
+    }
+}
+
+/// One switch's slice of a [`TelemetryReport`].
+#[derive(Clone, Debug)]
+pub struct SwitchTelemetry {
+    /// The switch.
+    pub node: NodeId,
+    /// Invariant audit at report time ([`dsh_core::Mmu::audit`]).
+    pub audit: AuditReport,
+    /// Aggregate MMU counters.
+    pub stats: MmuStats,
+    /// Which admission rules rejected the dropped packets.
+    pub attribution: DropAttribution,
+    /// Drops by ingress port (index = port).
+    pub port_drops: Vec<PortDrops>,
+    /// Buffered-bytes time series.
+    pub occupancy: Vec<OccupancyPoint>,
+}
+
+impl SwitchTelemetry {
+    /// JSON form. `port_drops` lists only ports that actually dropped.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let drops: Vec<Json> = self
+            .port_drops
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.packets > 0)
+            .map(|(p, d)| {
+                Json::object().with("port", p).with("packets", d.packets).with("bytes", d.bytes)
+            })
+            .collect();
+        let occupancy: Vec<Json> = self
+            .occupancy
+            .iter()
+            .map(|pt| Json::object().with("t_ns", pt.time.as_ns()).with("bytes", pt.bytes))
+            .collect();
+        Json::object()
+            .with("node", self.node.0)
+            .with("audit", self.audit.to_json())
+            .with(
+                "stats",
+                Json::object()
+                    .with("admitted_packets", self.stats.admitted_packets)
+                    .with("dropped_packets", self.stats.dropped_packets)
+                    .with("dropped_bytes", self.stats.dropped_bytes)
+                    .with("queue_pauses", self.stats.queue_pauses)
+                    .with("queue_resumes", self.stats.queue_resumes)
+                    .with("port_pauses", self.stats.port_pauses)
+                    .with("port_resumes", self.stats.port_resumes),
+            )
+            .with(
+                "drop_attribution",
+                Json::object()
+                    .with("private_full", self.attribution.private_full)
+                    .with("dt_threshold", self.attribution.dt_threshold)
+                    .with("shared_cap", self.attribution.shared_cap)
+                    .with("port_paused", self.attribution.port_paused)
+                    .with("headroom_full", self.attribution.headroom_full)
+                    .with("insurance_full", self.attribution.insurance_full)
+                    .with("insurance_disabled", self.attribution.insurance_disabled),
+            )
+            .with("port_drops", Json::Arr(drops))
+            .with("occupancy", Json::Arr(occupancy))
+    }
+}
+
+/// A structured snapshot of everything the network can observe about PFC
+/// and buffer behaviour; see [`crate::Network::telemetry_report`].
+#[derive(Clone, Debug)]
+pub struct TelemetryReport {
+    /// Snapshot instant.
+    pub generated_at: Time,
+    /// Data packets dropped by MMU admission across the network.
+    pub data_drops: u64,
+    /// Frames dropped by the PFC watchdog.
+    pub watchdog_drops: u64,
+    /// Per-switch MMU telemetry.
+    pub switches: Vec<SwitchTelemetry>,
+    /// Per-egress-port pause telemetry (every node, hosts included).
+    pub ports: Vec<PortPauseTelemetry>,
+}
+
+impl TelemetryReport {
+    /// Human-readable descriptions of every losslessness violation:
+    /// ingress drops named by `(switch, port)` and audit violations named
+    /// by `(switch, invariant, port, queue)`. Empty ⇔ the run was clean.
+    #[must_use]
+    pub fn lossless_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for sw in &self.switches {
+            for (port, d) in sw.port_drops.iter().enumerate() {
+                if d.packets > 0 {
+                    out.push(format!(
+                        "switch {} port {port}: dropped {} packets ({} B) at ingress",
+                        sw.node, d.packets, d.bytes
+                    ));
+                }
+            }
+            for v in &sw.audit.violations {
+                out.push(format!("switch {}: invariant {v}", sw.node));
+            }
+        }
+        out
+    }
+
+    /// JSON form of the whole report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("generated_at_ns", self.generated_at.as_ns())
+            .with("data_drops", self.data_drops)
+            .with("watchdog_drops", self.watchdog_drops)
+            .with(
+                "switches",
+                Json::Arr(self.switches.iter().map(SwitchTelemetry::to_json).collect()),
+            )
+            .with("ports", Json::Arr(self.ports.iter().map(PortPauseTelemetry::to_json).collect()))
+    }
+}
+
 /// Result of deadlock detection over a run (Fig. 12).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct DeadlockReport {
@@ -71,8 +409,86 @@ mod tests {
 
     #[test]
     fn fct_arithmetic() {
-        let r = FctRecord { flow: FlowId(0), size: 64_000, start: Time::from_us(10), finish: Time::from_us(110) };
+        let r = FctRecord {
+            flow: FlowId(0),
+            size: 64_000,
+            start: Time::from_us(10),
+            finish: Time::from_us(110),
+        };
         assert_eq!(r.fct(), Delta::from_us(100));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_ns() {
+        let mut h = DurationHistogram::new();
+        h.record(Delta::from_ns(1)); // bucket 0
+        h.record(Delta::from_ns(3)); // bucket 1: [2, 4)
+        h.record(Delta::from_us(1)); // bucket 9: [512, 1024)
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), Delta::from_ns(1004));
+        assert_eq!(h.max(), Delta::from_us(1));
+        let buckets: Vec<(u64, u64)> = h.buckets().map(|(lo, c)| (lo.as_ns(), c)).collect();
+        assert_eq!(buckets, vec![(0, 1), (2, 1), (512, 1)]);
+
+        let mut other = DurationHistogram::new();
+        other.record(Delta::from_ms(2));
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Delta::from_ms(2));
+
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("buckets").unwrap().as_arr().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn occupancy_series_coalesces_to_window_peaks() {
+        let mut s = OccupancySeries::new(Delta::from_us(10));
+        s.add(Time::from_us(0), 1000);
+        s.add(Time::from_us(2), 3000); // same window: peak 4000
+        s.sub(Time::from_us(4), 3500); // still same window
+        s.add(Time::from_us(15), 2000); // new window
+        assert_eq!(s.current(), 2500);
+        let pts = s.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], OccupancyPoint { time: Time::from_us(0), bytes: 4000 });
+        assert_eq!(pts[1], OccupancyPoint { time: Time::from_us(15), bytes: 2500 });
+    }
+
+    #[test]
+    fn lossless_violations_name_switch_and_port() {
+        use dsh_core::{AuditViolation, PortDrops};
+        let report = TelemetryReport {
+            generated_at: Time::ZERO,
+            data_drops: 2,
+            watchdog_drops: 0,
+            switches: vec![SwitchTelemetry {
+                node: NodeId(4),
+                audit: AuditReport {
+                    scheme: dsh_core::Scheme::Dsh,
+                    snapshot: Default::default(),
+                    violations: vec![AuditViolation {
+                        invariant: "total-shared-consistent",
+                        port: None,
+                        queue: None,
+                        expected: 0,
+                        actual: 500,
+                    }],
+                },
+                stats: Default::default(),
+                attribution: Default::default(),
+                port_drops: vec![PortDrops::default(), PortDrops { packets: 2, bytes: 3000 }],
+                occupancy: vec![],
+            }],
+            ports: vec![],
+        };
+        let v = report.lossless_violations();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("port 1") && v[0].contains("2 packets"), "{}", v[0]);
+        assert!(v[1].contains("total-shared-consistent"), "{}", v[1]);
+        // The JSON export round-trips through text.
+        let j = report.to_json();
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
     }
 
     #[test]

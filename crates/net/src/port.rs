@@ -3,6 +3,8 @@
 
 use crate::frame::Frame;
 use crate::ids::{NodeId, CONTROL_CLASS, NUM_CLASSES};
+use crate::monitor::DurationHistogram;
+use dsh_core::Region;
 use dsh_simcore::{Bandwidth, Delta, Time};
 use std::collections::VecDeque;
 
@@ -17,6 +19,9 @@ pub struct IngressTag {
     pub in_port: usize,
     /// MMU queue (lossless class) it was accounted under.
     pub in_queue: usize,
+    /// Buffer segment it was admitted into (the per-packet pool tag a real
+    /// MMU keeps; released exactly on departure).
+    pub region: Region,
 }
 
 /// A frame waiting in an egress queue.
@@ -29,12 +34,14 @@ pub struct QueuedFrame {
 }
 
 /// Per-class pause bookkeeping: total paused wall-clock (Fig. 11's
-/// metric) and the currently open pause interval.
-#[derive(Clone, Copy, Debug, Default)]
+/// metric), the currently open pause interval, and the distribution of
+/// closed pause→resume intervals (telemetry).
+#[derive(Clone, Debug, Default)]
 struct PauseClock {
     paused: bool,
     since: Time,
     total: Delta,
+    closed: DurationHistogram,
 }
 
 impl PauseClock {
@@ -48,7 +55,9 @@ impl PauseClock {
             self.since = now;
         } else if !pause && self.paused {
             self.paused = false;
-            self.total += now - self.since;
+            let d = now - self.since;
+            self.total += d;
+            self.closed.record(d);
         }
     }
 
@@ -206,6 +215,17 @@ impl EgressPort {
         self.port_pause.total_at(now)
     }
 
+    /// Distribution of every *closed* pause→resume interval observed at
+    /// this port, queue-level (all classes) and port-level merged.
+    #[must_use]
+    pub fn pause_latency_histogram(&self) -> DurationHistogram {
+        let mut h = self.port_pause.closed.clone();
+        for c in &self.class_pause {
+            h.merge(&c.closed);
+        }
+        h
+    }
+
     /// Enqueues a frame for transmission.
     pub fn enqueue(&mut self, qf: QueuedFrame) {
         let c = qf.frame.class as usize;
@@ -358,7 +378,10 @@ mod tests {
     fn control_class_has_strict_priority() {
         let mut p = port();
         p.enqueue(data_frame(0, 1500));
-        p.enqueue(QueuedFrame { frame: Frame::pfc(crate::frame::PfcScope::Port, true), ingress: None });
+        p.enqueue(QueuedFrame {
+            frame: Frame::pfc(crate::frame::PfcScope::Port, true),
+            ingress: None,
+        });
         let first = p.pick(Time::ZERO).unwrap();
         assert_eq!(first.frame.class, CONTROL_CLASS);
         let second = p.pick(Time::ZERO).unwrap();
@@ -423,7 +446,10 @@ mod tests {
     fn port_pause_blocks_all_data_but_not_control() {
         let mut p = port();
         p.enqueue(data_frame(0, 1500));
-        p.enqueue(QueuedFrame { frame: Frame::pfc(crate::frame::PfcScope::Queue(0), false), ingress: None });
+        p.enqueue(QueuedFrame {
+            frame: Frame::pfc(crate::frame::PfcScope::Queue(0), false),
+            ingress: None,
+        });
         p.apply_port_pause(true, Time::ZERO);
         let qf = p.pick(Time::ZERO).unwrap();
         assert_eq!(qf.frame.class, CONTROL_CLASS, "control is pause-exempt");
@@ -441,6 +467,23 @@ mod tests {
         // Double-pause is idempotent.
         p.apply_class_pause(2, true, Time::from_us(70));
         assert_eq!(p.class_pause_total(2, Time::from_us(80)), Delta::from_us(55));
+        // Only the closed interval is in the latency histogram.
+        let h = p.pause_latency_histogram();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.total(), Delta::from_us(25));
+    }
+
+    #[test]
+    fn pause_latency_histogram_merges_queue_and_port_level() {
+        let mut p = port();
+        p.apply_class_pause(0, true, Time::from_us(0));
+        p.apply_class_pause(0, false, Time::from_us(5));
+        p.apply_port_pause(true, Time::from_us(10));
+        p.apply_port_pause(false, Time::from_us(40));
+        let h = p.pause_latency_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), Delta::from_us(35));
+        assert_eq!(h.max(), Delta::from_us(30));
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl FatTree {
 /// Panics if `k` is odd or zero.
 #[must_use]
 pub fn fat_tree(params: NetParams, k: usize, link: Bandwidth, delay: Delta) -> FatTree {
-    assert!(k > 0 && k % 2 == 0, "fat-tree arity must be even");
+    assert!(k > 0 && k.is_multiple_of(2), "fat-tree arity must be even");
     let half = k / 2;
     let mut b = NetworkBuilder::new(params);
 

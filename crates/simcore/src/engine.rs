@@ -201,11 +201,7 @@ mod tests {
         assert_eq!(sim.run(), 3);
         assert_eq!(
             sim.model().log,
-            vec![
-                (Time::from_ns(10), 1),
-                (Time::from_ns(20), 2),
-                (Time::from_ns(30), 3)
-            ]
+            vec![(Time::from_ns(10), 1), (Time::from_ns(20), 2), (Time::from_ns(30), 3)]
         );
     }
 

@@ -1,0 +1,400 @@
+//! A minimal JSON document model: build, serialize, parse.
+//!
+//! The telemetry layer exports structured reports as JSON so that figure
+//! binaries, integration tests and external tooling can consume them.
+//! This workspace builds offline (no serde), so the document model is
+//! hand-rolled: [`Json`] values serialize via `Display` and parse back
+//! with [`Json::parse`] — enough for round-tripping telemetry reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (stored as `f64`; integers up to 2^53 round-trip exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are ordered (BTreeMap) so output is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(m) => {
+                m.insert(key.to_string(), value.into());
+            }
+            _ => panic!("Json::with on a non-object"),
+        }
+        self
+    }
+
+    /// Member lookup on objects; `None` otherwise.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if losslessly representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(v) => {
+                f.write_str("[")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(out));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut out = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                out.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(out));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always on a boundary).
+                let len = match c {
+                    0..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(&b[*pos..*pos + len])
+                    .map_err(|_| format!("bad UTF-8 at byte {pos}"))?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let j = Json::object()
+            .with("name", "switch-3")
+            .with("drops", 7u64)
+            .with("lossless", true)
+            .with("series", vec![1u64, 2, 3]);
+        assert_eq!(j.get("name").and_then(Json::as_str), Some("switch-3"));
+        assert_eq!(j.get("drops").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("series").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let j = Json::object()
+            .with("esc", "a\"b\\c\nd")
+            .with("neg", -2.5)
+            .with("nested", Json::object().with("x", Json::Null))
+            .with("arr", Json::Arr(vec![Json::Bool(false), Json::Num(1e9)]));
+        let text = j.to_string();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn parses_whitespace_and_unicode() {
+        let j = Json::parse(" { \"k\" : [ 1 , { \"µ\": \"\\u00b5\" } ] } ").unwrap();
+        let arr = j.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("µ").unwrap().as_str(), Some("µ"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn big_integers_round_trip() {
+        let j = Json::from(16u64 * 1024 * 1024 * 1024);
+        let back = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(back.as_u64(), Some(16 * 1024 * 1024 * 1024));
+    }
+}

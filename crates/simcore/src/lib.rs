@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod json;
 mod queue;
 mod rng;
 mod time;
 mod units;
 
 pub use engine::{Model, Scheduler, Simulation};
+pub use json::Json;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Delta, Time};

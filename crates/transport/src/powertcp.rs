@@ -259,9 +259,15 @@ mod tests {
         assert!(cc.cwnd_bytes() >= 1500);
         for i in 0..500u64 {
             // Zero power: idle network.
-            cc.on_ack(Time::from_us(20_000 + i * 20), &ack(&[hop(0, 1_000_000_000, 19_990 + i * 20)]));
+            cc.on_ack(
+                Time::from_us(20_000 + i * 20),
+                &ack(&[hop(0, 1_000_000_000, 19_990 + i * 20)]),
+            );
         }
-        assert!(cc.cwnd_bytes() <= PowerTcpConfig::for_link(Bandwidth::from_gbps(100), Delta::from_us(16)).max_cwnd);
+        assert!(
+            cc.cwnd_bytes()
+                <= PowerTcpConfig::for_link(Bandwidth::from_gbps(100), Delta::from_us(16)).max_cwnd
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! In-band network telemetry (INT) records, the feedback signal PowerTCP
 //! consumes.
 
-use dsh_simcore::{Bandwidth, Time};
+use dsh_simcore::{Bandwidth, Json, Time};
 
 /// One hop's telemetry, stamped by a switch when it dequeues a data packet
 /// and echoed back to the sender in the ACK.
@@ -18,6 +18,19 @@ pub struct TelemetryHop {
     pub bandwidth: Bandwidth,
 }
 
+impl TelemetryHop {
+    /// JSON form, matching the field layout of the network-level
+    /// telemetry export.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("qlen_bytes", self.qlen_bytes)
+            .with("tx_bytes", self.tx_bytes)
+            .with("timestamp_ns", self.timestamp.as_ns())
+            .with("bandwidth_gbps", self.bandwidth.as_gbps_f64())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,5 +45,19 @@ mod tests {
         };
         let h2 = h;
         assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn telemetry_hop_json_roundtrips() {
+        let h = TelemetryHop {
+            qlen_bytes: 1500,
+            tx_bytes: 1_000_000,
+            timestamp: Time::from_us(3),
+            bandwidth: Bandwidth::from_gbps(100),
+        };
+        let j = h.to_json();
+        assert_eq!(j.get("qlen_bytes").unwrap().as_u64(), Some(1500));
+        assert_eq!(j.get("bandwidth_gbps").unwrap().as_f64(), Some(100.0));
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
     }
 }

@@ -57,8 +57,16 @@ fn main() {
     let sih = limit(Scheme::Sih);
     let dsh = limit(Scheme::Dsh);
     let buffer = 16.0 * 1024.0 * 1024.0;
-    println!("  SIH: {:>10} B/sender  ({:>5.1}% of buffer in total)", sih, 16.0 * sih as f64 / buffer * 100.0);
-    println!("  DSH: {:>10} B/sender  ({:>5.1}% of buffer in total)", dsh, 16.0 * dsh as f64 / buffer * 100.0);
+    println!(
+        "  SIH: {:>10} B/sender  ({:>5.1}% of buffer in total)",
+        sih,
+        16.0 * sih as f64 / buffer * 100.0
+    );
+    println!(
+        "  DSH: {:>10} B/sender  ({:>5.1}% of buffer in total)",
+        dsh,
+        16.0 * dsh as f64 / buffer * 100.0
+    );
     println!("  measured gain: {:.2}x", dsh as f64 / sih as f64);
 
     // Cross-check with §IV-C: the closed forms use normalized time; the

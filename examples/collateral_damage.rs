@@ -37,7 +37,14 @@ fn victim_series(scheme: Scheme, cc: CcKind) -> Vec<ThroughputSample> {
         .collect();
     let mut net = b.build();
 
-    let f0 = net.add_flow(FlowSpec { src: h0, dst: r0, size: 40_000_000, class: 0, start: Time::ZERO, cc });
+    let f0 = net.add_flow(FlowSpec {
+        src: h0,
+        dst: r0,
+        size: 40_000_000,
+        class: 0,
+        start: Time::ZERO,
+        cc,
+    });
     net.add_flow(FlowSpec { src: h1, dst: r1, size: 40_000_000, class: 0, start: Time::ZERO, cc });
     for &h in &fan {
         // 64 KB < 1 BDP: uncontrollable by any end-to-end CC in its first
@@ -74,6 +81,10 @@ fn main() {
                 .map(|s| s.gbps)
                 .fold(f64::INFINITY, f64::min)
         };
-        println!("victim min throughput after burst: SIH {:.1} Gb/s vs DSH {:.1} Gb/s\n", min(&sih), min(&dsh));
+        println!(
+            "victim min throughput after burst: SIH {:.1} Gb/s vs DSH {:.1} Gb/s\n",
+            min(&sih),
+            min(&dsh)
+        );
     }
 }

@@ -34,12 +34,7 @@ fn run(scheme: Scheme, seed: u64) -> (Option<FctSummary>, Option<FctSummary>) {
     let mut rng = SimRng::new(seed);
     let horizon = Time::from_ms(2);
     let dist = FlowSizeDist::from_workload(Workload::WebSearch);
-    let cfg = PatternConfig {
-        hosts: hosts.len(),
-        host_bytes_per_sec: 12.5e9,
-        load: 0.6,
-        horizon,
-    };
+    let cfg = PatternConfig { hosts: hosts.len(), host_bytes_per_sec: 12.5e9, load: 0.6, horizon };
     let mut fan_ids = Vec::new();
     for f in background_flows(&cfg, &dist, &[0, 1, 2, 3, 4, 5], &mut rng) {
         net.add_flow(FlowSpec {
@@ -69,18 +64,10 @@ fn run(scheme: Scheme, seed: u64) -> (Option<FctSummary>, Option<FctSummary>) {
     let net = sim.into_model();
     assert_eq!(net.data_drops(), 0, "lossless fabric dropped packets");
 
-    let fan: Vec<_> = net
-        .fct_records()
-        .iter()
-        .filter(|r| fan_ids.contains(&r.flow))
-        .map(|r| r.fct())
-        .collect();
-    let bg: Vec<_> = net
-        .fct_records()
-        .iter()
-        .filter(|r| !fan_ids.contains(&r.flow))
-        .map(|r| r.fct())
-        .collect();
+    let fan: Vec<_> =
+        net.fct_records().iter().filter(|r| fan_ids.contains(&r.flow)).map(|r| r.fct()).collect();
+    let bg: Vec<_> =
+        net.fct_records().iter().filter(|r| !fan_ids.contains(&r.flow)).map(|r| r.fct()).collect();
     (FctSummary::from_fcts(&fan), FctSummary::from_fcts(&bg))
 }
 

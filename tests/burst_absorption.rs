@@ -43,10 +43,7 @@ fn dsh_absorbs_several_times_more_burst_than_sih() {
     let dsh = pause_free_limit(Scheme::Dsh);
     assert!(sih > 0, "SIH must absorb something");
     // Paper Fig. 11: DSH absorbs over 4x more (40% vs <10% of buffer).
-    assert!(
-        dsh >= 3 * sih,
-        "DSH {dsh} bytes vs SIH {sih} bytes per sender"
-    );
+    assert!(dsh >= 3 * sih, "DSH {dsh} bytes vs SIH {sih} bytes per sender");
 }
 
 #[test]

@@ -45,3 +45,17 @@ pub fn run(net: Network, deadline: Time) -> Network {
     sim.run_until(deadline);
     sim.into_model()
 }
+
+/// Asserts the run was lossless and internally consistent. On failure the
+/// message names each offending switch, port, and violated invariant
+/// (from [`Network::telemetry_report`]) instead of a bare counter.
+pub fn assert_lossless(net: &Network, now: Time) {
+    let report = net.telemetry_report(now);
+    let violations = report.lossless_violations();
+    assert!(
+        violations.is_empty() && net.data_drops() == 0,
+        "losslessness violated ({} data drops):\n{}",
+        net.data_drops(),
+        violations.join("\n")
+    );
+}

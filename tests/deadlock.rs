@@ -33,9 +33,13 @@ fn dsh_survives_where_sih_deadlocks() {
     let sih_hits = sih.iter().filter(|r| r.onset.is_some()).count();
     let dsh_hits = dsh.iter().filter(|r| r.onset.is_some()).count();
     assert!(sih_hits >= 1, "SIH never deadlocked; scenario too gentle");
+    // On failure, name the wedged switch egress ports of every DSH run so
+    // the report says *where* the fabric stuck, not just that it did.
+    let dsh_blocked: Vec<&String> = dsh.iter().flat_map(|r| r.blocked.iter()).collect();
     assert!(
         dsh_hits < sih_hits || (dsh_hits == 0 && sih_hits >= 1),
-        "DSH ({dsh_hits}/{seeds}) must deadlock less than SIH ({sih_hits}/{seeds})"
+        "DSH ({dsh_hits}/{seeds}) must deadlock less than SIH ({sih_hits}/{seeds}); \
+         wedged ports:\n{dsh_blocked:#?}"
     );
 }
 
@@ -44,7 +48,12 @@ fn no_failures_means_no_deadlock_even_for_sih() {
     // Same traffic without the link failures: shortest paths are direct
     // (no leaf bounce), so no cyclic buffer dependency can form.
     let r = run_once(Scheme::Sih, CcKind::Dcqcn, &Fig12Config { fail_links: false, ..cfg() }, 1);
-    assert!(r.onset.is_none(), "deadlock without a CBD: {:?}", r.onset);
+    assert!(
+        r.onset.is_none(),
+        "deadlock without a CBD at {:?}; wedged ports:\n{:#?}",
+        r.onset,
+        r.blocked
+    );
 }
 
 #[test]

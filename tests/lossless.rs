@@ -3,16 +3,18 @@
 
 mod common;
 
-use common::{add_incast, raw_params, run, star};
+use common::{add_incast, assert_lossless, raw_params, run, star};
 use dsh_core::Scheme;
 use dsh_simcore::Time;
 use dsh_transport::CcKind;
+
+const END: Time = Time::from_ms(100);
 
 fn incast_run(scheme: Scheme, senders: usize, size: u64) -> dsh_net::Network {
     let (mut net, hosts) = star(raw_params(scheme), senders + 1);
     let dst = hosts[senders];
     add_incast(&mut net, &hosts[..senders], dst, size, 0, Time::ZERO, CcKind::Uncontrolled);
-    run(net, Time::from_ms(100))
+    run(net, END)
 }
 
 #[test]
@@ -20,7 +22,7 @@ fn sih_extreme_incast_is_lossless() {
     // 16 senders x 2 MB = 32 MB into one 100G port: double the whole chip
     // buffer, squarely beyond SIH's footroom.
     let net = incast_run(Scheme::Sih, 16, 2_000_000);
-    assert_eq!(net.data_drops(), 0, "lossless network dropped data");
+    assert_lossless(&net, END);
     let st = net.mmu_stats();
     assert!(st.queue_pauses > 0, "incast must trigger PFC");
     assert_eq!(net.fct_records().len(), 16, "all flows must complete");
@@ -29,7 +31,7 @@ fn sih_extreme_incast_is_lossless() {
 #[test]
 fn dsh_extreme_incast_is_lossless() {
     let net = incast_run(Scheme::Dsh, 16, 2_000_000);
-    assert_eq!(net.data_drops(), 0, "lossless network dropped data");
+    assert_lossless(&net, END);
     let st = net.mmu_stats();
     assert!(st.queue_pauses > 0, "incast must trigger queue-level PFC");
     assert_eq!(net.fct_records().len(), 16, "all flows must complete");
@@ -42,10 +44,18 @@ fn dsh_port_level_insurance_is_lossless_under_multi_class_incast() {
     let (mut net, hosts) = star(raw_params(Scheme::Dsh), 17);
     let dst = hosts[16];
     for (i, &src) in hosts[..16].iter().enumerate() {
-        add_incast(&mut net, &[src], dst, 2_000_000, (i % 7) as u8, Time::ZERO, CcKind::Uncontrolled);
+        add_incast(
+            &mut net,
+            &[src],
+            dst,
+            2_000_000,
+            (i % 7) as u8,
+            Time::ZERO,
+            CcKind::Uncontrolled,
+        );
     }
-    let net = run(net, Time::from_ms(100));
-    assert_eq!(net.data_drops(), 0, "insurance headroom must prevent loss");
+    let net = run(net, END);
+    assert_lossless(&net, END);
     assert_eq!(net.fct_records().len(), 16);
 }
 
@@ -61,12 +71,13 @@ fn small_flows_complete_quickly_without_pauses() {
     // 64 KB at 100G is ~5.4 us serialization + 2 hops of 2 us propagation.
     assert!(fct < dsh_simcore::Delta::from_us(60), "fct {fct}");
     assert_eq!(net.mmu_stats().queue_pauses, 0);
-    assert_eq!(net.data_drops(), 0);
+    assert_lossless(&net, Time::from_ms(5));
 }
 
 #[test]
 fn mmu_buffers_fully_drain_after_the_storm() {
     let net = incast_run(Scheme::Dsh, 8, 500_000);
+    assert_lossless(&net, END);
     let st = net.mmu_stats();
     assert_eq!(st.queue_pauses, st.queue_resumes, "every pause must resume");
     assert_eq!(st.port_pauses, st.port_resumes, "every port pause must resume");

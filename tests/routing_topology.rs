@@ -6,7 +6,7 @@ mod common;
 use common::raw_params;
 use dsh_core::Scheme;
 use dsh_net::topology::{fat_tree, leaf_spine, LeafSpineShape};
-use dsh_net::{FlowSpec, NetworkBuilder};
+use dsh_net::FlowSpec;
 use dsh_simcore::{Bandwidth, Delta, Time};
 use dsh_transport::CcKind;
 
@@ -62,7 +62,14 @@ fn traffic_reroutes_around_a_failed_spine_link() {
     let src = ls.hosts[0][0];
     let dst = ls.hosts[1][0];
     let mut net = ls.builder.build();
-    net.add_flow(FlowSpec { src, dst, size: 500_000, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    net.add_flow(FlowSpec {
+        src,
+        dst,
+        size: 500_000,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
     let mut sim = net.into_sim();
     sim.run_until(Time::from_ms(5));
     let net = sim.into_model();
@@ -83,7 +90,14 @@ fn bounce_paths_form_after_the_fig12_failures() {
     let src = ls.hosts[0][0];
     let dst = ls.hosts[3][0];
     let mut net = ls.builder.build();
-    net.add_flow(FlowSpec { src, dst, size: 1500, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    net.add_flow(FlowSpec {
+        src,
+        dst,
+        size: 1500,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
     let mut sim = net.into_sim();
     sim.run_until(Time::from_ms(5));
     let net = sim.into_model();
@@ -104,7 +118,14 @@ fn fat_tree_all_pairs_reachable_across_pods() {
     for pod in 0..4 {
         let src = hosts[pod * per_pod];
         let dst = hosts[((pod + 1) % 4) * per_pod + 1];
-        net.add_flow(FlowSpec { src, dst, size: 64_000, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
+        net.add_flow(FlowSpec {
+            src,
+            dst,
+            size: 64_000,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
     }
     let mut sim = net.into_sim();
     sim.run_until(Time::from_ms(5));
@@ -119,8 +140,22 @@ fn intra_pod_and_intra_rack_paths_work() {
     let hosts = ft.all_hosts();
     let mut net = ft.builder.build();
     // Same edge switch (hosts 0,1) and same pod different edge (0, 2).
-    net.add_flow(FlowSpec { src: hosts[0], dst: hosts[1], size: 1500, class: 0, start: Time::ZERO, cc: CcKind::Uncontrolled });
-    net.add_flow(FlowSpec { src: hosts[0], dst: hosts[2], size: 1500, class: 1, start: Time::ZERO, cc: CcKind::Uncontrolled });
+    net.add_flow(FlowSpec {
+        src: hosts[0],
+        dst: hosts[1],
+        size: 1500,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
+    net.add_flow(FlowSpec {
+        src: hosts[0],
+        dst: hosts[2],
+        size: 1500,
+        class: 1,
+        start: Time::ZERO,
+        cc: CcKind::Uncontrolled,
+    });
     let mut sim = net.into_sim();
     sim.run_until(Time::from_ms(2));
     let net = sim.into_model();

@@ -43,10 +43,7 @@ fn congestion_control_reduces_pfc_pressure_vs_uncontrolled() {
     let dcqcn = incast_with(CcKind::Dcqcn, Scheme::Sih);
     let raw_pauses = raw.mmu_stats().queue_pauses;
     let dcqcn_pauses = dcqcn.mmu_stats().queue_pauses;
-    assert!(
-        dcqcn_pauses <= raw_pauses,
-        "DCQCN pauses {dcqcn_pauses} vs uncontrolled {raw_pauses}"
-    );
+    assert!(dcqcn_pauses <= raw_pauses, "DCQCN pauses {dcqcn_pauses} vs uncontrolled {raw_pauses}");
 }
 
 #[test]
@@ -66,10 +63,7 @@ fn powertcp_keeps_buffers_lower_than_dcqcn_in_steady_state() {
     };
     let d = steady_pauses(CcKind::Dcqcn);
     let p = steady_pauses(CcKind::PowerTcp);
-    assert!(
-        p <= d,
-        "PowerTCP steady-state pauses {p} must not exceed DCQCN's {d}"
-    );
+    assert!(p <= d, "PowerTCP steady-state pauses {p} must not exceed DCQCN's {d}");
 }
 
 #[test]
