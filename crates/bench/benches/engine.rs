@@ -1,18 +1,24 @@
 //! Microbenchmarks of the simulation substrate: event-calendar throughput
-//! and end-to-end events/second on a small incast.
+//! (heap path, same-instant fast lane, and mixes), end-to-end
+//! events/second on a small incast, and the parallel fig. 14 sweep —
+//! run with `DSH_BENCH_JSON=BENCH_PRn.json` to record a perf-trajectory
+//! point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dsh_bench::fabric::{FctExperiment, Topo};
+use dsh_bench::fig14;
 use dsh_core::Scheme;
 use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
-use dsh_simcore::{Bandwidth, Delta, EventQueue, Time};
+use dsh_simcore::{Bandwidth, Delta, EventQueue, Executor, Time};
 use dsh_transport::CcKind;
 
 fn event_queue_throughput(c: &mut Criterion) {
+    // Pure heap path: pushes land all over the timeline, never at "now".
     c.bench_function("event_queue_push_pop_10k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..10_000u64 {
-                q.push(Time::from_ns((i * 7919) % 100_000), i);
+                q.push(Time::from_ns((i * 7919) % 100_000 + 1), i);
             }
             let mut sum = 0u64;
             while let Some((_, e)) = q.pop() {
@@ -21,6 +27,77 @@ fn event_queue_throughput(c: &mut Criterion) {
             sum
         });
     });
+    // Pure fast-lane path: a same-instant cascade, the shape of
+    // `Scheduler::immediately` and PFC pause/resume storms.
+    c.bench_function("event_queue_same_instant_cascade_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(4);
+            q.push(Time::from_ns(1), 0u64);
+            let mut sum = 0u64;
+            while let Some((t, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+                if e < 100_000 {
+                    q.push(t, e + 1);
+                }
+            }
+            sum
+        });
+    });
+    // Mixed: each handled event schedules one future event (heap) and one
+    // same-instant follow-up (lane), like a switch forwarding under PFC.
+    c.bench_function("event_queue_mixed_lane_heap_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(64);
+            q.push(Time::from_ns(1), 0u64);
+            let mut sum = 0u64;
+            let mut handled = 0u64;
+            while let Some((t, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+                handled += 1;
+                if handled < 10_000 {
+                    q.push(t + Delta::from_ns((e * 131) % 500 + 1), e + 1);
+                    if e % 2 == 0 {
+                        q.push(t, e + 2);
+                    }
+                }
+            }
+            sum
+        });
+    });
+    // The run-loop primitive the engine now uses instead of
+    // peek_time + pop.
+    c.bench_function("event_queue_pop_before_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.push(Time::from_ns((i * 6007) % 50_000 + 1), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop_before(Time::from_ns(40_000)) {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        });
+    });
+}
+
+/// Scaled-down fig. 14 sweep, end to end, at 1 worker and at 4 — the
+/// perf-trajectory point for the parallel executor (compare the
+/// `threads_*` means; on a multi-core runner the ratio is the speedup).
+fn fig14_sweep_parallel(c: &mut Criterion) {
+    let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
+    base.topo = Topo::LeafSpine { leaves: 2, spines: 2, hosts_per_leaf: 4 };
+    base.horizon = Delta::from_us(300);
+    base.run_until = Delta::from_ms(4);
+    let loads = [0.2, 0.4, 0.6, 0.8];
+    let mut g = c.benchmark_group("fig14_sweep_micro");
+    g.sample_size(5);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| fig14::sweep(CcKind::Dcqcn, &loads, &base, &Executor::new(threads)));
+        });
+    }
+    g.finish();
 }
 
 fn end_to_end_incast(c: &mut Criterion) {
@@ -56,5 +133,5 @@ fn end_to_end_incast(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, event_queue_throughput, end_to_end_incast);
+criterion_group!(benches, event_queue_throughput, end_to_end_incast, fig14_sweep_parallel);
 criterion_main!(benches);

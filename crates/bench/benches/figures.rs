@@ -89,7 +89,9 @@ fn bench_fig14(c: &mut Criterion) {
     g.sample_size(10);
     let base = small_base();
     g.bench_function("dcqcn_load0.5", |b| {
-        b.iter(|| fig14::run_point(CcKind::Dcqcn, 0.5, &base).norm_fan());
+        b.iter(|| {
+            fig14::run_point(CcKind::Dcqcn, 0.5, &base, &dsh_simcore::Executor::serial()).norm_fan()
+        });
     });
     g.finish();
 }
@@ -99,7 +101,10 @@ fn bench_fig15(c: &mut Criterion) {
     g.sample_size(10);
     let base = small_base();
     g.bench_function("cache_leafspine", |b| {
-        b.iter(|| fig15::run_cell(Workload::Cache, false, 0.5, &base, 4).norm_bg());
+        b.iter(|| {
+            fig15::run_cell(Workload::Cache, false, 0.5, &base, 4, &dsh_simcore::Executor::serial())
+                .norm_bg()
+        });
     });
     g.finish();
 }

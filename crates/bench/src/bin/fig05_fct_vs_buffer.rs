@@ -1,7 +1,7 @@
 //! Fig. 5: average FCT vs switch buffer size (PowerTCP, web search, 0.9).
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig05_fct_vs_buffer [--full] [--seed N]
+//! cargo run --release -p dsh-bench --bin fig05_fct_vs_buffer [--full] [--seed N] [--threads N]
 //! ```
 
 use dsh_bench::fabric::{FctExperiment, Topo};
@@ -11,7 +11,8 @@ use dsh_simcore::Delta;
 use dsh_transport::CcKind;
 
 fn main() {
-    let (full, seed) = dsh_bench::parse_args();
+    let args = dsh_bench::Args::parse();
+    let (full, seed) = (args.full, args.seed);
     let mut base = FctExperiment::small(Scheme::Sih, CcKind::PowerTcp);
     base.seed = seed;
     if full {
@@ -23,7 +24,7 @@ fn main() {
         if full { (14..=30).step_by(2).collect() } else { vec![14, 18, 22, 26, 30] };
     println!("Fig. 5 — average FCT vs buffer size (SIH, PowerTCP, web search @0.9)");
     println!("{:>12} {:>14} {:>10}", "buffer(MiB)", "avg FCT(ms)", "flows");
-    for p in fig05::sweep(&buffers, &base) {
+    for p in fig05::sweep(&buffers, &base, &args.executor()) {
         println!("{:>12} {:>14.3} {:>10}", p.buffer_mib, p.avg_fct_ms, p.completed);
     }
     println!();

@@ -11,7 +11,8 @@
 use dsh_simcore::Delta;
 
 fn main() {
-    let (full, seed) = dsh_bench::parse_args();
+    let args = dsh_bench::Args::parse();
+    let (full, seed) = (args.full, args.seed);
     let (leaves, hosts, horizon) =
         if full { (16, 16, Delta::from_ms(10)) } else { (4, 8, Delta::from_ms(3)) };
     println!("Fig. 6 — headroom utilization at local maxima (SIH, DCQCN, high load)");
@@ -28,7 +29,7 @@ fn main() {
     println!("  fraction of peaks using <25% of headroom: {:.1}%", cdf.fraction_at(0.25) * 100.0);
     println!();
     println!("paper: median utilization 4.96%, p99 25.33% — headroom is mostly idle");
-    if dsh_bench::json_flag() {
+    if args.json {
         println!("{}", r.telemetry);
     }
 }

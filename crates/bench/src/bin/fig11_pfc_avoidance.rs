@@ -1,20 +1,18 @@
 //! Fig. 11: total PFC pause duration of fan-in flows vs burst size.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig11_pfc_avoidance [--full] [--json]
+//! cargo run --release -p dsh-bench --bin fig11_pfc_avoidance [--full] [--json] [--threads N]
 //! ```
 //!
 //! `--json` additionally prints, per measured point, one JSON document
 //! with the run's network telemetry embedded.
 
 use dsh_bench::fig11;
-use dsh_core::Scheme;
 use dsh_simcore::Json;
 
 fn main() {
-    let (full, _) = dsh_bench::parse_args();
-    let json = dsh_bench::json_flag();
-    let points: Vec<f64> = if full {
+    let args = dsh_bench::Args::parse();
+    let points: Vec<f64> = if args.full {
         (1..=12).map(|i| i as f64 * 0.05).collect()
     } else {
         vec![0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
@@ -22,11 +20,11 @@ fn main() {
     println!("Fig. 11 — PFC avoidance (pause duration vs burst size, 32-port Tomahawk)");
     println!("{:>10} {:>14} {:>14}", "burst(%B)", "SIH pause(ms)", "DSH pause(ms)");
     let mut docs: Vec<Json> = Vec::new();
-    for &p in &points {
-        let (sih, sih_tel) = fig11::pause_duration_with_telemetry(Scheme::Sih, p);
-        let (dsh, dsh_tel) = fig11::pause_duration_with_telemetry(Scheme::Dsh, p);
-        println!("{:>9.0}% {:>14.3} {:>14.3}", p * 100.0, sih.pause_ms, dsh.pause_ms);
-        if json {
+    for ((sih, sih_tel), (dsh, dsh_tel)) in
+        fig11::sweep_pairs_with_telemetry(&points, &args.executor())
+    {
+        println!("{:>9.0}% {:>14.3} {:>14.3}", sih.burst_pct * 100.0, sih.pause_ms, dsh.pause_ms);
+        if args.json {
             for (scheme, point, tel) in [("sih", sih, sih_tel), ("dsh", dsh, dsh_tel)] {
                 docs.push(
                     Json::object()
@@ -40,7 +38,7 @@ fn main() {
     }
     println!();
     println!("paper: DSH absorbs bursts up to ~40% of buffer pause-free, >4x SIH");
-    if json {
+    if args.json {
         println!("{}", Json::Arr(docs));
     }
 }

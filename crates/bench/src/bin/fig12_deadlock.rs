@@ -1,7 +1,7 @@
 //! Fig. 12: deadlock onset-time CDF with cyclic buffer dependencies.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig12_deadlock [--full]
+//! cargo run --release -p dsh-bench --bin fig12_deadlock [--full] [--threads N]
 //! ```
 
 use dsh_bench::fig12::{self, Fig12Config};
@@ -9,14 +9,16 @@ use dsh_core::Scheme;
 use dsh_transport::CcKind;
 
 fn main() {
-    let (full, _) = dsh_bench::parse_args();
+    let args = dsh_bench::Args::parse();
+    let full = args.full;
+    let ex = args.executor();
     let cfg = if full { Fig12Config::full() } else { Fig12Config::small() };
     let runs = if full { 100 } else { 10 };
     println!("Fig. 12 — deadlock avoidance (2 spines x 4 leaves, failures S0-L3 & S1-L0)");
     println!("{runs} runs per cell, fan-in {}, load {}", cfg.fan_in, cfg.load);
     for cc in [CcKind::Dcqcn, CcKind::PowerTcp] {
         for scheme in [Scheme::Sih, Scheme::Dsh] {
-            let outcomes = fig12::run_many(scheme, cc, &cfg, runs);
+            let outcomes = fig12::run_many(scheme, cc, &cfg, runs, &ex);
             let frac = fig12::deadlock_fraction(&outcomes);
             let mut onsets: Vec<f64> =
                 outcomes.iter().filter_map(|r| r.onset.map(|t| t.as_ms_f64())).collect();
@@ -31,7 +33,7 @@ fn main() {
     }
     // Extension: the industry PFC-watchdog mitigation on the SIH fabric.
     let wd_cfg = fig12::Fig12Config { watchdog: Some(cfg.detect_threshold), ..cfg };
-    let wd = fig12::run_many(Scheme::Sih, CcKind::Dcqcn, &wd_cfg, runs);
+    let wd = fig12::run_many(Scheme::Sih, CcKind::Dcqcn, &wd_cfg, runs, &ex);
     let drops: u64 = wd.iter().map(|r| r.watchdog_drops).sum();
     println!(
         "SIH/DCQCN + watchdog (extension): deadlocked {:>5.1}%, frames dropped {drops}",

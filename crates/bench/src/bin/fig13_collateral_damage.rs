@@ -1,18 +1,18 @@
 //! Fig. 13: throughput of the innocent flow F0 under a 24:1 fan-in burst.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig13_collateral_damage
+//! cargo run --release -p dsh-bench --bin fig13_collateral_damage [--threads N]
 //! ```
 
 use dsh_bench::fig13;
-use dsh_core::Scheme;
 use dsh_transport::CcKind;
 
 fn main() {
+    let args = dsh_bench::Args::parse();
     println!("Fig. 13 — collateral damage mitigation (victim flow F0 goodput)");
-    for cc in [CcKind::Uncontrolled, CcKind::Dcqcn, CcKind::PowerTcp] {
-        let sih = fig13::victim_series(Scheme::Sih, cc);
-        let dsh = fig13::victim_series(Scheme::Dsh, cc);
+    let triples =
+        fig13::sweep(&[CcKind::Uncontrolled, CcKind::Dcqcn, CcKind::PowerTcp], &args.executor());
+    for (cc, sih, dsh) in triples {
         println!("\n[{cc}]");
         println!("{:>10} {:>12} {:>12}", "t(us)", "SIH(Gb/s)", "DSH(Gb/s)");
         for (a, b) in sih.iter().zip(&dsh).step_by(4) {

@@ -1,7 +1,7 @@
 //! Fig. 14: normalized average FCT vs background load (DCQCN & PowerTCP).
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig14_fct_vs_load [--full] [--seed N]
+//! cargo run --release -p dsh-bench --bin fig14_fct_vs_load [--full] [--seed N] [--threads N]
 //! ```
 
 use dsh_bench::fabric::{FctExperiment, Topo};
@@ -11,7 +11,9 @@ use dsh_simcore::Delta;
 use dsh_transport::CcKind;
 
 fn main() {
-    let (full, seed) = dsh_bench::parse_args();
+    let args = dsh_bench::Args::parse();
+    let (full, seed) = (args.full, args.seed);
+    let ex = args.executor();
     let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
     base.seed = seed;
     if full {
@@ -27,7 +29,7 @@ fn main() {
             "{:>8} {:>12} {:>12} {:>10} {:>10}",
             "bg load", "fan DSH/SIH", "bg DSH/SIH", "SIH done", "DSH done"
         );
-        for p in fig14::sweep(cc, &loads, &base) {
+        for p in fig14::sweep(cc, &loads, &base, &ex) {
             println!(
                 "{:>8.1} {:>12.3} {:>12.3} {:>10} {:>10}",
                 p.bg_load,

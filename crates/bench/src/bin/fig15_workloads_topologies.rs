@@ -2,7 +2,7 @@
 //! (DCQCN).
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig15_workloads_topologies [--full] [--seed N]
+//! cargo run --release -p dsh-bench --bin fig15_workloads_topologies [--full] [--seed N] [--threads N]
 //! ```
 
 use dsh_bench::fabric::{FctExperiment, Topo};
@@ -12,7 +12,8 @@ use dsh_simcore::Delta;
 use dsh_transport::CcKind;
 
 fn main() {
-    let (full, seed) = dsh_bench::parse_args();
+    let args = dsh_bench::Args::parse();
+    let (full, seed) = (args.full, args.seed);
     let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
     base.seed = seed;
     let k = if full { 16 } else { 4 };
@@ -23,15 +24,20 @@ fn main() {
     }
     let loads = if full { vec![0.2, 0.4, 0.6, 0.8] } else { vec![0.4, 0.6] };
     println!("Fig. 15 — avg background FCT normalized to SIH, DCQCN");
-    for (w, ft) in fig15::PANELS {
-        let label = if ft { format!("Fat-Tree(k={k}) + {w}") } else { format!("Leaf-Spine + {w}") };
+    let cells = fig15::sweep(&loads, &base, k, &args.executor());
+    for panel in cells.chunks(loads.len()) {
+        let (k_label, w) = (k, panel[0].workload);
+        let label = if panel[0].fat_tree {
+            format!("Fat-Tree(k={k_label}) + {w}")
+        } else {
+            format!("Leaf-Spine + {w}")
+        };
         println!("\n[{label}]");
         println!("{:>8} {:>12} {:>10} {:>10}", "bg load", "bg DSH/SIH", "SIH done", "DSH done");
-        for &l in &loads {
-            let cell = fig15::run_cell(w, ft, l, &base, k);
+        for cell in panel {
             println!(
                 "{:>8.1} {:>12.3} {:>10} {:>10}",
-                l,
+                cell.bg_load,
                 cell.norm_bg().unwrap_or(f64::NAN),
                 cell.sih.completed,
                 cell.dsh.completed

@@ -6,7 +6,7 @@ use dsh_analysis::fct::FctSummary;
 use dsh_core::Scheme;
 use dsh_net::topology::{fat_tree, leaf_spine, LeafSpineShape};
 use dsh_net::{FlowSpec, NetParams, Network, NodeId};
-use dsh_simcore::{Bandwidth, ByteSize, Delta, SimRng, Time};
+use dsh_simcore::{Bandwidth, ByteSize, Delta, Executor, SimRng, Time};
 use dsh_transport::CcKind;
 use dsh_workloads::{background_flows, fan_in_bursts, FlowSizeDist, PatternConfig, Workload};
 
@@ -102,6 +102,23 @@ pub struct FctResult {
     pub registered: usize,
     /// Data drops (must be 0).
     pub drops: u64,
+}
+
+/// Runs the SIH/DSH pair of `base` (its `scheme` field is overridden) on
+/// the pool — the two runs are independent simulations, so they occupy
+/// two workers.
+///
+/// # Panics
+///
+/// Panics if either run drops packets (see [`run_fct`]).
+#[must_use]
+pub fn run_fct_pair(base: &FctExperiment, ex: &Executor) -> (FctResult, FctResult) {
+    let mut results = ex.par_map(vec![Scheme::Sih, Scheme::Dsh], |scheme| {
+        run_fct(&FctExperiment { scheme, ..*base })
+    });
+    let dsh = results.pop().expect("par_map returned both schemes");
+    let sih = results.pop().expect("par_map returned both schemes");
+    (sih, dsh)
 }
 
 /// Builds the fabric and returns `(network, hosts)`.

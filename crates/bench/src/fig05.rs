@@ -3,7 +3,7 @@
 
 use crate::fabric::{run_fct, FctExperiment};
 use dsh_core::Scheme;
-use dsh_simcore::ByteSize;
+use dsh_simcore::{ByteSize, Executor};
 use dsh_transport::CcKind;
 
 /// One point of Fig. 5.
@@ -34,8 +34,8 @@ pub fn run_point(buffer_mib: u64, base: &FctExperiment) -> Fig5Point {
     }
 }
 
-/// Sweeps the paper's buffer sizes (14–30 MB).
+/// Sweeps the paper's buffer sizes (14–30 MB) on the pool.
 #[must_use]
-pub fn sweep(buffers_mib: &[u64], base: &FctExperiment) -> Vec<Fig5Point> {
-    buffers_mib.iter().map(|&b| run_point(b, base)).collect()
+pub fn sweep(buffers_mib: &[u64], base: &FctExperiment, ex: &Executor) -> Vec<Fig5Point> {
+    ex.par_map(buffers_mib.to_vec(), |b| run_point(b, base))
 }

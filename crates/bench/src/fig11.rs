@@ -7,7 +7,7 @@
 
 use dsh_core::Scheme;
 use dsh_net::{FlowSpec, NetParams, NetworkBuilder, NodeId};
-use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_simcore::{Bandwidth, Delta, Executor, Time};
 use dsh_transport::CcKind;
 
 /// One measured point of Fig. 11b.
@@ -88,10 +88,33 @@ pub fn pause_duration_with_telemetry(
     (Fig11Point { burst_pct, pause_ms: total.as_ms_f64() }, report.to_json())
 }
 
-/// Sweeps burst sizes (fractions of the buffer) for one scheme.
+/// Sweeps burst sizes (fractions of the buffer) for one scheme on the
+/// pool.
 #[must_use]
-pub fn sweep(scheme: Scheme, points: &[f64]) -> Vec<Fig11Point> {
-    points.iter().map(|&p| pause_duration(scheme, p)).collect()
+pub fn sweep(scheme: Scheme, points: &[f64], ex: &Executor) -> Vec<Fig11Point> {
+    ex.par_map(points.to_vec(), |p| pause_duration(scheme, p))
+}
+
+/// Runs the SIH/DSH pair for every burst size on the pool, with each
+/// run's telemetry; result is one `(sih, dsh)` tuple per point, in input
+/// order.
+#[must_use]
+pub fn sweep_pairs_with_telemetry(
+    points: &[f64],
+    ex: &Executor,
+) -> Vec<((Fig11Point, dsh_simcore::Json), (Fig11Point, dsh_simcore::Json))> {
+    let grid: Vec<(Scheme, f64)> =
+        points.iter().flat_map(|&p| [(Scheme::Sih, p), (Scheme::Dsh, p)]).collect();
+    let mut runs =
+        ex.par_map(grid, |(scheme, p)| pause_duration_with_telemetry(scheme, p)).into_iter();
+    points
+        .iter()
+        .map(|_| {
+            let sih = runs.next().expect("one SIH run per point");
+            let dsh = runs.next().expect("one DSH run per point");
+            (sih, dsh)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use dsh_core::Scheme;
 use dsh_net::topology::{leaf_spine, LeafSpineShape};
 use dsh_net::{EcnConfig, FlowSpec, NetParams};
-use dsh_simcore::{Delta, SimRng, Time};
+use dsh_simcore::{Delta, Executor, SimRng, Time};
 use dsh_transport::CcKind;
 use dsh_workloads::{fan_in_bursts, FlowSizeDist, PatternConfig, Workload};
 
@@ -150,10 +150,16 @@ pub fn run_once(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, seed: u64) -> Dea
     }
 }
 
-/// Runs `n` seeds and returns all outcomes.
+/// Runs `n` seeds on the pool and returns all outcomes, in seed order.
 #[must_use]
-pub fn run_many(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, n: u64) -> Vec<DeadlockRun> {
-    (1..=n).map(|s| run_once(scheme, cc, cfg, s)).collect()
+pub fn run_many(
+    scheme: Scheme,
+    cc: CcKind,
+    cfg: &Fig12Config,
+    n: u64,
+    ex: &Executor,
+) -> Vec<DeadlockRun> {
+    ex.par_map((1..=n).collect(), |s| run_once(scheme, cc, cfg, s))
 }
 
 /// Fraction of runs that deadlocked.

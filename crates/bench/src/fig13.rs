@@ -3,7 +3,7 @@
 
 use dsh_core::Scheme;
 use dsh_net::{FlowSpec, NetParams, NetworkBuilder, ThroughputSample};
-use dsh_simcore::{Bandwidth, Delta, Time};
+use dsh_simcore::{Bandwidth, Delta, Executor, Time};
 use dsh_transport::CcKind;
 
 /// Runs the Fig. 13a scenario and returns F0's goodput time series.
@@ -59,6 +59,26 @@ pub fn victim_series(scheme: Scheme, cc: CcKind) -> Vec<ThroughputSample> {
     let net = sim.into_model();
     assert_eq!(net.data_drops(), 0, "Fig. 13 run dropped packets");
     net.flow_throughput(f0).to_vec()
+}
+
+/// Runs the SIH/DSH victim series for every transport on the pool;
+/// result is one `(cc, sih series, dsh series)` triple per transport, in
+/// input order.
+#[must_use]
+pub fn sweep(
+    ccs: &[CcKind],
+    ex: &Executor,
+) -> Vec<(CcKind, Vec<ThroughputSample>, Vec<ThroughputSample>)> {
+    let grid: Vec<(Scheme, CcKind)> =
+        ccs.iter().flat_map(|&cc| [(Scheme::Sih, cc), (Scheme::Dsh, cc)]).collect();
+    let mut series = ex.par_map(grid, |(scheme, cc)| victim_series(scheme, cc)).into_iter();
+    ccs.iter()
+        .map(|&cc| {
+            let sih = series.next().expect("one SIH series per transport");
+            let dsh = series.next().expect("one DSH series per transport");
+            (cc, sih, dsh)
+        })
+        .collect()
 }
 
 /// Minimum victim goodput in the post-burst window (the figure's dip).

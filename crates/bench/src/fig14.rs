@@ -3,8 +3,9 @@
 //!
 //! Total load is held at 0.9: background `x`, fan-in `0.9 − x`.
 
-use crate::fabric::{run_fct, FctExperiment, FctResult};
+use crate::fabric::{run_fct, run_fct_pair, FctExperiment, FctResult};
 use dsh_core::Scheme;
+use dsh_simcore::Executor;
 use dsh_transport::CcKind;
 
 /// One point of Fig. 14: both schemes at one background load.
@@ -32,20 +33,35 @@ impl Fig14Point {
     }
 }
 
-/// Runs one load point of Fig. 14.
-#[must_use]
-pub fn run_point(cc: CcKind, bg_load: f64, base: &FctExperiment) -> Fig14Point {
-    let total = 0.9;
-    let mk = |scheme| {
-        let exp =
-            FctExperiment { scheme, cc, bg_load, fanin_load: (total - bg_load).max(0.0), ..*base };
-        run_fct(&exp)
-    };
-    Fig14Point { bg_load, sih: mk(Scheme::Sih), dsh: mk(Scheme::Dsh) }
+/// The experiment of one (load, scheme) cell; total load is the paper's
+/// 0.9.
+fn point_exp(cc: CcKind, bg_load: f64, scheme: Scheme, base: &FctExperiment) -> FctExperiment {
+    FctExperiment { scheme, cc, bg_load, fanin_load: (0.9 - bg_load).max(0.0), ..*base }
 }
 
-/// Sweeps the paper's background loads.
+/// Runs one load point of Fig. 14 (its SIH/DSH pair in parallel).
 #[must_use]
-pub fn sweep(cc: CcKind, loads: &[f64], base: &FctExperiment) -> Vec<Fig14Point> {
-    loads.iter().map(|&l| run_point(cc, l, base)).collect()
+pub fn run_point(cc: CcKind, bg_load: f64, base: &FctExperiment, ex: &Executor) -> Fig14Point {
+    let (sih, dsh) = run_fct_pair(&point_exp(cc, bg_load, Scheme::Sih, base), ex);
+    Fig14Point { bg_load, sih, dsh }
+}
+
+/// Sweeps the paper's background loads on the pool.
+///
+/// The (load × scheme) grid is flattened into one `par_map` so every
+/// worker stays busy even when the sweep has fewer points than threads.
+#[must_use]
+pub fn sweep(cc: CcKind, loads: &[f64], base: &FctExperiment, ex: &Executor) -> Vec<Fig14Point> {
+    let grid: Vec<(f64, Scheme)> =
+        loads.iter().flat_map(|&l| [(l, Scheme::Sih), (l, Scheme::Dsh)]).collect();
+    let results = ex.par_map(grid, |(l, scheme)| run_fct(&point_exp(cc, l, scheme, base)));
+    let mut results = results.into_iter();
+    loads
+        .iter()
+        .map(|&bg_load| {
+            let sih = results.next().expect("one SIH result per load");
+            let dsh = results.next().expect("one DSH result per load");
+            Fig14Point { bg_load, sih, dsh }
+        })
+        .collect()
 }

@@ -2,8 +2,9 @@
 //! (data mining, cache, Hadoop on leaf–spine) and a fat-tree fabric
 //! (web search), all under DCQCN.
 
-use crate::fabric::{run_fct, FctExperiment, FctResult, Topo};
+use crate::fabric::{run_fct, run_fct_pair, FctExperiment, FctResult, Topo};
 use dsh_core::Scheme;
+use dsh_simcore::Executor;
 use dsh_transport::CcKind;
 use dsh_workloads::Workload;
 
@@ -38,7 +39,28 @@ pub const PANELS: [(Workload, bool); 4] = [
     (Workload::WebSearch, true),
 ];
 
-/// Runs one cell.
+/// The experiment of one (workload, topology, load, scheme) cell; all
+/// Fig. 15 panels run DCQCN at 0.9 total load.
+fn cell_exp(
+    workload: Workload,
+    fat_tree: bool,
+    bg_load: f64,
+    scheme: Scheme,
+    base: &FctExperiment,
+    fat_tree_k: usize,
+) -> FctExperiment {
+    FctExperiment {
+        scheme,
+        cc: CcKind::Dcqcn,
+        workload,
+        topo: if fat_tree { Topo::FatTree { k: fat_tree_k } } else { base.topo },
+        bg_load,
+        fanin_load: (0.9 - bg_load).max(0.0),
+        ..*base
+    }
+}
+
+/// Runs one cell (its SIH/DSH pair in parallel).
 #[must_use]
 pub fn run_cell(
     workload: Workload,
@@ -46,18 +68,38 @@ pub fn run_cell(
     bg_load: f64,
     base: &FctExperiment,
     fat_tree_k: usize,
+    ex: &Executor,
 ) -> Fig15Cell {
-    let mk = |scheme| {
-        let exp = FctExperiment {
-            scheme,
-            cc: CcKind::Dcqcn,
-            workload,
-            topo: if fat_tree { Topo::FatTree { k: fat_tree_k } } else { base.topo },
-            bg_load,
-            fanin_load: (0.9 - bg_load).max(0.0),
-            ..*base
-        };
-        run_fct(&exp)
-    };
-    Fig15Cell { workload, fat_tree, bg_load, sih: mk(Scheme::Sih), dsh: mk(Scheme::Dsh) }
+    let (sih, dsh) =
+        run_fct_pair(&cell_exp(workload, fat_tree, bg_load, Scheme::Sih, base, fat_tree_k), ex);
+    Fig15Cell { workload, fat_tree, bg_load, sih, dsh }
+}
+
+/// Runs the whole figure — every [`PANELS`] entry at every load, both
+/// schemes — as one flattened `par_map` grid. Cells come back grouped by
+/// panel, in load order.
+#[must_use]
+pub fn sweep(
+    loads: &[f64],
+    base: &FctExperiment,
+    fat_tree_k: usize,
+    ex: &Executor,
+) -> Vec<Fig15Cell> {
+    let grid: Vec<(Workload, bool, f64, Scheme)> = PANELS
+        .iter()
+        .flat_map(|&(w, ft)| loads.iter().map(move |&l| (w, ft, l)))
+        .flat_map(|(w, ft, l)| [(w, ft, l, Scheme::Sih), (w, ft, l, Scheme::Dsh)])
+        .collect();
+    let mut results = ex
+        .par_map(grid, |(w, ft, l, scheme)| run_fct(&cell_exp(w, ft, l, scheme, base, fat_tree_k)))
+        .into_iter();
+    PANELS
+        .iter()
+        .flat_map(|&(w, ft)| loads.iter().map(move |&l| (w, ft, l)))
+        .map(|(workload, fat_tree, bg_load)| {
+            let sih = results.next().expect("one SIH result per cell");
+            let dsh = results.next().expect("one DSH result per cell");
+            Fig15Cell { workload, fat_tree, bg_load, sih, dsh }
+        })
+        .collect()
 }

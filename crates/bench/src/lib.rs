@@ -30,22 +30,96 @@ pub mod fig14;
 pub mod fig15;
 pub mod theory;
 
-/// Whether `--json` was passed: figure binaries that support it then also
-/// print the run's structured telemetry as one JSON document on stdout.
-pub fn json_flag() -> bool {
-    std::env::args().any(|a| a == "--json")
+use dsh_simcore::{exec, Executor};
+
+/// Command-line options shared by the figure binaries, collected in a
+/// single pass over argv.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Args {
+    /// `--full`: run at paper scale instead of the laptop-scale default.
+    pub full: bool,
+    /// `--json`: also print structured telemetry as one JSON document.
+    pub json: bool,
+    /// `--seed N` (default 1).
+    pub seed: u64,
+    /// `--threads N`, falling back to `DSH_THREADS`; 0 means "auto"
+    /// (available parallelism). Resolve through [`Args::executor`].
+    pub threads: usize,
 }
 
-/// Parses `--full` (paper-scale) and `--seed N` from argv; returns
-/// `(full, seed)`.
-pub fn parse_args() -> (bool, u64) {
-    let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    (full, seed)
+impl Args {
+    /// Parses the process argv, with `DSH_THREADS` as the `--threads`
+    /// fallback.
+    #[must_use]
+    pub fn parse() -> Args {
+        Args::from_iter(
+            std::env::args().skip(1),
+            exec::threads_from(std::env::var(exec::THREADS_ENV).ok().as_deref()),
+        )
+    }
+
+    /// Parses an explicit token stream (testable core of [`Args::parse`]).
+    /// Unknown tokens are ignored, matching the old per-flag scanners.
+    fn from_iter<I: IntoIterator<Item = String>>(argv: I, env_threads: Option<usize>) -> Args {
+        let mut args =
+            Args { full: false, json: false, seed: 1, threads: env_threads.unwrap_or(0) };
+        let mut it = argv.into_iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--full" => args.full = true,
+                "--json" => args.json = true,
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.seed = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        args.threads = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// The worker pool the sweeps should run on.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let a = Args::from_iter(argv(&[]), None);
+        assert_eq!(a, Args { full: false, json: false, seed: 1, threads: 0 });
+    }
+
+    #[test]
+    fn parses_all_flags_in_one_pass() {
+        let a = Args::from_iter(argv(&["--full", "--seed", "9", "--json", "--threads", "3"]), None);
+        assert_eq!(a, Args { full: true, json: true, seed: 9, threads: 3 });
+    }
+
+    #[test]
+    fn threads_flag_overrides_env_fallback() {
+        assert_eq!(Args::from_iter(argv(&[]), Some(2)).threads, 2);
+        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2)).threads, 5);
+    }
+
+    #[test]
+    fn malformed_values_keep_defaults() {
+        let a = Args::from_iter(argv(&["--seed", "x", "--threads"]), None);
+        assert_eq!((a.seed, a.threads), (1, 0));
+    }
 }

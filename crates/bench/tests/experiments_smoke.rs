@@ -4,7 +4,7 @@
 use dsh_bench::fabric::{run_fct, FctExperiment, Topo};
 use dsh_bench::{fig04, fig05, fig06, fig14, fig15};
 use dsh_core::Scheme;
-use dsh_simcore::Delta;
+use dsh_simcore::{Delta, Executor};
 use dsh_transport::CcKind;
 use dsh_workloads::Workload;
 
@@ -38,7 +38,7 @@ fn fct_pipeline_runs_for_all_scheme_transport_combinations() {
 
 #[test]
 fn fig14_point_produces_normalized_ratios() {
-    let p = fig14::run_point(CcKind::Dcqcn, 0.5, &micro_base());
+    let p = fig14::run_point(CcKind::Dcqcn, 0.5, &micro_base(), &Executor::new(2));
     let fan = p.norm_fan().expect("fan-in flows completed");
     let bg = p.norm_bg().expect("background flows completed");
     assert!(fan.is_finite() && fan > 0.0);
@@ -48,7 +48,7 @@ fn fig14_point_produces_normalized_ratios() {
 #[test]
 fn fig15_cell_runs_every_workload() {
     for w in Workload::ALL {
-        let cell = fig15::run_cell(w, false, 0.5, &micro_base(), 4);
+        let cell = fig15::run_cell(w, false, 0.5, &micro_base(), 4, &Executor::serial());
         assert_eq!(cell.sih.drops + cell.dsh.drops, 0, "{w} dropped");
         assert!(cell.sih.completed > 0 && cell.dsh.completed > 0, "{w}");
     }
@@ -56,7 +56,7 @@ fn fig15_cell_runs_every_workload() {
 
 #[test]
 fn fig15_fat_tree_variant_runs() {
-    let cell = fig15::run_cell(Workload::WebSearch, true, 0.5, &micro_base(), 4);
+    let cell = fig15::run_cell(Workload::WebSearch, true, 0.5, &micro_base(), 4, &Executor::new(2));
     assert!(cell.sih.completed > 0 && cell.dsh.completed > 0);
 }
 

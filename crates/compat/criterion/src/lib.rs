@@ -9,7 +9,74 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded benchmark outcome (what the JSON trajectory stores).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Benchmark id (`group/function`).
+    pub name: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations timed.
+    pub iterations: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Environment variable naming the file [`emit_json_if_requested`] writes.
+pub const JSON_ENV: &str = "DSH_BENCH_JSON";
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every benchmark recorded so far as one JSON document to `path`
+/// (the perf-trajectory format: machine parallelism + per-bench means).
+///
+/// # Errors
+///
+/// Propagates the underlying file write error.
+pub fn emit_json_to(path: &str) -> std::io::Result<()> {
+    let records = RECORDS.lock().expect("bench records poisoned");
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iterations\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.mean_ns,
+            r.iterations
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Writes the recorded benchmarks to the path named by `DSH_BENCH_JSON`,
+/// if set. `criterion_main!` calls this after all groups have run.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a silent miss would record an
+/// empty perf trajectory point.
+pub fn emit_json_if_requested() {
+    if let Ok(path) = std::env::var(JSON_ENV) {
+        emit_json_to(&path).expect("failed to write benchmark JSON");
+    }
+}
 
 /// How to batch setup output between iterations (API-compatible subset).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +165,11 @@ fn run_one(label: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut b);
     let mean = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
     println!("{label:<50} mean {mean:>12.3?} ({} iters)", b.iterations);
+    RECORDS.lock().expect("bench records poisoned").push(BenchRecord {
+        name: label.to_string(),
+        mean_ns: mean.as_nanos() as f64,
+        iterations: b.iterations,
+    });
 }
 
 impl Criterion {
@@ -152,12 +224,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` running the listed groups.
+/// Declares the bench `main` running the listed groups, then emitting the
+/// JSON perf-trajectory point when `DSH_BENCH_JSON` names a file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::emit_json_if_requested();
         }
     };
 }
@@ -172,6 +246,19 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("count", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn emit_json_records_bench_results() {
+        let mut c = Criterion::default();
+        c.bench_function("json_emission_probe", |b| b.iter(|| 1 + 1));
+        let path = std::env::temp_dir().join("dsh_criterion_emit_test.json");
+        emit_json_to(path.to_str().unwrap()).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"available_parallelism\""), "{body}");
+        assert!(body.contains("\"json_emission_probe\""), "{body}");
+        assert!(body.contains("\"mean_ns\""), "{body}");
     }
 
     #[test]

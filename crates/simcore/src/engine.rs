@@ -29,18 +29,21 @@ impl<E> Scheduler<'_, E> {
     ///
     /// Panics if `at` is in the past — scheduling backwards in time is
     /// always a causality bug.
+    #[inline]
     pub fn at(&mut self, at: Time, event: E) {
         assert!(at >= self.now, "cannot schedule into the past ({at:?} < {:?})", self.now);
         self.queue.push(at, event);
     }
 
     /// Schedules `event` to fire `after` from now.
+    #[inline]
     pub fn after(&mut self, after: Delta, event: E) {
         self.queue.push(self.now + after, event);
     }
 
     /// Schedules `event` to fire at the current instant, after all events
     /// already queued for this instant.
+    #[inline]
     pub fn immediately(&mut self, event: E) {
         self.queue.push(self.now, event);
     }
@@ -117,11 +120,7 @@ impl<M: Model> Simulation<M> {
     /// this call.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let mut n = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked event vanished");
+        while let Some((t, event)) = self.queue.pop_before(deadline) {
             debug_assert!(t >= self.now, "event calendar went backwards");
             self.now = t;
             let mut sched = Scheduler { now: t, queue: &mut self.queue };

@@ -19,6 +19,9 @@
 //! * [`SimRng`] is a self-contained xoshiro256** generator (seeded via
 //!   SplitMix64) so results do not drift across `rand` versions or
 //!   platforms.
+//! * [`exec`] runs independent experiment points on a scoped worker pool
+//!   ([`exec::par_map`]), deriving per-point seeds with [`split_seed`] so
+//!   sweeps are bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod exec;
 pub mod json;
 mod queue;
 mod rng;
@@ -45,8 +49,9 @@ mod time;
 mod units;
 
 pub use engine::{Model, Scheduler, Simulation};
+pub use exec::Executor;
 pub use json::Json;
 pub use queue::EventQueue;
-pub use rng::SimRng;
+pub use rng::{split_seed, SimRng};
 pub use time::{Delta, Time};
 pub use units::{Bandwidth, ByteSize};

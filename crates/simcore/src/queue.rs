@@ -1,9 +1,9 @@
 //! The event calendar: a time-ordered priority queue with deterministic
-//! FIFO tie-breaking.
+//! FIFO tie-breaking and a same-instant fast lane.
 
 use crate::time::Time;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A pending event in the calendar.
 struct Entry<E> {
@@ -39,6 +39,17 @@ impl<E> Ord for Entry<E> {
 /// instant pop in the order they were pushed, which makes whole-simulation
 /// runs reproducible.
 ///
+/// Internally the calendar keeps two structures ordered by the same
+/// `(time, seq)` key: a binary heap for future events and a FIFO **fast
+/// lane** for events pushed at exactly the current instant (the time of
+/// the most recently popped event). `Scheduler::immediately` and the PFC
+/// pause/resume cascades hit the same-instant case constantly, and the
+/// lane turns those O(log n) heap round-trips into O(1) deque pushes.
+/// Every pop compares the lane front against the heap top by the full
+/// `(time, seq)` key, so the observable pop order is identical to a pure
+/// heap — a property `tests::prop_matches_pure_heap` checks operation by
+/// operation.
+///
 /// # Example
 ///
 /// ```
@@ -50,9 +61,15 @@ impl<E> Ord for Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Events at exactly `lane_time`, FIFO by construction (`seq` kept for
+    /// the cross-structure comparison in `pop`).
+    lane: VecDeque<(u64, E)>,
+    lane_time: Time,
+    /// Time of the most recently popped event; pushes at this instant take
+    /// the fast lane.
+    now: Time,
     next_seq: u64,
 }
 
@@ -60,45 +77,124 @@ impl<E> EventQueue<E> {
     /// Creates an empty calendar.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty calendar with room for `capacity` pending events
+    /// before the heap reallocates.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            lane: VecDeque::new(),
+            lane_time: Time::ZERO,
+            now: Time::ZERO,
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `time`.
+    #[inline]
     pub fn push(&mut self, time: Time, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        // Same-instant fast lane: anything scheduled for "now" lands behind
+        // every pending event at this instant anyway (its seq is the
+        // largest), so a FIFO append preserves the (time, seq) contract.
+        if time == self.now && (self.lane.is_empty() || self.lane_time == time) {
+            self.lane_time = time;
+            self.lane.push_back((seq, event));
+        } else {
+            self.heap.push(Entry { time, seq, event });
+        }
+    }
+
+    /// Whether the earliest pending event is the lane front (false: heap
+    /// top, or empty lane).
+    #[inline]
+    fn lane_first(&self) -> bool {
+        match (self.lane.front(), self.heap.peek()) {
+            (Some(_), None) => true,
+            (Some(&(seq, _)), Some(top)) => (self.lane_time, seq) < (top.time, top.seq),
+            (None, _) => false,
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if the calendar is
     /// empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = if self.lane_first() {
+            self.lane.pop_front().map(|(_, event)| (self.lane_time, event))
+        } else {
+            self.heap.pop().map(|e| (e.time, e.event))
+        };
+        if let Some((t, _)) = popped {
+            self.now = t;
+        }
+        popped
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `deadline`; leaves the calendar untouched otherwise.
+    ///
+    /// This is the run-loop primitive: one call replaces the
+    /// `peek_time` + `pop` pair, touching the heap once.
+    #[inline]
+    pub fn pop_before(&mut self, deadline: Time) -> Option<(Time, E)> {
+        let (t, event) = if self.lane_first() {
+            if self.lane_time > deadline {
+                return None;
+            }
+            let (_, event) = self.lane.pop_front().expect("lane_first implies non-empty lane");
+            (self.lane_time, event)
+        } else {
+            if self.heap.peek().is_none_or(|top| top.time > deadline) {
+                return None;
+            }
+            let e = self.heap.pop().expect("heap top vanished");
+            (e.time, e.event)
+        };
+        self.now = t;
+        Some((t, event))
     }
 
     /// Returns the firing time of the earliest pending event.
     #[must_use]
+    #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        if self.lane_first() {
+            Some(self.lane_time)
+        } else {
+            self.heap.peek().map(|e| e.time)
+        }
     }
 
     /// Number of pending events.
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len()
     }
 
     /// Whether the calendar has no pending events.
     #[must_use]
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.len())
             .field("next_time", &self.peek_time())
             .finish()
     }
@@ -108,6 +204,27 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The seed implementation: one binary heap, no fast lane. Kept as the
+    /// ordering oracle for the equivalence property below.
+    struct PureHeap<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> PureHeap<E> {
+        fn new() -> Self {
+            PureHeap { heap: BinaryHeap::new(), next_seq: 0 }
+        }
+        fn push(&mut self, time: Time, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, event });
+        }
+        fn pop(&mut self) -> Option<(Time, E)> {
+            self.heap.pop().map(|e| (e.time, e.event))
+        }
+    }
 
     #[test]
     fn pops_in_time_order() {
@@ -143,6 +260,56 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
     }
 
+    #[test]
+    fn fast_lane_interleaves_with_pending_heap_events() {
+        // Events 1 and 2 are scheduled for t=10 before the clock gets
+        // there (heap); popping 1 advances the clock, so 3 and 4 take the
+        // lane — yet 2 (earlier seq) must still pop before them.
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(10), 2);
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
+        q.push(Time::from_ns(10), 3);
+        q.push(Time::from_ns(10), 4);
+        assert!(!q.lane.is_empty(), "same-instant pushes should take the lane");
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 2)));
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 3)));
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_cascade_stays_in_lane() {
+        // A pause/resume-style cascade: every handler schedules a
+        // follow-up at the current instant.
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(5), 0);
+        let mut order = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            order.push(i);
+            if i < 50 {
+                q.push(t, i + 1);
+                assert!(!q.lane.is_empty(), "cascade event {i} missed the lane");
+            }
+        }
+        assert_eq!(order, (0..=50).collect::<Vec<_>>());
+        assert_eq!(q.heap.len(), 0, "cascade should never have touched the heap after seed");
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_for_both_structures() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 1);
+        assert_eq!(q.pop_before(Time::from_ns(9)), None);
+        assert_eq!(q.pop_before(Time::from_ns(10)), Some((Time::from_ns(10), 1)));
+        // Lane entry at now=10 vs a deadline before/after it.
+        q.push(Time::from_ns(10), 2);
+        assert!(!q.lane.is_empty());
+        assert_eq!(q.pop_before(Time::from_ns(9)), None);
+        assert_eq!(q.pop_before(Time::from_ns(10)), Some((Time::from_ns(10), 2)));
+        assert_eq!(q.pop_before(Time::MAX), None);
+    }
+
     proptest! {
         /// Popping always yields a nondecreasing time sequence, and events
         /// with equal times preserve insertion order.
@@ -161,6 +328,47 @@ mod tests {
                     }
                 }
                 last = Some((t, i));
+            }
+        }
+
+        /// Event-trace equivalence against the pure-heap oracle: an
+        /// arbitrary interleaving of pushes (at `now + delta`, with delta
+        /// frequently 0 to exercise the fast lane) and pops produces the
+        /// exact same (time, event) trace from both implementations.
+        #[test]
+        fn prop_matches_pure_heap(
+            ops in proptest::collection::vec((0u8..4, 0u64..50), 1..400)
+        ) {
+            let mut fast = EventQueue::new();
+            let mut oracle = PureHeap::new();
+            let mut now = Time::ZERO;
+            let mut next_id = 0u32;
+            for (kind, delta) in ops {
+                // kind 0: pop; 1: push at now (fast-lane candidate);
+                // 2-3: push at now + delta.
+                if kind == 0 {
+                    let a = fast.pop();
+                    let b = oracle.pop();
+                    prop_assert_eq!(&a, &b);
+                    if let Some((t, _)) = a {
+                        now = t;
+                    }
+                } else {
+                    let at = if kind == 1 { now } else { now + crate::Delta::from_ns(delta) };
+                    fast.push(at, next_id);
+                    oracle.push(at, next_id);
+                    next_id += 1;
+                }
+                prop_assert_eq!(fast.peek_time(), oracle.heap.peek().map(|e| e.time));
+            }
+            // Drain both: the tails must match too.
+            loop {
+                let a = fast.pop();
+                let b = oracle.pop();
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
+                }
             }
         }
     }

@@ -1,0 +1,84 @@
+//! Determinism regression for the parallel experiment executor.
+//!
+//! The executor's contract (DESIGN.md, "Parallel execution & determinism
+//! contract") is that a sweep's output is a pure function of its
+//! experiment configs: the thread count may only change wall-clock time,
+//! never a single byte of the results. These tests pin that down by
+//! running the same scaled-down sweeps at 1 and 4 threads and comparing
+//! serialized output byte for byte.
+
+use dsh_bench::fabric::{FctExperiment, Topo};
+use dsh_bench::fig14;
+use dsh_core::Scheme;
+use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
+use dsh_simcore::{Bandwidth, Delta, Executor, Time};
+use dsh_transport::CcKind;
+
+/// Micro leaf–spine base so the whole grid stays test-sized.
+fn micro_base() -> FctExperiment {
+    let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
+    base.topo = Topo::LeafSpine { leaves: 2, spines: 2, hosts_per_leaf: 4 };
+    base.horizon = Delta::from_us(300);
+    base.run_until = Delta::from_ms(4);
+    base
+}
+
+#[test]
+fn fig14_sweep_is_byte_identical_at_1_and_4_threads() {
+    let loads = [0.3, 0.5, 0.7];
+    let base = micro_base();
+    let serial = fig14::sweep(CcKind::Dcqcn, &loads, &base, &Executor::new(1));
+    let four = fig14::sweep(CcKind::Dcqcn, &loads, &base, &Executor::new(4));
+    // FCT summaries are f64-valued; Debug prints the shortest
+    // round-trippable form, so equal strings mean bit-equal results.
+    assert_eq!(format!("{serial:#?}"), format!("{four:#?}"));
+    // And the run must actually have measured something.
+    assert!(serial.iter().all(|p| p.norm_fan().is_some() && p.norm_bg().is_some()));
+}
+
+/// One micro 7:1 incast, returning the run's full telemetry JSON.
+fn incast_telemetry(scheme: Scheme) -> String {
+    let mut b = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
+    let hosts: Vec<_> = (0..8).map(|_| b.host()).collect();
+    let sw = b.switch();
+    for &h in &hosts {
+        b.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    let mut net = b.build();
+    for &src in &hosts[..7] {
+        net.add_flow(FlowSpec {
+            src,
+            dst: hosts[7],
+            size: 96 * 1024,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    let mut sim = net.into_sim();
+    let end = Time::from_us(500);
+    sim.run_until(end);
+    sim.into_model().telemetry_report(end).to_json().to_string()
+}
+
+#[test]
+fn telemetry_json_is_byte_identical_at_1_and_4_threads() {
+    let run = |threads: usize| {
+        Executor::new(threads)
+            .par_map(vec![Scheme::Sih, Scheme::Dsh, Scheme::Sih, Scheme::Dsh], incast_telemetry)
+    };
+    let serial = run(1);
+    let four = run(4);
+    assert_eq!(serial, four);
+    assert!(serial[0].contains("\"switches\"") || !serial[0].is_empty());
+}
+
+#[test]
+fn derived_seeds_match_across_pool_widths() {
+    let points: Vec<u32> = (0..16).collect();
+    let at = |threads: usize| {
+        Executor::new(threads).par_map_seeded(42, points.clone(), |p, seed| (p, seed))
+    };
+    assert_eq!(at(1), at(4));
+    assert_eq!(at(1), at(16));
+}
