@@ -1,16 +1,94 @@
 //! Microbenchmarks of the simulation substrate: event-calendar throughput
 //! (heap path, same-instant fast lane, and mixes), end-to-end
-//! events/second on a small incast, and the parallel fig. 14 sweep —
-//! run with `DSH_BENCH_JSON=BENCH_PRn.json` to record a perf-trajectory
-//! point.
+//! events/second on a small incast, allocation-accounted packet-path
+//! probes, and the parallel fig. 14 sweep — run with
+//! `DSH_BENCH_JSON=BENCH_PRn.json` to record a perf-trajectory point.
+//!
+//! With `--features alloc-count` the process allocator is replaced by a
+//! counting wrapper and the packet-path benches additionally report (and
+//! assert) steady-state heap allocations per delivered packet — the
+//! hot-path zero-allocation contract of DESIGN.md §10.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsh_bench::fabric::{FctExperiment, Topo};
 use dsh_bench::fig14;
 use dsh_core::Scheme;
-use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
-use dsh_simcore::{Bandwidth, Delta, EventQueue, Executor, Time};
+use dsh_net::{FlowSpec, NetParams, Network, NetworkBuilder};
+use dsh_simcore::{Bandwidth, Delta, EventQueue, Executor, Simulation, Time};
 use dsh_transport::CcKind;
+
+/// Counting allocator: every `alloc`/`realloc` bumps a relaxed counter on
+/// its way to the system allocator. Lives in the bench target (the library
+/// crates `forbid(unsafe_code)`); the whole module disappears without the
+/// `alloc-count` feature, so timing runs pay nothing.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread_local! {
+        static IN_TRAP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+
+    fn maybe_trace() {
+        if TRAP.load(Ordering::Relaxed) {
+            IN_TRAP.with(|f| {
+                if !f.get() {
+                    f.set(true);
+                    let bt = std::backtrace::Backtrace::force_capture();
+                    eprintln!("=== alloc ===\n{bt}");
+                    f.set(false);
+                }
+            });
+        }
+    }
+
+    struct CountingAlloc;
+
+    // SAFETY: defers entirely to `System`; the counter is a relaxed
+    // atomic, safe in any allocation context.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            maybe_trace();
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            maybe_trace();
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations performed by this process so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocations so far, or `None` when the counting allocator is not
+/// compiled in.
+fn allocations() -> Option<u64> {
+    #[cfg(feature = "alloc-count")]
+    {
+        Some(alloc_count::allocations())
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
 
 fn event_queue_throughput(c: &mut Criterion) {
     // Pure heap path: pushes land all over the timeline, never at "now".
@@ -106,24 +184,7 @@ fn end_to_end_incast(c: &mut Criterion) {
     for scheme in [Scheme::Sih, Scheme::Dsh] {
         g.bench_function(format!("{scheme}"), |b| {
             b.iter(|| {
-                let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
-                let hosts: Vec<_> = (0..9).map(|_| bld.host()).collect();
-                let sw = bld.switch();
-                for &h in &hosts {
-                    bld.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
-                }
-                let mut net = bld.build();
-                for &src in &hosts[..8] {
-                    net.add_flow(FlowSpec {
-                        src,
-                        dst: hosts[8],
-                        size: 256 * 1024,
-                        class: 0,
-                        start: Time::ZERO,
-                        cc: CcKind::Uncontrolled,
-                    });
-                }
-                let mut sim = net.into_sim();
+                let mut sim = incast_sim(scheme, 256 * 1024);
                 sim.run_until(Time::from_ms(5));
                 assert_eq!(sim.model().data_drops(), 0);
                 sim.events_processed()
@@ -133,5 +194,137 @@ fn end_to_end_incast(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, event_queue_throughput, end_to_end_incast, fig14_sweep_parallel);
+/// The 8-to-1 incast fixture shared by the timed and the alloc-accounted
+/// packet-path benches.
+fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
+    let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
+    let hosts: Vec<_> = (0..9).map(|_| bld.host()).collect();
+    let sw = bld.switch();
+    for &h in &hosts {
+        bld.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    let mut net = bld.build();
+    for &src in &hosts[..8] {
+        net.add_flow(FlowSpec {
+            src,
+            dst: hosts[8],
+            size: flow_bytes,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    net.into_sim()
+}
+
+/// A 5-switch linear chain (the HOP_CAPACITY diameter) with PowerTCP, so
+/// every data packet is INT-stamped at five hops and every ACK echoes a
+/// full inline `HopList` back through the reverse path.
+fn forward_chain_sim(scheme: Scheme) -> Simulation<Network> {
+    let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
+    let src = bld.host();
+    let dst = bld.host();
+    let switches: Vec<_> = (0..5).map(|_| bld.switch()).collect();
+    bld.link(src, switches[0], Bandwidth::from_gbps(100), Delta::from_us(2));
+    for w in switches.windows(2) {
+        bld.link(w[0], w[1], Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    bld.link(switches[4], dst, Bandwidth::from_gbps(100), Delta::from_us(2));
+    let mut net = bld.build();
+    net.add_flow(FlowSpec {
+        src,
+        dst,
+        size: 4 * 1024 * 1024,
+        class: 0,
+        start: Time::ZERO,
+        cc: CcKind::PowerTcp,
+    });
+    net.into_sim()
+}
+
+/// Runs `sim` through a warmup (pools fill, queues and buffers reach
+/// their steady capacity) and then a measurement window, recording
+/// events/second and — with the counting allocator — heap allocations per
+/// delivered packet, which must be zero on the incast.
+fn packet_path_probe(label: &str, mut sim: Simulation<Network>, assert_zero: bool) {
+    let warmup_end = Time::from_us(100);
+    let window_end = Time::from_us(400);
+    if std::env::var("DSH_ALLOC_TRACE").is_ok() {
+        sim.run_until(warmup_end);
+        #[cfg(feature = "alloc-count")]
+        alloc_count::TRAP.store(true, std::sync::atomic::Ordering::Relaxed);
+        sim.run_until(window_end);
+        #[cfg(feature = "alloc-count")]
+        alloc_count::TRAP.store(false, std::sync::atomic::Ordering::Relaxed);
+        println!("{label} traced");
+        return;
+    }
+    sim.run_until(warmup_end);
+    let allocs0 = allocations();
+    let events0 = sim.events_processed();
+    let packets0 = sim.model().packets_delivered();
+    let wall = std::time::Instant::now();
+    sim.run_until(window_end);
+    let wall = wall.elapsed();
+    let allocs1 = allocations(); // Read before anything below allocates.
+    assert_eq!(sim.model().data_drops(), 0);
+    let events = sim.events_processed() - events0;
+    let packets = sim.model().packets_delivered() - packets0;
+    assert!(packets > 0, "{label}: measurement window saw no deliveries");
+    criterion::record_metric(
+        &format!("{label}/events_per_sec"),
+        events as f64 / wall.as_secs_f64(),
+    );
+    criterion::record_metric(&format!("{label}/packets"), packets as f64);
+    if let (Some(a0), Some(a1)) = (allocs0, allocs1) {
+        let allocs = a1 - a0;
+        let per_packet = allocs as f64 / packets as f64;
+        criterion::record_metric(&format!("{label}/allocs_per_packet"), per_packet);
+        if assert_zero {
+            assert_eq!(
+                allocs, 0,
+                "{label}: {allocs} heap allocations in the steady-state window \
+                 ({per_packet:.4}/packet) — the packet hot path must not allocate"
+            );
+        }
+    }
+}
+
+/// Steady-state packet-path probes: timing plus allocation accounting.
+fn packet_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_path");
+    g.sample_size(10);
+    for scheme in [Scheme::Sih, Scheme::Dsh] {
+        g.bench_function(format!("forward_chain_5sw_{scheme}"), |b| {
+            b.iter(|| {
+                let mut sim = forward_chain_sim(scheme);
+                sim.run_until(Time::from_us(500));
+                assert_eq!(sim.model().data_drops(), 0);
+                sim.events_processed()
+            });
+        });
+    }
+    g.finish();
+    // Alloc-accounted steady-state windows (once each; not timed loops).
+    for scheme in [Scheme::Sih, Scheme::Dsh] {
+        packet_path_probe(
+            &format!("packet_path/incast_8_to_1_{scheme}"),
+            incast_sim(scheme, 1024 * 1024),
+            true,
+        );
+        packet_path_probe(
+            &format!("packet_path/forward_chain_5sw_{scheme}"),
+            forward_chain_sim(scheme),
+            true,
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    event_queue_throughput,
+    end_to_end_incast,
+    packet_path,
+    fig14_sweep_parallel
+);
 criterion_main!(benches);

@@ -79,12 +79,8 @@ pub fn pause_duration_with_telemetry(
     // Total pause time of the fan-in flows = pause asserted at their
     // hosts' uplinks (queue-level + port-level).
     let fan_hosts: Vec<NodeId> = hosts[2..18].to_vec();
-    let total: Delta = net
-        .pause_ledgers(end)
-        .into_iter()
-        .filter(|l| fan_hosts.contains(&l.node))
-        .map(|l| l.total())
-        .sum();
+    let total: Delta =
+        net.pause_ledgers(end).filter(|l| fan_hosts.contains(&l.node)).map(|l| l.total()).sum();
     (Fig11Point { burst_pct, pause_ms: total.as_ms_f64() }, report.to_json())
 }
 

@@ -134,11 +134,11 @@ pub fn run_once(scheme: Scheme, cc: CcKind, cfg: &Fig12Config, seed: u64) -> Dea
     let net = sim.into_model();
     let blocked = net
         .blocked_ports()
-        .into_iter()
-        .map(|(node, port, since, port_paused, classes, queued)| {
+        .map(|b| {
             format!(
-                "switch {node} port {port}: blocked since {since} \
-                 (port_paused={port_paused}, paused_classes={classes:?}, {queued} B queued)"
+                "switch {} port {}: blocked since {} (port_paused={}, paused_classes={:?}, \
+                 {} B queued)",
+                b.node, b.port, b.since, b.port_paused, b.paused_classes, b.queued_bytes
             )
         })
         .collect();

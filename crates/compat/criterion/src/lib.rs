@@ -25,6 +25,35 @@ pub struct BenchRecord {
 
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
+/// One named scalar recorded alongside the timing results (e.g. an
+/// allocation count measured by a bench with a counting allocator).
+#[derive(Clone, Debug)]
+pub struct MetricRecord {
+    /// Metric id (free-form, conventionally `group/function/metric`).
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+static METRICS: Mutex<Vec<MetricRecord>> = Mutex::new(Vec::new());
+
+/// Records a named scalar metric into the JSON report's `metrics` array.
+///
+/// Benches use this for non-timing measurements (allocation counts,
+/// events/second, packets) that belong in the same perf-trajectory point
+/// as the means.
+///
+/// # Panics
+///
+/// Panics if the metric store mutex is poisoned.
+pub fn record_metric(name: &str, value: f64) {
+    println!("{name:<50} metric {value}");
+    METRICS
+        .lock()
+        .expect("metric records poisoned")
+        .push(MetricRecord { name: name.to_string(), value });
+}
+
 /// Environment variable naming the file [`emit_json_if_requested`] writes.
 pub const JSON_ENV: &str = "DSH_BENCH_JSON";
 
@@ -59,6 +88,17 @@ pub fn emit_json_to(path: &str) -> std::io::Result<()> {
             json_escape(&r.name),
             r.mean_ns,
             r.iterations
+        ));
+    }
+    out.push_str("  ],\n");
+    let metrics = METRICS.lock().expect("metric records poisoned");
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {}}}{comma}\n",
+            json_escape(&m.name),
+            m.value
         ));
     }
     out.push_str("  ]\n}\n");
@@ -252,6 +292,7 @@ mod tests {
     fn emit_json_records_bench_results() {
         let mut c = Criterion::default();
         c.bench_function("json_emission_probe", |b| b.iter(|| 1 + 1));
+        record_metric("probe/allocs_per_packet", 0.0);
         let path = std::env::temp_dir().join("dsh_criterion_emit_test.json");
         emit_json_to(path.to_str().unwrap()).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
@@ -259,6 +300,8 @@ mod tests {
         assert!(body.contains("\"available_parallelism\""), "{body}");
         assert!(body.contains("\"json_emission_probe\""), "{body}");
         assert!(body.contains("\"mean_ns\""), "{body}");
+        assert!(body.contains("\"metrics\""), "{body}");
+        assert!(body.contains("\"probe/allocs_per_packet\""), "{body}");
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Wire frames: data packets, ACKs, CNPs and PFC control frames.
 
 use crate::ids::{FlowId, NodeId, CONTROL_CLASS};
-use dsh_transport::TelemetryHop;
+use dsh_transport::HopList;
 
 /// Wire size of an ACK/CNP/PFC control frame (minimum Ethernet frame).
 pub const CONTROL_FRAME_BYTES: u64 = 64;
 
 /// A data segment of a flow.
-#[derive(Clone, Debug)]
+///
+/// Frames are plain `Copy` data: the INT hop records live inline in a
+/// fixed-capacity [`HopList`], so building, forwarding and echoing a frame
+/// never touches the heap.
+#[derive(Clone, Copy, Debug)]
 pub struct DataFrame {
     /// The flow this segment belongs to.
     pub flow: FlowId,
@@ -22,11 +26,11 @@ pub struct DataFrame {
     /// ECN Congestion Experienced mark.
     pub ecn: bool,
     /// In-band telemetry appended hop by hop (PowerTCP).
-    pub hops: Vec<TelemetryHop>,
+    pub hops: HopList,
 }
 
 /// An acknowledgment for one data segment, echoing ECN and telemetry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct AckFrame {
     /// The acknowledged flow.
     pub flow: FlowId,
@@ -36,8 +40,9 @@ pub struct AckFrame {
     pub acked: u64,
     /// Echo of the data packet's ECN mark.
     pub ecn_echo: bool,
-    /// Echo of the data packet's INT telemetry.
-    pub hops: Vec<TelemetryHop>,
+    /// Echo of the data packet's INT telemetry (an inline copy, not a
+    /// heap clone).
+    pub hops: HopList,
 }
 
 /// Scope of a PFC pause/resume.
@@ -60,7 +65,7 @@ pub struct PfcFrame {
 }
 
 /// Frame payload variants.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum FrameKind {
     /// Flow data.
     Data(DataFrame),
@@ -79,7 +84,7 @@ pub enum FrameKind {
 }
 
 /// A frame on the wire.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Frame {
     /// Wire size in bytes (serialization time = `bytes / C`).
     pub bytes: u64,
@@ -155,7 +160,7 @@ mod tests {
                 seq: 0,
                 payload: 1500,
                 ecn: false,
-                hops: vec![],
+                hops: HopList::new(),
             },
             3,
         );
@@ -169,7 +174,7 @@ mod tests {
             dst: NodeId(0),
             acked: 1500,
             ecn_echo: true,
-            hops: vec![],
+            hops: HopList::new(),
         });
         assert_eq!(a.bytes, CONTROL_FRAME_BYTES);
         assert_eq!(a.class, CONTROL_CLASS);

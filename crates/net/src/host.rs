@@ -5,7 +5,6 @@ use crate::ids::{FlowId, NodeId};
 use crate::port::EgressPort;
 use dsh_simcore::Time;
 use dsh_transport::{Cc, CnpPolicy};
-use std::collections::HashMap;
 
 /// Sender-side state of one flow (an RDMA queue pair).
 pub struct SenderFlow {
@@ -26,7 +25,7 @@ pub struct SenderFlow {
     /// Congestion control state machine.
     pub cc: Box<dyn Cc>,
     /// Generation counter invalidating stale CC timer events.
-    pub timer_gen: u64,
+    pub timer_gen: u32,
 }
 
 impl std::fmt::Debug for SenderFlow {
@@ -88,10 +87,11 @@ pub struct HostNode {
     pub port: Option<EgressPort>,
     /// Flows sourced at this host.
     pub tx_flows: Vec<SenderFlow>,
-    /// Index from global flow id to `tx_flows` position.
-    pub tx_index: HashMap<FlowId, usize>,
-    /// Flows received at this host.
-    pub rx_flows: HashMap<FlowId, ReceiverFlow>,
+    /// Index from global flow id to `tx_flows` position (`u32::MAX` =
+    /// not sourced here). Flow ids are dense and small, so a flat table
+    /// beats hashing on the per-ACK lookup path; [`Network::into_sim`]
+    /// pre-sizes it so flow starts never grow it mid-run.
+    pub tx_index: Vec<u32>,
     /// Indices of `tx_flows` that still have data to hand to the wire
     /// (kept small so the NIC's per-packet scan is O(active), not
     /// O(all flows ever)).
@@ -110,8 +110,7 @@ impl HostNode {
             id,
             port: None,
             tx_flows: Vec::new(),
-            tx_index: HashMap::new(),
-            rx_flows: HashMap::new(),
+            tx_index: Vec::new(),
             active: Vec::new(),
             rr_cursor: 0,
             wake_at: Time::MAX,
@@ -140,17 +139,36 @@ impl HostNode {
     }
 
     /// Registers a new sender flow (marked active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` flows are registered at one host.
     pub fn add_sender(&mut self, flow: SenderFlow) {
         let idx = self.tx_flows.len();
-        self.tx_index.insert(flow.id, idx);
+        if self.tx_index.len() <= flow.id.0 {
+            self.tx_index.resize(flow.id.0 + 1, u32::MAX);
+        }
+        self.tx_index[flow.id.0] = u32::try_from(idx).expect("too many flows at one host");
         self.tx_flows.push(flow);
         self.active.push(idx);
     }
 
     /// Looks up a sender flow by global id.
     pub fn sender_mut(&mut self, id: FlowId) -> Option<&mut SenderFlow> {
-        let idx = *self.tx_index.get(&id)?;
-        Some(&mut self.tx_flows[idx])
+        let idx = *self.tx_index.get(id.0)?;
+        if idx == u32::MAX {
+            return None;
+        }
+        Some(&mut self.tx_flows[idx as usize])
+    }
+
+    /// Looks up a sender flow's `tx_flows` position by global id.
+    #[must_use]
+    pub fn sender_slot(&self, id: FlowId) -> Option<usize> {
+        match self.tx_index.get(id.0) {
+            Some(&idx) if idx != u32::MAX => Some(idx as usize),
+            _ => None,
+        }
     }
 }
 

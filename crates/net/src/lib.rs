@@ -76,6 +76,6 @@ pub use monitor::{
     DeadlockReport, DurationHistogram, FctRecord, OccupancyPoint, OccupancySeries, PauseLedger,
     PortPauseTelemetry, SwitchTelemetry, TelemetryReport, ThroughputSample,
 };
-pub use network::{FlowSpec, NetEvent, Network};
+pub use network::{BlockedPort, ClassMask, FlowSpec, NetEvent, Network};
 pub use port::{EgressPort, IngressTag, QueuedFrame, DWRR_QUANTUM};
 pub use routing::{ecmp_hash, RouteTable};

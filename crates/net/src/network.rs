@@ -3,17 +3,18 @@
 
 use crate::builder::NetParams;
 use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, PfcScope};
-use crate::host::{HostNode, SenderFlow};
+use crate::host::{HostNode, ReceiverFlow, SenderFlow};
 use crate::ids::{FlowId, NodeId, NUM_DATA_CLASSES};
 use crate::monitor::{
     DeadlockReport, FctRecord, PauseLedger, PortPauseTelemetry, SwitchTelemetry, TelemetryReport,
     ThroughputSample,
 };
-use crate::port::{IngressTag, QueuedFrame};
+use crate::port::{EgressPort, IngressTag, QueuedFrame};
 use crate::switch::SwitchNode;
 use dsh_core::headroom::PFC_PROCESSING_BYTES;
-use dsh_simcore::{Model, Scheduler, SimRng, Simulation, Time};
-use dsh_transport::{new_cc, AckInfo, CcKind, TelemetryHop};
+use dsh_core::{FcAction, FcActions};
+use dsh_simcore::{Model, Pool, Scheduler, SimRng, Simulation, Time};
+use dsh_transport::{new_cc, AckInfo, CcKind, HopList, TelemetryHop};
 
 /// Specification of one flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,31 +34,38 @@ pub struct FlowSpec {
 }
 
 /// The simulator's event alphabet.
+///
+/// Node, port, and flow indices are stored as `u32` rather than the
+/// `usize`-backed id types used everywhere else: calendar entries are
+/// memcpy'd on every heap sift, and the narrower fields keep the whole
+/// event at 24 bytes (asserted below). The builder guarantees the
+/// counts fit; [`Network::handle`] widens them back into typed ids.
 #[derive(Clone, Debug)]
 pub enum NetEvent {
     /// A frame finished arriving at `node` on ingress `in_port`.
     Arrive {
-        /// Receiving node.
-        node: NodeId,
+        /// Receiving node index.
+        node: u32,
         /// Ingress port index at the receiving node.
-        in_port: usize,
-        /// The frame.
-        frame: Frame,
+        in_port: u32,
+        /// The frame (boxed and pool-recycled so events stay pointer-sized
+        /// even though frames carry their INT hops inline).
+        frame: Box<Frame>,
     },
     /// `node`'s egress `port` finished serializing its current frame.
     TxDone {
-        /// Transmitting node.
-        node: NodeId,
+        /// Transmitting node index.
+        node: u32,
         /// Egress port index.
-        port: usize,
+        port: u32,
     },
     /// A received PFC frame takes effect after the standard processing
     /// delay.
     ApplyPause {
-        /// Node whose egress is paused/resumed.
-        node: NodeId,
+        /// Index of the node whose egress is paused/resumed.
+        node: u32,
         /// Egress port index (the port the PFC frame arrived on).
-        port: usize,
+        port: u32,
         /// Queue- or port-level.
         scope: PfcScope,
         /// `true` = pause.
@@ -65,22 +73,22 @@ pub enum NetEvent {
     },
     /// A flow becomes active at its source host.
     FlowStart {
-        /// The flow.
-        flow: FlowId,
+        /// The flow index.
+        flow: u32,
     },
     /// NIC pacing wake-up.
     HostWake {
-        /// The host.
-        host: NodeId,
+        /// The host index.
+        host: u32,
     },
     /// Congestion-control timer for one flow.
     CcTimer {
-        /// The flow's source host.
-        host: NodeId,
-        /// The flow.
-        flow: FlowId,
+        /// Index of the flow's source host.
+        host: u32,
+        /// The flow index.
+        flow: u32,
         /// Generation guard (stale timers are ignored).
-        gen: u64,
+        gen: u32,
     },
     /// Periodic measurement tick.
     Sample,
@@ -120,13 +128,35 @@ pub struct Network {
     pub(crate) nodes: Vec<Node>,
     flows: Vec<FlowMeta>,
     flow_rx: Vec<u64>,
+    /// Receiver-side per-flow state, indexed by flow id. Flow ids are
+    /// global and each flow has exactly one receiver, so a flat vector
+    /// replaces a per-host hash map on the per-packet delivery path.
+    rx_flows: Vec<ReceiverFlow>,
     fct: Vec<FctRecord>,
     monitors: Vec<FlowMonitor>,
     rng: SimRng,
+    /// Recycled frame boxes: every consumed frame (ACK/CNP/PFC processed
+    /// at its destination, dropped or watchdog-flushed data) returns here
+    /// and is reused for the next frame, so the steady-state packet path
+    /// never touches the allocator.
+    pool: Pool<Frame>,
+    /// Watchdog scratch: drained frames of one flush (capacity reused
+    /// across samples).
+    wd_flushed: Vec<QueuedFrame>,
+    /// Watchdog scratch: flow-control actions released by one flush.
+    wd_fc: Vec<FcAction>,
     data_drops: u64,
+    /// Data packets delivered to their destination host (denominator for
+    /// the benches' allocations-per-packet metric).
+    packets_delivered: u64,
     watchdog_drops: u64,
     deadlock: DeadlockReport,
 }
+
+/// Number of free frame boxes the pool retains (beyond this, returned
+/// boxes are simply freed): bounds retained memory after a burst at
+/// ~1 MiB while covering the steady-state churn window many times over.
+const FRAME_POOL_RETAIN: usize = 4096;
 
 impl Network {
     pub(crate) fn from_parts(params: NetParams, nodes: Vec<Node>) -> Self {
@@ -136,10 +166,15 @@ impl Network {
             nodes,
             flows: Vec::new(),
             flow_rx: Vec::new(),
+            rx_flows: Vec::new(),
             fct: Vec::new(),
             monitors: Vec::new(),
             rng,
+            pool: Pool::bounded(FRAME_POOL_RETAIN),
+            wd_flushed: Vec::new(),
+            wd_fc: Vec::new(),
             data_drops: 0,
+            packets_delivered: 0,
             watchdog_drops: 0,
             deadlock: DeadlockReport::default(),
         }
@@ -160,6 +195,7 @@ impl Network {
         let id = FlowId(self.flows.len());
         self.flows.push(FlowMeta { spec, completed: false });
         self.flow_rx.push(0);
+        self.rx_flows.push(ReceiverFlow::new());
         id
     }
 
@@ -172,13 +208,25 @@ impl Network {
     /// Converts the network into a ready-to-run simulation: flow starts
     /// and the sampling tick are scheduled.
     #[must_use]
-    pub fn into_sim(self) -> Simulation<Network> {
+    pub fn into_sim(mut self) -> Simulation<Network> {
+        // One FCT record per flow, reserved now so a completion mid-run
+        // never reallocates the log (the packet hot path stays
+        // allocation-free; see DESIGN.md §10). Likewise each host's
+        // flow-id → sender-slot table is pre-sized here so a FlowStart
+        // firing after warmup never grows it.
+        self.fct.reserve(self.flows.len());
+        let nflows = self.flows.len();
+        for n in &mut self.nodes {
+            if let Node::Host(h) = n {
+                h.tx_index.resize(nflows, u32::MAX);
+            }
+        }
         let starts: Vec<(Time, FlowId)> =
             self.flows.iter().enumerate().map(|(i, f)| (f.spec.start, FlowId(i))).collect();
         let tick = self.params.sample_interval;
         let mut sim = Simulation::new(self);
         for (t, flow) in starts {
-            sim.schedule(t, NetEvent::FlowStart { flow });
+            sim.schedule(t, NetEvent::FlowStart { flow: flow.0 as u32 });
         }
         sim.schedule(Time::ZERO + tick, NetEvent::Sample);
         sim
@@ -197,6 +245,12 @@ impl Network {
     #[must_use]
     pub fn data_drops(&self) -> u64 {
         self.data_drops
+    }
+
+    /// Data packets delivered to their destination hosts so far.
+    #[must_use]
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
     }
 
     /// Deadlock detection result.
@@ -225,27 +279,27 @@ impl Network {
         self.flow_rx[flow.0]
     }
 
-    /// Pause ledgers for every egress port in the network at `now`.
-    #[must_use]
-    pub fn pause_ledgers(&self, now: Time) -> Vec<PauseLedger> {
-        let mut out = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            let ports: Vec<&crate::port::EgressPort> = match n {
-                Node::Switch(s) => s.ports.iter().collect(),
-                Node::Host(h) => h.port.iter().collect(),
+    /// Every egress port in the network as `(node, port index, port)`, in
+    /// node then port order.
+    fn all_ports(&self) -> impl Iterator<Item = (NodeId, usize, &EgressPort)> {
+        self.nodes.iter().enumerate().flat_map(|(i, n)| {
+            let ports: &[EgressPort] = match n {
+                Node::Switch(s) => &s.ports,
+                Node::Host(h) => h.port.as_slice(),
             };
-            for (p, port) in ports.into_iter().enumerate() {
-                let queue_level =
-                    (0..NUM_DATA_CLASSES).map(|c| port.class_pause_total(c as u8, now)).sum();
-                out.push(PauseLedger {
-                    node: NodeId(i),
-                    port: p,
-                    queue_level,
-                    port_level: port.port_pause_total(now),
-                });
-            }
-        }
-        out
+            ports.iter().enumerate().map(move |(p, port)| (NodeId(i), p, port))
+        })
+    }
+
+    /// Pause ledgers for every egress port in the network at `now`,
+    /// lazily (nothing is materialized; collect if you need a `Vec`).
+    pub fn pause_ledgers(&self, now: Time) -> impl Iterator<Item = PauseLedger> + '_ {
+        self.all_ports().map(move |(node, p, port)| PauseLedger {
+            node,
+            port: p,
+            queue_level: (0..NUM_DATA_CLASSES).map(|c| port.class_pause_total(c as u8, now)).sum(),
+            port_level: port.port_pause_total(now),
+        })
     }
 
     /// Drains per-port headroom-occupancy local maxima from every switch
@@ -280,34 +334,30 @@ impl Network {
     #[must_use]
     pub fn telemetry_report(&self, now: Time) -> TelemetryReport {
         let mut switches = Vec::new();
-        let mut ports = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
-            let eports: Vec<&crate::port::EgressPort> = match n {
-                Node::Switch(s) => {
-                    switches.push(SwitchTelemetry {
-                        node: NodeId(i),
-                        audit: s.mmu.audit(),
-                        stats: s.mmu.stats(),
-                        attribution: s.mmu.drop_attribution(),
-                        port_drops: s.mmu.port_drops().to_vec(),
-                        occupancy: s.occupancy.points(),
-                    });
-                    s.ports.iter().collect()
-                }
-                Node::Host(h) => h.port.iter().collect(),
-            };
-            for (p, port) in eports.into_iter().enumerate() {
-                ports.push(PortPauseTelemetry {
+            if let Node::Switch(s) = n {
+                switches.push(SwitchTelemetry {
                     node: NodeId(i),
-                    port: p,
-                    queue_level: (0..NUM_DATA_CLASSES)
-                        .map(|c| port.class_pause_total(c as u8, now))
-                        .sum(),
-                    port_level: port.port_pause_total(now),
-                    pause_latency: port.pause_latency_histogram(),
+                    audit: s.mmu.audit(),
+                    stats: s.mmu.stats(),
+                    attribution: s.mmu.drop_attribution(),
+                    port_drops: s.mmu.port_drops().to_vec(),
+                    occupancy: s.occupancy.points(),
                 });
             }
         }
+        let ports = self
+            .all_ports()
+            .map(|(node, p, port)| PortPauseTelemetry {
+                node,
+                port: p,
+                queue_level: (0..NUM_DATA_CLASSES)
+                    .map(|c| port.class_pause_total(c as u8, now))
+                    .sum(),
+                port_level: port.port_pause_total(now),
+                pause_latency: port.pause_latency_histogram(),
+            })
+            .collect();
         TelemetryReport {
             generated_at: now,
             data_drops: self.data_drops,
@@ -324,39 +374,35 @@ impl Network {
         let spec = self.flows.get(flow.0)?.spec;
         match &self.nodes[spec.src.0] {
             Node::Host(h) => {
-                let idx = *h.tx_index.get(&flow)?;
-                let f = &h.tx_flows[idx];
+                let f = &h.tx_flows[h.sender_slot(flow)?];
                 Some((f.cc.cwnd_bytes(), f.in_flight()))
             }
             Node::Switch(_) => None,
         }
     }
 
-    /// Diagnostic: every currently-blocked switch egress port as
-    /// `(node, port, blocked_since, port_paused, paused_classes,
-    /// queued_bytes)`.
-    #[must_use]
-    pub fn blocked_ports(&self) -> Vec<(NodeId, usize, Time, bool, Vec<u8>, u64)> {
-        let mut out = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Node::Switch(s) = n {
-                for (pi, p) in s.ports.iter().enumerate() {
-                    if let Some(b) = p.blocked_since() {
-                        let classes: Vec<u8> =
-                            (0..NUM_DATA_CLASSES as u8).filter(|&c| p.class_paused(c)).collect();
-                        out.push((
-                            NodeId(i),
-                            pi,
-                            b,
-                            p.port_paused(),
-                            classes,
-                            p.total_queued_bytes(),
-                        ));
-                    }
-                }
-            }
-        }
-        out
+    /// Diagnostic: every currently-blocked switch egress port, lazily (no
+    /// intermediate `Vec`s; the paused classes are an inline bitmask).
+    pub fn blocked_ports(&self) -> impl Iterator<Item = BlockedPort> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Switch(s) => Some((i, s)),
+                Node::Host(_) => None,
+            })
+            .flat_map(|(i, s)| {
+                s.ports.iter().enumerate().filter_map(move |(pi, p)| {
+                    p.blocked_since().map(|b| BlockedPort {
+                        node: NodeId(i),
+                        port: pi,
+                        since: b,
+                        port_paused: p.port_paused(),
+                        paused_classes: ClassMask::paused_of(p),
+                        queued_bytes: p.total_queued_bytes(),
+                    })
+                })
+            })
     }
 
     /// Sum of MMU pause/drop counters over all switches.
@@ -422,7 +468,9 @@ impl Network {
     /// and a frame is eligible.
     fn try_transmit(&mut self, node: NodeId, port: usize, sched: &mut Scheduler<'_, NetEvent>) {
         let now = sched.now();
-        let mut fc_out: Vec<(usize, Frame)> = Vec::new();
+        // One departure yields at most two flow-control actions, so they
+        // ride inline in an `FcActions` — no scratch buffer needed.
+        let mut fc = FcActions::none();
 
         let tx = {
             let is_switch = matches!(self.nodes[node.0], Node::Switch(_));
@@ -442,11 +490,8 @@ impl Network {
             // admitted to) and collect PFC actions.
             if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
                 let sw = self.switch_mut(node);
-                let actions = sw.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
+                fc = sw.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
                 sw.occupancy.sub(now, qf.frame.bytes);
-                for a in actions {
-                    fc_out.push(SwitchNode::fc_frame(a));
-                }
             }
             // Stamp INT telemetry (switch egress only).
             let p = self.port_mut(node, port);
@@ -471,12 +516,30 @@ impl Network {
         };
 
         let (frame, txd, prop, peer, peer_port) = tx;
-        sched.at(now + txd, NetEvent::TxDone { node, port });
-        sched.at(now + txd + prop, NetEvent::Arrive { node: peer, in_port: peer_port, frame });
+        sched.at(now + txd, NetEvent::TxDone { node: node.0 as u32, port: port as u32 });
+        sched.at(
+            now + txd + prop,
+            NetEvent::Arrive { node: peer.0 as u32, in_port: peer_port as u32, frame },
+        );
 
-        for (p, f) in fc_out {
-            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
-            if p != port {
+        self.drain_fc(node, fc, Some(port), sched);
+    }
+
+    /// Materializes PFC frames for `actions`, enqueues them toward the
+    /// offending upstreams, and kicks each port's serializer (except
+    /// `skip_port`, whose transmission is already in flight).
+    fn drain_fc(
+        &mut self,
+        node: NodeId,
+        actions: FcActions,
+        skip_port: Option<usize>,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        for a in actions {
+            let (p, f) = SwitchNode::fc_frame(a);
+            let frame = self.pool.get(|| f);
+            self.port_mut(node, p).enqueue(QueuedFrame { frame, ingress: None });
+            if Some(p) != skip_port {
                 self.try_transmit(node, p, sched);
             }
         }
@@ -498,7 +561,7 @@ impl Network {
         &mut self,
         node: NodeId,
         in_port: usize,
-        frame: Frame,
+        mut frame: Box<Frame>,
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
         let now = sched.now();
@@ -509,8 +572,14 @@ impl Network {
             let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
             sched.at(
                 now + delay,
-                NetEvent::ApplyPause { node, port: in_port, scope: p.scope, pause: p.pause },
+                NetEvent::ApplyPause {
+                    node: node.0 as u32,
+                    port: in_port as u32,
+                    scope: p.scope,
+                    pause: p.pause,
+                },
             );
+            self.pool.put(frame);
             return;
         }
 
@@ -522,39 +591,35 @@ impl Network {
             FrameKind::Pfc(_) => unreachable!(),
         };
 
-        let mut fc_out: Vec<(usize, Frame)> = Vec::new();
-        let (out_port, tag) = {
+        let mut fc = FcActions::none();
+        let admitted = {
             let sw = self.switch_mut(node);
             let out_port = sw.routes.pick(dst.0, flow, sw.id);
             if frame.is_data() {
                 let q = frame.class as usize;
                 let outcome = sw.mmu.on_arrival(in_port, q, frame.bytes);
-                for a in outcome.actions {
-                    fc_out.push(SwitchNode::fc_frame(a));
-                }
+                fc = outcome.actions;
                 match outcome.region {
                     Some(region) => {
                         sw.occupancy.add(now, frame.bytes);
-                        (out_port, Some(IngressTag { in_port, in_queue: q, region }))
+                        Some((out_port, Some(IngressTag { in_port, in_queue: q, region })))
                     }
-                    None => {
-                        // Congestion loss. Lossless configurations must
-                        // never reach this (tests assert on the counter).
-                        self.data_drops += 1;
-                        for (p, f) in fc_out {
-                            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
-                            self.try_transmit(node, p, sched);
-                        }
-                        return;
-                    }
+                    None => None,
                 }
             } else {
-                (out_port, None)
+                Some((out_port, None))
             }
+        };
+        let Some((out_port, tag)) = admitted else {
+            // Congestion loss. Lossless configurations must never reach
+            // this (tests assert on the counter).
+            self.data_drops += 1;
+            self.pool.put(frame);
+            self.drain_fc(node, fc, None, sched);
+            return;
         };
 
         // ECN marking against the egress queue length (congestion point).
-        let mut frame = frame;
         if frame.is_data() && self.params.ecn.enabled {
             let qlen = self.port_mut(node, out_port).queue_bytes(frame.class);
             let mark = self.params.ecn.mark(qlen, &mut self.rng);
@@ -566,10 +631,7 @@ impl Network {
         }
 
         self.port_mut(node, out_port).enqueue(QueuedFrame { frame, ingress: tag });
-        for (p, f) in fc_out {
-            self.port_mut(node, p).enqueue(QueuedFrame { frame: f, ingress: None });
-            self.try_transmit(node, p, sched);
-        }
+        self.drain_fc(node, fc, None, sched);
         self.try_transmit(node, out_port, sched);
     }
 
@@ -579,37 +641,52 @@ impl Network {
         &mut self,
         node: NodeId,
         in_port: usize,
-        frame: Frame,
+        frame: Box<Frame>,
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
         let now = sched.now();
-        match frame.kind {
+        match &frame.kind {
             FrameKind::Pfc(p) => {
+                let (scope, pause) = (p.scope, p.pause);
                 let bw = self.port_mut(node, in_port).bandwidth;
                 let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
                 sched.at(
                     now + delay,
-                    NetEvent::ApplyPause { node, port: in_port, scope: p.scope, pause: p.pause },
+                    NetEvent::ApplyPause {
+                        node: node.0 as u32,
+                        port: in_port as u32,
+                        scope,
+                        pause,
+                    },
                 );
+                self.pool.put(frame);
             }
-            FrameKind::Data(d) => self.host_receive_data(node, d, sched),
+            FrameKind::Data(_) => self.host_receive_data(node, frame, sched),
             FrameKind::Ack(a) => {
-                let host = self.host_mut(node);
-                if let Some(f) = host.sender_mut(a.flow) {
-                    f.acked = (f.acked + a.acked).min(f.size);
-                    let info =
-                        AckInfo { acked_bytes: a.acked, ecn_echo: a.ecn_echo, hops: &a.hops };
-                    f.cc.on_ack(now, &info);
+                let flow = a.flow;
+                {
+                    let host = self.host_mut(node);
+                    if let Some(f) = host.sender_mut(flow) {
+                        f.acked = (f.acked + a.acked).min(f.size);
+                        let info =
+                            AckInfo { acked_bytes: a.acked, ecn_echo: a.ecn_echo, hops: &a.hops };
+                        f.cc.on_ack(now, &info);
+                    }
                 }
-                self.arm_cc_timer(node, a.flow, sched);
+                self.pool.put(frame);
+                self.arm_cc_timer(node, flow, sched);
                 // Window space may have opened.
                 self.host_try_send(node, sched);
             }
             FrameKind::Cnp { flow, .. } => {
-                let host = self.host_mut(node);
-                if let Some(f) = host.sender_mut(flow) {
-                    f.cc.on_cnp(now);
+                let flow = *flow;
+                {
+                    let host = self.host_mut(node);
+                    if let Some(f) = host.sender_mut(flow) {
+                        f.cc.on_cnp(now);
+                    }
                 }
+                self.pool.put(frame);
                 self.arm_cc_timer(node, flow, sched);
             }
         }
@@ -618,18 +695,22 @@ impl Network {
     fn host_receive_data(
         &mut self,
         node: NodeId,
-        d: DataFrame,
+        mut frame: Box<Frame>,
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
+        let FrameKind::Data(d) = &frame.kind else {
+            unreachable!("host_receive_data requires a data frame")
+        };
+        let (flow, src, payload, ecn, hops) = (d.flow, d.src, d.payload, d.ecn, d.hops);
+        self.packets_delivered += 1;
         let now = sched.now();
-        let meta_size = self.flows[d.flow.0].spec.size;
-        let meta_start = self.flows[d.flow.0].spec.start;
+        let meta_size = self.flows[flow.0].spec.size;
+        let meta_start = self.flows[flow.0].spec.start;
 
         let (send_cnp, completed) = {
-            let host = self.host_mut(node);
-            let rx = host.rx_flows.entry(d.flow).or_default();
-            rx.received += d.payload;
-            let send_cnp = rx.cnp.on_data(now, d.ecn);
+            let rx = &mut self.rx_flows[flow.0];
+            rx.received += payload;
+            let send_cnp = rx.cnp.on_data(now, ecn);
             let completed = !rx.completed && rx.received >= meta_size;
             if completed {
                 rx.completed = true;
@@ -637,30 +718,20 @@ impl Network {
             (send_cnp, completed)
         };
 
-        self.flow_rx[d.flow.0] += d.payload;
+        self.flow_rx[flow.0] += payload;
         if completed {
-            self.flows[d.flow.0].completed = true;
-            self.fct.push(FctRecord {
-                flow: d.flow,
-                size: meta_size,
-                start: meta_start,
-                finish: now,
-            });
+            self.flows[flow.0].completed = true;
+            self.fct.push(FctRecord { flow, size: meta_size, start: meta_start, finish: now });
         }
 
-        // Reply path: ACK (always) + CNP (DCQCN NP policy).
-        let ack = Frame::ack(AckFrame {
-            flow: d.flow,
-            dst: d.src,
-            acked: d.payload,
-            ecn_echo: d.ecn,
-            hops: d.hops,
-        });
-        let host = self.host_mut(node);
-        host.uplink_mut().enqueue(QueuedFrame { frame: ack, ingress: None });
+        // Reply path: ACK (always) + CNP (DCQCN NP policy). The data
+        // frame's box is rewritten in place as the ACK — the telemetry
+        // echo is an inline copy, not a heap clone.
+        *frame = Frame::ack(AckFrame { flow, dst: src, acked: payload, ecn_echo: ecn, hops });
+        self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
         if send_cnp {
-            let cnp = Frame::cnp(d.flow, d.src);
-            host.uplink_mut().enqueue(QueuedFrame { frame: cnp, ingress: None });
+            let cnp = self.pool.get(|| Frame::cnp(flow, src));
+            self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame: cnp, ingress: None });
         }
         self.try_transmit(node, 0, sched);
     }
@@ -728,18 +799,16 @@ impl Network {
             let i = host.active[slot];
             let f = &mut host.tx_flows[i];
             let seg = mtu.min(f.size - f.sent);
-            let frame = Frame::data(
-                DataFrame {
-                    flow: f.id,
-                    src: node,
-                    dst: f.dst,
-                    seq: f.sent,
-                    payload: seg,
-                    ecn: false,
-                    hops: Vec::new(),
-                },
-                f.class,
-            );
+            let df = DataFrame {
+                flow: f.id,
+                src: node,
+                dst: f.dst,
+                seq: f.sent,
+                payload: seg,
+                ecn: false,
+                hops: HopList::new(),
+            };
+            let class = f.class;
             f.sent += seg;
             f.cc.on_sent(now, seg);
             let rate = f.cc.rate();
@@ -754,19 +823,26 @@ impl Network {
             } else {
                 host.rr_cursor = (slot + 1) % n;
             }
-            host.uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
+            let frame = self.pool.get(|| Frame::data(df, class));
+            self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
             self.arm_cc_timer(node, flow_id, sched);
         }
         self.try_transmit(node, 0, sched);
 
-        // Pacing wake-up for flows waiting only on their send clock.
+        // Pacing wake-up for flows waiting only on their send clock — but
+        // only from an idle serializer: while the uplink is busy, its
+        // TxDone re-enters this function and re-evaluates the clock, so a
+        // wake-up event here would just be calendar churn.
         let host = self.host_mut(node);
+        if host.port.as_ref().is_some_and(EgressPort::is_busy) {
+            return;
+        }
         let next =
             host.active.iter().map(|&i| host.tx_flows[i].next_send).filter(|&t| t > now).min();
         if let Some(t) = next {
             if t < host.wake_at {
                 host.wake_at = t;
-                sched.at(t, NetEvent::HostWake { host: node });
+                sched.at(t, NetEvent::HostWake { host: node.0 as u32 });
             }
         }
     }
@@ -784,7 +860,10 @@ impl Network {
         if let Some(t) = f.cc.next_timer() {
             f.timer_gen += 1;
             let gen = f.timer_gen;
-            sched.at(t.max(now), NetEvent::CcTimer { host: node, flow, gen });
+            sched.at(
+                t.max(now),
+                NetEvent::CcTimer { host: node.0 as u32, flow: flow.0 as u32, gen },
+            );
         }
     }
 
@@ -792,7 +871,7 @@ impl Network {
         &mut self,
         node: NodeId,
         flow: FlowId,
-        gen: u64,
+        gen: u32,
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
         let now = sched.now();
@@ -866,30 +945,38 @@ impl Network {
                     if !expired {
                         continue;
                     }
-                    let flushed = {
+                    // Flush into the reused scratch buffers (their
+                    // capacity persists across samples — no fresh `Vec`
+                    // per flush).
+                    let mut flushed = std::mem::take(&mut self.wd_flushed);
+                    let mut fc = std::mem::take(&mut self.wd_fc);
+                    flushed.clear();
+                    fc.clear();
+                    {
                         let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
-                        s.ports[pi].watchdog_flush_class(class, now)
-                    };
+                        s.ports[pi].watchdog_flush_class(class, now, &mut flushed);
+                    }
                     // Release the MMU accounting of the dropped frames and
                     // forward any resumes that releases.
-                    let mut fc_out: Vec<(usize, Frame)> = Vec::new();
-                    for qf in &flushed {
+                    self.watchdog_drops += flushed.len() as u64;
+                    for qf in flushed.drain(..) {
                         if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
                             let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
                             let actions =
                                 s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
                             s.occupancy.sub(now, qf.frame.bytes);
-                            for a in actions {
-                                fc_out.push(SwitchNode::fc_frame(a));
-                            }
+                            fc.extend(actions);
                         }
+                        self.pool.put(qf.frame);
                     }
-                    self.watchdog_drops += flushed.len() as u64;
-                    for (p, f) in fc_out {
-                        self.port_mut(NodeId(ni), p)
-                            .enqueue(QueuedFrame { frame: f, ingress: None });
+                    for a in fc.drain(..) {
+                        let (p, f) = SwitchNode::fc_frame(a);
+                        let frame = self.pool.get(|| f);
+                        self.port_mut(NodeId(ni), p).enqueue(QueuedFrame { frame, ingress: None });
                         self.try_transmit(NodeId(ni), p, sched);
                     }
+                    self.wd_flushed = flushed;
+                    self.wd_fc = fc;
                     // The unpaused port may transmit again.
                     self.try_transmit(NodeId(ni), pi, sched);
                 }
@@ -937,28 +1024,101 @@ impl Network {
     }
 }
 
+/// One blocked switch egress port (see [`Network::blocked_ports`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedPort {
+    /// The switch.
+    pub node: NodeId,
+    /// Egress port index.
+    pub port: usize,
+    /// Instant since which the port has continuously been unable to serve
+    /// queued data.
+    pub since: Time,
+    /// Whether a port-level (DSH) pause is asserted.
+    pub port_paused: bool,
+    /// Which data classes are queue-level paused.
+    pub paused_classes: ClassMask,
+    /// Bytes waiting across all its queues.
+    pub queued_bytes: u64,
+}
+
+/// An inline bitmask over the data classes (replaces the former
+/// `Vec<u8>` of paused class indices — no allocation per query).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassMask(u8);
+
+impl ClassMask {
+    fn paused_of(p: &EgressPort) -> Self {
+        let mut mask = 0u8;
+        for c in 0..NUM_DATA_CLASSES as u8 {
+            if p.class_paused(c) {
+                mask |= 1 << c;
+            }
+        }
+        ClassMask(mask)
+    }
+
+    /// Whether `class` is in the set.
+    #[must_use]
+    pub fn contains(self, class: u8) -> bool {
+        (class as usize) < NUM_DATA_CLASSES && self.0 & (1 << class) != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The classes in the set, ascending.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..NUM_DATA_CLASSES as u8).filter(move |&c| self.0 & (1 << c) != 0)
+    }
+}
+
+impl std::fmt::Debug for ClassMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+// Hot-path size contracts: calendar entries and queue slots are memcpy'd
+// constantly, so the large frame payload must stay behind a pointer.
+dsh_simcore::const_assert_size!(NetEvent, 24);
+dsh_simcore::const_assert_size!(QueuedFrame, 40);
+// The boxed frame itself carries the inline HopList; keep it cache-friendly.
+dsh_simcore::const_assert_size!(Frame, 256);
+
 impl Model for Network {
     type Event = NetEvent;
 
     fn handle(&mut self, event: NetEvent, sched: &mut Scheduler<'_, NetEvent>) {
+        // Events carry compact u32 indices (see `NetEvent`); widen them
+        // back into the typed ids the rest of the model uses.
         match event {
             NetEvent::Arrive { node, in_port, frame } => {
+                let node = NodeId(node as usize);
                 if matches!(self.nodes[node.0], Node::Switch(_)) {
-                    self.switch_arrive(node, in_port, frame, sched);
+                    self.switch_arrive(node, in_port as usize, frame, sched);
                 } else {
-                    self.host_arrive(node, in_port, frame, sched);
+                    self.host_arrive(node, in_port as usize, frame, sched);
                 }
             }
-            NetEvent::TxDone { node, port } => self.handle_tx_done(node, port, sched),
-            NetEvent::ApplyPause { node, port, scope, pause } => {
-                self.handle_apply_pause(node, port, scope, pause, sched);
+            NetEvent::TxDone { node, port } => {
+                self.handle_tx_done(NodeId(node as usize), port as usize, sched);
             }
-            NetEvent::FlowStart { flow } => self.handle_flow_start(flow, sched),
+            NetEvent::ApplyPause { node, port, scope, pause } => {
+                self.handle_apply_pause(NodeId(node as usize), port as usize, scope, pause, sched);
+            }
+            NetEvent::FlowStart { flow } => self.handle_flow_start(FlowId(flow as usize), sched),
             NetEvent::HostWake { host } => {
+                let host = NodeId(host as usize);
                 self.host_mut(host).wake_at = Time::MAX;
                 self.host_try_send(host, sched);
             }
-            NetEvent::CcTimer { host, flow, gen } => self.handle_cc_timer(host, flow, gen, sched),
+            NetEvent::CcTimer { host, flow, gen } => {
+                self.handle_cc_timer(NodeId(host as usize), FlowId(flow as usize), gen, sched);
+            }
             NetEvent::Sample => self.handle_sample(sched),
         }
     }
@@ -1099,7 +1259,7 @@ mod tests {
     #[test]
     fn pause_ledgers_report_all_ports() {
         let (net, _, _) = two_hosts_one_switch(Scheme::Sih);
-        let ledgers = net.pause_ledgers(Time::ZERO);
+        let ledgers: Vec<_> = net.pause_ledgers(Time::ZERO).collect();
         // 2 host uplinks + 2 switch ports.
         assert_eq!(ledgers.len(), 4);
         assert!(ledgers.iter().all(|l| l.total() == Delta::ZERO));

@@ -43,6 +43,7 @@
 mod engine;
 pub mod exec;
 pub mod json;
+mod pool;
 mod queue;
 mod rng;
 mod time;
@@ -51,6 +52,7 @@ mod units;
 pub use engine::{Model, Scheduler, Simulation};
 pub use exec::Executor;
 pub use json::Json;
+pub use pool::Pool;
 pub use queue::EventQueue;
 pub use rng::{split_seed, SimRng};
 pub use time::{Delta, Time};

@@ -42,7 +42,7 @@ pub use cc::{AckInfo, Cc, CcKind, Uncontrolled};
 pub use dcqcn::{Dcqcn, DcqcnConfig};
 pub use powertcp::{PowerTcp, PowerTcpConfig};
 pub use receiver::CnpPolicy;
-pub use telemetry::TelemetryHop;
+pub use telemetry::{HopList, TelemetryHop, HOP_CAPACITY};
 
 use dsh_simcore::{Bandwidth, Delta};
 

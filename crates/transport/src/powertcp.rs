@@ -14,7 +14,7 @@
 //! (visible in our Fig. 6/14 reproductions).
 
 use crate::cc::{AckInfo, Cc};
-use crate::telemetry::TelemetryHop;
+use crate::telemetry::{TelemetryHop, HOP_CAPACITY};
 use dsh_simcore::{Bandwidth, Delta, Time};
 
 /// PowerTCP parameters.
@@ -64,12 +64,17 @@ struct HopMemory {
     timestamp: Time,
 }
 
+const ZERO_MEMORY: HopMemory = HopMemory { qlen_bytes: 0, tx_bytes: 0, timestamp: Time::ZERO };
+
 /// PowerTCP per-flow sender state.
 #[derive(Clone, Debug)]
 pub struct PowerTcp {
     cfg: PowerTcpConfig,
     cwnd: f64,
-    prev_hops: Vec<HopMemory>,
+    /// Previous per-hop observations, inline ([`HOP_CAPACITY`] slots) so a
+    /// new flow's first ACKs never allocate.
+    prev_hops: [HopMemory; HOP_CAPACITY],
+    prev_len: u8,
     /// EWMA of the normalized power over the base RTT (the paper smooths
     /// Γ before using it; raw per-ACK gradients are far too noisy).
     smoothed_power: Option<f64>,
@@ -84,7 +89,8 @@ impl PowerTcp {
         PowerTcp {
             cfg,
             cwnd: bdp,
-            prev_hops: Vec::new(),
+            prev_hops: [ZERO_MEMORY; HOP_CAPACITY],
+            prev_len: 0,
             smoothed_power: None,
             last_update: Time::ZERO,
         }
@@ -122,7 +128,7 @@ impl Cc for PowerTcp {
         }
         // Bottleneck power across hops.
         let mut gamma_norm: Option<f64> = None;
-        if self.prev_hops.len() == info.hops.len() {
+        if usize::from(self.prev_len) == info.hops.len() {
             for (prev, cur) in self.prev_hops.iter().zip(info.hops) {
                 if let Some(p) = self.hop_power(prev, cur) {
                     gamma_norm = Some(gamma_norm.map_or(p, |g: f64| g.max(p)));
@@ -130,12 +136,14 @@ impl Cc for PowerTcp {
             }
         }
         // Remember this observation for the next gradient.
-        self.prev_hops.clear();
-        self.prev_hops.extend(info.hops.iter().map(|h| HopMemory {
-            qlen_bytes: h.qlen_bytes,
-            tx_bytes: h.tx_bytes,
-            timestamp: h.timestamp,
-        }));
+        for (slot, h) in self.prev_hops.iter_mut().zip(info.hops) {
+            *slot = HopMemory {
+                qlen_bytes: h.qlen_bytes,
+                tx_bytes: h.tx_bytes,
+                timestamp: h.timestamp,
+            };
+        }
+        self.prev_len = info.hops.len() as u8;
 
         if let Some(p_inst) = gamma_norm {
             // Smooth power over the base RTT (paper Algorithm 1): the raw

@@ -31,20 +31,204 @@ impl TelemetryHop {
     }
 }
 
+/// Maximum number of switch hops a packet can traverse, and therefore the
+/// inline capacity of a [`HopList`].
+///
+/// The largest supported fabrics bound the data-path diameter at 5 egress
+/// stamps: a k-ary fat-tree crosses edge→agg→core→agg→edge, and the
+/// failure-rerouted leaf–spine paths of the CBD experiment (fig. 12) cross
+/// leaf→spine→leaf→spine→leaf. Every frame carries this array inline, so
+/// the constant is also a memcpy budget — keep it at the real diameter.
+/// Anything deeper must raise it (a [`HopList::push`] past capacity panics
+/// rather than silently dropping telemetry).
+pub const HOP_CAPACITY: usize = 5;
+
+const ZERO_HOP: TelemetryHop = TelemetryHop {
+    qlen_bytes: 0,
+    tx_bytes: 0,
+    timestamp: Time::ZERO,
+    bandwidth: Bandwidth::from_bps(0),
+};
+
+/// A fixed-capacity, inline list of [`TelemetryHop`]s.
+///
+/// Replaces the old `Vec<TelemetryHop>` inside data/ACK frames: the storage
+/// lives inline in the frame (no per-packet heap allocation, and echoing
+/// the hops into an ACK is a plain `memcpy`). Push order is preserved and
+/// unused slots are zeroed, so equality and hashing only consider the live
+/// prefix.
+#[derive(Clone, Copy)]
+pub struct HopList {
+    hops: [TelemetryHop; HOP_CAPACITY],
+    len: u8,
+}
+
+impl HopList {
+    /// An empty list.
+    #[must_use]
+    pub const fn new() -> Self {
+        HopList { hops: [ZERO_HOP; HOP_CAPACITY], len: 0 }
+    }
+
+    /// Appends a hop record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet already carries [`HOP_CAPACITY`] stamps — the
+    /// topology's diameter exceeds the inline capacity contract.
+    pub fn push(&mut self, hop: TelemetryHop) {
+        assert!(
+            (self.len as usize) < HOP_CAPACITY,
+            "HopList overflow: path exceeds HOP_CAPACITY ({HOP_CAPACITY}) switch hops; \
+             raise dsh_transport::HOP_CAPACITY for deeper topologies"
+        );
+        self.hops[self.len as usize] = hop;
+        self.len += 1;
+    }
+
+    /// Number of stamped hops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no hop has been stamped yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stamped hops, in path order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[TelemetryHop] {
+        &self.hops[..self.len as usize]
+    }
+
+    /// Iterates over the stamped hops in path order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TelemetryHop> {
+        self.as_slice().iter()
+    }
+
+    /// Removes all hops (slots are re-zeroed so equality stays prefix-only
+    /// by construction).
+    pub fn clear(&mut self) {
+        self.hops = [ZERO_HOP; HOP_CAPACITY];
+        self.len = 0;
+    }
+
+    /// Builds a list from a slice (test/bench convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops.len() > HOP_CAPACITY`.
+    #[must_use]
+    pub fn from_slice(hops: &[TelemetryHop]) -> Self {
+        let mut out = HopList::new();
+        for h in hops {
+            out.push(*h);
+        }
+        out
+    }
+}
+
+impl Default for HopList {
+    fn default() -> Self {
+        HopList::new()
+    }
+}
+
+impl std::ops::Deref for HopList {
+    type Target = [TelemetryHop];
+
+    fn deref(&self) -> &[TelemetryHop] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for HopList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for HopList {}
+
+impl std::fmt::Debug for HopList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a HopList {
+    type Item = &'a TelemetryHop;
+    type IntoIter = std::slice::Iter<'a, TelemetryHop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn hop(n: u64) -> TelemetryHop {
+        TelemetryHop {
+            qlen_bytes: n,
+            tx_bytes: n * 10,
+            timestamp: Time::from_us(n),
+            bandwidth: Bandwidth::from_gbps(100),
+        }
+    }
+
     #[test]
     fn telemetry_is_plain_data() {
-        let h = TelemetryHop {
-            qlen_bytes: 1500,
-            tx_bytes: 1_000_000,
-            timestamp: Time::from_us(3),
-            bandwidth: Bandwidth::from_gbps(100),
-        };
+        let h = hop(1);
         let h2 = h;
         assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn hoplist_push_and_iterate_in_path_order() {
+        let mut l = HopList::new();
+        assert!(l.is_empty());
+        for n in 0..4 {
+            l.push(hop(n));
+        }
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.as_slice(), &[hop(0), hop(1), hop(2), hop(3)]);
+        let via_iter: Vec<u64> = l.iter().map(|h| h.qlen_bytes).collect();
+        assert_eq!(via_iter, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hoplist_copies_and_compares_by_live_prefix() {
+        let mut a = HopList::new();
+        a.push(hop(7));
+        let b = a; // Copy, not move: frames stay plain data.
+        assert_eq!(a, b);
+        let mut c = HopList::from_slice(&[hop(7), hop(8)]);
+        assert_ne!(a, c);
+        c.clear();
+        assert_eq!(c, HopList::new());
+    }
+
+    #[test]
+    fn hoplist_derefs_to_slice() {
+        let l = HopList::from_slice(&[hop(1), hop(2)]);
+        // &*l is what `AckInfo { hops: &ack.hops }` relies on.
+        let s: &[TelemetryHop] = &l;
+        assert_eq!(s.len(), 2);
+        assert_eq!(l.first(), Some(&hop(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "HopList overflow")]
+    fn hoplist_overflow_panics() {
+        let mut l = HopList::new();
+        for n in 0..=HOP_CAPACITY as u64 {
+            l.push(hop(n));
+        }
     }
 
     #[test]

@@ -14,6 +14,16 @@ use dsh_net::{FlowSpec, NetParams, NetworkBuilder};
 use dsh_simcore::{Bandwidth, Delta, Executor, Time};
 use dsh_transport::CcKind;
 
+/// FNV-1a over the rendered output, so a golden is one `u64` literal.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Micro leaf–spine base so the whole grid stays test-sized.
 fn micro_base() -> FctExperiment {
     let mut base = FctExperiment::small(Scheme::Sih, CcKind::Dcqcn);
@@ -31,9 +41,18 @@ fn fig14_sweep_is_byte_identical_at_1_and_4_threads() {
     let four = fig14::sweep(CcKind::Dcqcn, &loads, &base, &Executor::new(4));
     // FCT summaries are f64-valued; Debug prints the shortest
     // round-trippable form, so equal strings mean bit-equal results.
-    assert_eq!(format!("{serial:#?}"), format!("{four:#?}"));
+    let rendered = format!("{serial:#?}");
+    assert_eq!(rendered, format!("{four:#?}"));
     // And the run must actually have measured something.
     assert!(serial.iter().all(|p| p.norm_fan().is_some() && p.norm_bg().is_some()));
+    // Golden digest: pins the sweep's full output byte-for-byte across
+    // refactors. Frame pooling, the inline hop list, and buffer reuse must
+    // not move a single event, so this hash is the "before/after pooling"
+    // equivalence proof. It may only change with a deliberate
+    // behavior-changing fix (last rebaselined when redundant NIC pacing
+    // wake-ups were elided while the uplink serializer is busy, which
+    // re-orders same-instant calendar ties).
+    assert_eq!(fnv1a(&rendered), 10_839_357_829_881_153_996, "fig14 micro sweep output drifted");
 }
 
 /// One micro 7:1 incast, returning the run's full telemetry JSON.
@@ -71,6 +90,20 @@ fn telemetry_json_is_byte_identical_at_1_and_4_threads() {
     let four = run(4);
     assert_eq!(serial, four);
     assert!(serial[0].contains("\"switches\"") || !serial[0].is_empty());
+    // Golden digests (SIH then DSH): same contract as the fig14 golden —
+    // the pooled hot path must reproduce the pre-pooling telemetry JSON
+    // byte for byte.
+    let digests: Vec<u64> = serial.iter().map(|s| fnv1a(s)).collect();
+    assert_eq!(
+        digests,
+        vec![
+            10_088_307_052_838_522_924,
+            14_197_248_511_621_172_318,
+            10_088_307_052_838_522_924,
+            14_197_248_511_621_172_318,
+        ],
+        "telemetry JSON drifted"
+    );
 }
 
 #[test]
