@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsh_bench::fabric::FctExperiment;
-use dsh_bench::{fig04, fig05, fig06, fig11, fig12, fig13, fig14, fig15, theory};
+use dsh_bench::{fig04, fig05, fig06, fig11, fig12, fig13, fig13x, fig14, fig15, theory};
 use dsh_core::Scheme;
 use dsh_simcore::Delta;
 use dsh_transport::CcKind;
@@ -84,6 +84,30 @@ fn bench_fig13(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fig13x(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13x_link_flap");
+    g.sample_size(10);
+    let mut exp = fig13x::smoke_base(Scheme::Dsh);
+    exp.flap_period = Some(Delta::from_us(300));
+    g.bench_function("dsh_flap300us", |b| {
+        b.iter(|| {
+            let r = fig13x::run_flap(&exp);
+            assert_eq!(r.wedged, 0);
+            r.link_drops
+        });
+    });
+    g.finish();
+    // Perf-trajectory point (BENCH_PR4.json): steady-state event rate of
+    // the fault-injected run, so flap handling showing up on the packet
+    // path would be caught as an events/sec regression.
+    let wall = std::time::Instant::now();
+    let r = fig13x::run_flap(&exp);
+    let secs = wall.elapsed().as_secs_f64();
+    criterion::record_metric("fig13x_link_flap/events_per_sec", r.events as f64 / secs);
+    criterion::record_metric("fig13x_link_flap/link_drops", r.link_drops as f64);
+    criterion::record_metric("fig13x_link_flap/retransmissions", r.retransmissions as f64);
+}
+
 fn bench_fig14(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_fct_vs_load");
     g.sample_size(10);
@@ -123,6 +147,7 @@ criterion_group!(
     bench_fig11,
     bench_fig12,
     bench_fig13,
+    bench_fig13x,
     bench_fig14,
     bench_fig15,
     bench_theory

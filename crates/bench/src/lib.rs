@@ -13,6 +13,7 @@
 //! | [`fig11`] | PFC avoidance (pause duration vs burst size) |
 //! | [`fig12`] | Deadlock onset CDF |
 //! | [`fig13`] | Collateral damage (victim throughput) |
+//! | [`fig13x`] | Link-flap robustness (extension, not in the paper) |
 //! | [`fig14`] | FCT vs background load (web search, leaf–spine) |
 //! | [`fig15`] | FCT across workloads and fat-tree |
 //! | [`theory`] | Theorems 1–2 validation |
@@ -26,6 +27,7 @@ pub mod fig06;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig13x;
 pub mod fig14;
 pub mod fig15;
 pub mod theory;
@@ -40,6 +42,9 @@ pub struct Args {
     pub full: bool,
     /// `--json`: also print structured telemetry as one JSON document.
     pub json: bool,
+    /// `--smoke`: CI-sized single-point run with hard assertions instead
+    /// of a sweep (exits non-zero on violation).
+    pub smoke: bool,
     /// `--seed N` (default 1).
     pub seed: u64,
     /// `--threads N`, falling back to `DSH_THREADS`; 0 means "auto"
@@ -61,13 +66,19 @@ impl Args {
     /// Parses an explicit token stream (testable core of [`Args::parse`]).
     /// Unknown tokens are ignored, matching the old per-flag scanners.
     fn from_iter<I: IntoIterator<Item = String>>(argv: I, env_threads: Option<usize>) -> Args {
-        let mut args =
-            Args { full: false, json: false, seed: 1, threads: env_threads.unwrap_or(0) };
+        let mut args = Args {
+            full: false,
+            json: false,
+            smoke: false,
+            seed: 1,
+            threads: env_threads.unwrap_or(0),
+        };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
             match tok.as_str() {
                 "--full" => args.full = true,
                 "--json" => args.json = true,
+                "--smoke" => args.smoke = true,
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                         args.seed = v;
@@ -102,13 +113,16 @@ mod tests {
     #[test]
     fn defaults_when_no_flags() {
         let a = Args::from_iter(argv(&[]), None);
-        assert_eq!(a, Args { full: false, json: false, seed: 1, threads: 0 });
+        assert_eq!(a, Args { full: false, json: false, smoke: false, seed: 1, threads: 0 });
     }
 
     #[test]
     fn parses_all_flags_in_one_pass() {
-        let a = Args::from_iter(argv(&["--full", "--seed", "9", "--json", "--threads", "3"]), None);
-        assert_eq!(a, Args { full: true, json: true, seed: 9, threads: 3 });
+        let a = Args::from_iter(
+            argv(&["--full", "--seed", "9", "--json", "--smoke", "--threads", "3"]),
+            None,
+        );
+        assert_eq!(a, Args { full: true, json: true, smoke: true, seed: 9, threads: 3 });
     }
 
     #[test]

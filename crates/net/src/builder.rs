@@ -5,10 +5,11 @@ use crate::host::HostNode;
 use crate::ids::{NodeId, NUM_DATA_CLASSES};
 use crate::network::{Network, Node};
 use crate::port::EgressPort;
-use crate::routing::{bfs_distances, RouteTable};
+use crate::routing::compute_route_tables;
 use crate::switch::SwitchNode;
 use dsh_core::{headroom, Mmu, MmuConfig, Scheme};
 use dsh_simcore::{Bandwidth, ByteSize, Delta};
+use dsh_transport::RecoveryConfig;
 
 /// Global simulation parameters.
 #[derive(Clone, Debug)]
@@ -39,6 +40,13 @@ pub struct NetParams {
     /// industry's deadlock-mitigation feature; breaks losslessness by
     /// design). `None` disables the watchdog (the paper's setting).
     pub pfc_watchdog: Option<Delta>,
+    /// Go-back-N loss recovery at the NICs: `Some(cfg)` arms a per-flow
+    /// retransmission timer. `None` (the default) keeps the historical
+    /// lossless-fabric behaviour — no RTO events exist at all, so existing
+    /// experiments are bit-identical. Installing a
+    /// [`FaultPlan`](crate::FaultPlan) enables a default config derived
+    /// from `base_rtt` if this is still `None`.
+    pub recovery: Option<RecoveryConfig>,
     /// RNG seed (ECN randomness).
     pub seed: u64,
 }
@@ -60,6 +68,7 @@ impl NetParams {
             sample_interval: Delta::from_us(10),
             deadlock_threshold: Delta::from_ms(5),
             pfc_watchdog: None,
+            recovery: None,
             seed: 1,
         }
     }
@@ -143,26 +152,15 @@ impl NetworkBuilder {
             adj[b.0].push((a.0, pb));
         }
 
-        // Switch-graph adjacency (indices into `nodes`).
+        // Validate host attachment (routing itself is shared with the
+        // runtime fault handler, which recomputes after link events).
         let is_switch: Vec<bool> =
             self.nodes.iter().map(|p| matches!(p, ProtoNode::Switch)).collect();
-        let switch_adj: Vec<Vec<usize>> = (0..n)
-            .map(|u| {
-                if !is_switch[u] {
-                    return Vec::new();
-                }
-                adj[u].iter().filter(|&&(v, _)| is_switch[v]).map(|&(v, _)| v).collect()
-            })
-            .collect();
-
-        // Each host's ToR (single-homed).
-        let mut tor: Vec<Option<usize>> = vec![None; n];
         for u in 0..n {
             if !is_switch[u] {
                 assert!(adj[u].len() <= 1, "host n{u} must be single-homed");
                 if let Some(&(v, _)) = adj[u].first() {
                     assert!(is_switch[v], "host n{u} must attach to a switch");
-                    tor[u] = Some(v);
                 }
             }
         }
@@ -170,35 +168,7 @@ impl NetworkBuilder {
         // Routing: for each destination host, BFS from its ToR over the
         // switch graph; each switch forwards to any neighbour strictly
         // closer to the ToR (ECMP).
-        let mut tables: Vec<RouteTable> = (0..n).map(|_| RouteTable::new(n)).collect();
-        for h in 0..n {
-            if is_switch[h] {
-                continue;
-            }
-            let Some(t) = tor[h] else { continue };
-            let dist = bfs_distances(&switch_adj, t);
-            for s in 0..n {
-                if !is_switch[s] {
-                    continue;
-                }
-                if s == t {
-                    // Access port straight to the host.
-                    let p = adj[s]
-                        .iter()
-                        .find(|&&(v, _)| v == h)
-                        .map(|&(_, p)| p)
-                        .expect("ToR must be adjacent to its host");
-                    tables[s].set(h, vec![p]);
-                } else if dist[s] != usize::MAX {
-                    let cands: Vec<usize> = adj[s]
-                        .iter()
-                        .filter(|&&(v, _)| is_switch[v] && dist[v] + 1 == dist[s])
-                        .map(|&(_, p)| p)
-                        .collect();
-                    tables[s].set(h, cands);
-                }
-            }
-        }
+        let tables = compute_route_tables(&is_switch, &adj);
 
         // Materialize nodes.
         let mut nodes = Vec::with_capacity(n);
@@ -296,5 +266,20 @@ impl NetParams {
     pub fn with_pfc_watchdog(mut self, timeout: Delta) -> Self {
         self.pfc_watchdog = Some(timeout);
         self
+    }
+
+    /// Returns a copy with go-back-N loss recovery enabled at the NICs.
+    #[must_use]
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
+    }
+
+    /// Returns a copy with go-back-N recovery enabled at the default
+    /// configuration for this network's base RTT.
+    #[must_use]
+    pub fn with_default_recovery(self) -> Self {
+        let cfg = RecoveryConfig::for_rtt(self.base_rtt);
+        self.with_recovery(cfg)
     }
 }

@@ -4,7 +4,7 @@
 use crate::ids::{FlowId, NodeId};
 use crate::port::EgressPort;
 use dsh_simcore::Time;
-use dsh_transport::{Cc, CnpPolicy};
+use dsh_transport::{Cc, CnpPolicy, GoBackN};
 
 /// Sender-side state of one flow (an RDMA queue pair).
 pub struct SenderFlow {
@@ -26,6 +26,20 @@ pub struct SenderFlow {
     pub cc: Box<dyn Cc>,
     /// Generation counter invalidating stale CC timer events.
     pub timer_gen: u32,
+    /// Go-back-N retransmission state (idle unless the network has
+    /// recovery enabled; see `NetParams::recovery`).
+    pub recovery: GoBackN,
+    /// Generation counter invalidating stale RTO timer events.
+    pub rto_gen: u32,
+    /// Lazy RTO deadline: pushed forward on every send and every ACK with
+    /// progress without touching the calendar; the armed timer event
+    /// re-schedules itself here when it fires early.
+    pub rto_deadline: Time,
+    /// Whether an RTO timer event is outstanding on the calendar.
+    pub rto_armed: bool,
+    /// High-water mark of `sent` (never rewound); bytes re-sent below it
+    /// are counted as retransmitted.
+    pub max_sent: u64,
 }
 
 impl std::fmt::Debug for SenderFlow {
@@ -175,8 +189,8 @@ impl HostNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsh_simcore::Bandwidth;
-    use dsh_transport::Uncontrolled;
+    use dsh_simcore::{Bandwidth, Delta};
+    use dsh_transport::{RecoveryConfig, Uncontrolled};
 
     fn flow(id: usize) -> SenderFlow {
         SenderFlow {
@@ -189,6 +203,11 @@ mod tests {
             next_send: Time::ZERO,
             cc: Box::new(Uncontrolled::new(Bandwidth::from_gbps(100))),
             timer_gen: 0,
+            recovery: GoBackN::new(RecoveryConfig::for_rtt(Delta::from_us(16))),
+            rto_gen: 0,
+            rto_deadline: Time::MAX,
+            rto_armed: false,
+            max_sent: 0,
         }
     }
 

@@ -58,6 +58,7 @@
 
 mod builder;
 mod ecn;
+mod fault;
 mod frame;
 mod host;
 mod ids;
@@ -70,6 +71,7 @@ pub mod topology;
 
 pub use builder::{NetParams, NetworkBuilder};
 pub use ecn::EcnConfig;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkCorruption};
 pub use frame::{AckFrame, DataFrame, Frame, FrameKind, PfcFrame, PfcScope};
 pub use ids::{FlowId, NodeId, CONTROL_CLASS, NUM_CLASSES, NUM_DATA_CLASSES};
 pub use monitor::{

@@ -356,6 +356,11 @@ pub struct TelemetryReport {
     pub data_drops: u64,
     /// Frames dropped by the PFC watchdog.
     pub watchdog_drops: u64,
+    /// Frames lost to injected link faults (drained on `LinkDown`, cut in
+    /// flight, or corrupted) — disjoint from `data_drops`.
+    pub link_drops: u64,
+    /// Go-back-N timeout retransmissions across all flows.
+    pub retransmissions: u64,
     /// Per-switch MMU telemetry.
     pub switches: Vec<SwitchTelemetry>,
     /// Per-egress-port pause telemetry (every node, hosts included).
@@ -392,6 +397,8 @@ impl TelemetryReport {
             .with("generated_at_ns", self.generated_at.as_ns())
             .with("data_drops", self.data_drops)
             .with("watchdog_drops", self.watchdog_drops)
+            .with("link_drops", self.link_drops)
+            .with("retransmissions", self.retransmissions)
             .with(
                 "switches",
                 Json::Arr(self.switches.iter().map(SwitchTelemetry::to_json).collect()),
@@ -468,6 +475,8 @@ mod tests {
             generated_at: Time::ZERO,
             data_drops: 2,
             watchdog_drops: 0,
+            link_drops: 0,
+            retransmissions: 0,
             switches: vec![SwitchTelemetry {
                 node: NodeId(4),
                 audit: AuditReport {

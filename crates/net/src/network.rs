@@ -2,6 +2,7 @@
 //! measurement.
 
 use crate::builder::NetParams;
+use crate::fault::{fault_trace, FaultKind, FaultPlan};
 use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, PfcScope};
 use crate::host::{HostNode, ReceiverFlow, SenderFlow};
 use crate::ids::{FlowId, NodeId, NUM_DATA_CLASSES};
@@ -13,8 +14,10 @@ use crate::port::{EgressPort, IngressTag, QueuedFrame};
 use crate::switch::SwitchNode;
 use dsh_core::headroom::PFC_PROCESSING_BYTES;
 use dsh_core::{FcAction, FcActions};
-use dsh_simcore::{Model, Pool, Scheduler, SimRng, Simulation, Time};
-use dsh_transport::{new_cc, AckInfo, CcKind, HopList, TelemetryHop};
+use dsh_simcore::{split_seed, Model, Pool, Scheduler, SimRng, Simulation, Time};
+use dsh_transport::{
+    new_cc, AckInfo, CcKind, GoBackN, HopList, RecoveryConfig, RtoOutcome, TelemetryHop,
+};
 
 /// Specification of one flow.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +73,10 @@ pub enum NetEvent {
         scope: PfcScope,
         /// `true` = pause.
         pause: bool,
+        /// Port fault generation at issue time: if the link flapped while
+        /// the processing delay elapsed, the event is stale (a PAUSE whose
+        /// RESUME died with the link must not wedge the port).
+        gen: u32,
     },
     /// A flow becomes active at its source host.
     FlowStart {
@@ -90,6 +97,22 @@ pub enum NetEvent {
         /// Generation guard (stale timers are ignored).
         gen: u32,
     },
+    /// Go-back-N retransmission timeout for one flow (lazy: the handler
+    /// re-schedules itself when ACK progress pushed the deadline forward,
+    /// so sends and ACKs never touch the calendar to re-arm it).
+    RtoTimer {
+        /// Index of the flow's source host.
+        host: u32,
+        /// The flow index.
+        flow: u32,
+        /// Generation guard (stale timers are ignored).
+        gen: u32,
+    },
+    /// A scheduled fault takes effect.
+    Fault {
+        /// Index into the installed [`FaultPlan`]'s event list.
+        index: u32,
+    },
     /// Periodic measurement tick.
     Sample,
 }
@@ -108,6 +131,20 @@ pub(crate) enum Node {
 struct FlowMeta {
     spec: FlowSpec,
     completed: bool,
+    /// Loss recovery gave up on this flow (go-back-N hit its retry cap);
+    /// marked explicitly so a run can tell failed from wedged.
+    failed: bool,
+}
+
+/// One direction of a corrupted link: frames arriving at `node` on
+/// `in_port` are dropped with `probability`, drawn from a dedicated RNG
+/// stream split from the fault plan's seed.
+#[derive(Debug)]
+struct CorruptLink {
+    node: u32,
+    in_port: u32,
+    probability: f64,
+    rng: SimRng,
 }
 
 #[derive(Debug)]
@@ -151,6 +188,20 @@ pub struct Network {
     packets_delivered: u64,
     watchdog_drops: u64,
     deadlock: DeadlockReport,
+    /// Installed fault schedule, if any (see [`Network::set_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Per-direction corruption state derived from the plan.
+    corrupt: Vec<CorruptLink>,
+    /// Frames lost to injected faults: drained on `LinkDown`, dropped
+    /// mid-flight on a dead link, corrupted, or black-holed by a
+    /// partition. Disjoint from `data_drops` (MMU admission losses).
+    link_drops: u64,
+    /// Go-back-N rewind episodes (RTO firings that retransmitted).
+    retransmissions: u64,
+    /// Bytes re-sent below a flow's high-water mark.
+    retransmitted_bytes: u64,
+    /// Flows whose recovery hit the retry cap and gave up.
+    failed_flows: u64,
 }
 
 /// Number of free frame boxes the pool retains (beyond this, returned
@@ -177,6 +228,12 @@ impl Network {
             packets_delivered: 0,
             watchdog_drops: 0,
             deadlock: DeadlockReport::default(),
+            fault_plan: None,
+            corrupt: Vec::new(),
+            link_drops: 0,
+            retransmissions: 0,
+            retransmitted_bytes: 0,
+            failed_flows: 0,
         }
     }
 
@@ -193,7 +250,7 @@ impl Network {
         assert!(matches!(self.nodes[spec.dst.0], Node::Host(_)), "dst must be a host");
         assert!(spec.size > 0, "flow size must be positive");
         let id = FlowId(self.flows.len());
-        self.flows.push(FlowMeta { spec, completed: false });
+        self.flows.push(FlowMeta { spec, completed: false, failed: false });
         self.flow_rx.push(0);
         self.rx_flows.push(ReceiverFlow::new());
         id
@@ -203,6 +260,62 @@ impl Network {
     /// [`NetParams::sample_interval`]).
     pub fn monitor_flow(&mut self, flow: FlowId) {
         self.monitors.push(FlowMonitor { flow, last_bytes: 0, samples: Vec::new() });
+    }
+
+    /// Installs a fault schedule. Must be called before
+    /// [`Network::into_sim`]; each entry becomes an ordinary calendar
+    /// event, so fault runs stay bit-identical at any thread count.
+    ///
+    /// Faults imply loss, so if [`NetParams::recovery`] is still `None`
+    /// this enables go-back-N recovery at the default configuration for
+    /// the network's base RTT (otherwise a single dropped frame would
+    /// wedge its flow forever).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already installed, or if a plan entry names a
+    /// link that does not exist in the topology.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(self.fault_plan.is_none(), "fault plan already installed");
+        if self.params.recovery.is_none() {
+            self.params.recovery = Some(RecoveryConfig::for_rtt(self.params.base_rtt));
+        }
+        // Validate link events eagerly: a typo'd node pair should fail at
+        // install time, not halfway through a run.
+        for ev in plan.events() {
+            let (FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b }) = ev.kind;
+            let _ = self.find_port(a, b);
+            let _ = self.find_port(b, a);
+        }
+        for (i, c) in plan.corruption().iter().enumerate() {
+            let pa = self.find_port(c.a, c.b);
+            let pb = self.find_port(c.b, c.a);
+            // One independent RNG stream per direction, split from the
+            // plan seed: adding a corrupted link never perturbs the draws
+            // of another. Frames from `a` toward `b` arrive at `b` on
+            // `b`'s port facing `a`.
+            let idx = i as u64 * 2;
+            self.corrupt.push(CorruptLink {
+                node: c.b.0 as u32,
+                in_port: pb as u32,
+                probability: c.probability,
+                rng: SimRng::new(split_seed(plan.seed(), idx)),
+            });
+            self.corrupt.push(CorruptLink {
+                node: c.a.0 as u32,
+                in_port: pa as u32,
+                probability: c.probability,
+                rng: SimRng::new(split_seed(plan.seed(), idx + 1)),
+            });
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Whether a fault plan is installed (fault-aware assertions use this
+    /// to decide if `link_drops` are legitimate).
+    #[must_use]
+    pub fn fault_plan_active(&self) -> bool {
+        self.fault_plan.is_some()
     }
 
     /// Converts the network into a ready-to-run simulation: flow starts
@@ -223,10 +336,20 @@ impl Network {
         }
         let starts: Vec<(Time, FlowId)> =
             self.flows.iter().enumerate().map(|(i, f)| (f.spec.start, FlowId(i))).collect();
+        // Fault events ride the ordinary calendar; scheduled after the
+        // flow starts so same-instant ties resolve flows-first.
+        let faults: Vec<(Time, u32)> = self
+            .fault_plan
+            .as_ref()
+            .map(|p| p.events().iter().enumerate().map(|(i, e)| (e.at, i as u32)).collect())
+            .unwrap_or_default();
         let tick = self.params.sample_interval;
         let mut sim = Simulation::new(self);
         for (t, flow) in starts {
             sim.schedule(t, NetEvent::FlowStart { flow: flow.0 as u32 });
+        }
+        for (t, index) in faults {
+            sim.schedule(t, NetEvent::Fault { index });
         }
         sim.schedule(Time::ZERO + tick, NetEvent::Sample);
         sim
@@ -264,6 +387,42 @@ impl Network {
     #[must_use]
     pub fn watchdog_drops(&self) -> u64 {
         self.watchdog_drops
+    }
+
+    /// Frames lost to injected faults (0 unless a [`FaultPlan`] is
+    /// installed): drained from a failing port, caught mid-flight on a
+    /// dead link, corrupted, or black-holed by a partition. Kept apart
+    /// from [`Network::data_drops`] so lossless assertions still bite on
+    /// MMU admission failures during fault runs.
+    #[must_use]
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
+    }
+
+    /// Go-back-N rewind episodes (RTO firings that retransmitted).
+    #[must_use]
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Bytes re-sent below a flow's high-water mark (retransmitted bytes
+    /// count toward wire occupancy but never toward FCT completion, which
+    /// ends at the last *new* in-order byte).
+    #[must_use]
+    pub fn retransmitted_bytes(&self) -> u64 {
+        self.retransmitted_bytes
+    }
+
+    /// Flows whose loss recovery hit the retry cap and gave up.
+    #[must_use]
+    pub fn failed_flow_count(&self) -> u64 {
+        self.failed_flows
+    }
+
+    /// Whether `flow` was explicitly marked failed by loss recovery.
+    #[must_use]
+    pub fn flow_failed(&self, flow: FlowId) -> bool {
+        self.flows[flow.0].failed
     }
 
     /// Goodput time series recorded for `flow` (see
@@ -362,6 +521,8 @@ impl Network {
             generated_at: now,
             data_drops: self.data_drops,
             watchdog_drops: self.watchdog_drops,
+            link_drops: self.link_drops,
+            retransmissions: self.retransmissions,
             switches,
             ports,
         }
@@ -537,6 +698,12 @@ impl Network {
     ) {
         for a in actions {
             let (p, f) = SwitchNode::fc_frame(a);
+            // A pause/resume owed to a dead upstream dies with the link
+            // (the failure handler already force-cleared that peer's
+            // state; queueing it would replay a stale pause on repair).
+            if !self.port_mut(node, p).is_link_up() {
+                continue;
+            }
             let frame = self.pool.get(|| f);
             self.port_mut(node, p).enqueue(QueuedFrame { frame, ingress: None });
             if Some(p) != skip_port {
@@ -568,7 +735,9 @@ impl Network {
         // PFC frames are link-local: they pause this node's egress side of
         // `in_port` after the standard processing delay.
         if let FrameKind::Pfc(p) = frame.kind {
-            let bw = self.port_mut(node, in_port).bandwidth;
+            let port = self.port_mut(node, in_port);
+            let bw = port.bandwidth;
+            let gen = port.fault_gen();
             let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
             sched.at(
                 now + delay,
@@ -577,6 +746,7 @@ impl Network {
                     port: in_port as u32,
                     scope: p.scope,
                     pause: p.pause,
+                    gen,
                 },
             );
             self.pool.put(frame);
@@ -591,10 +761,24 @@ impl Network {
             FrameKind::Pfc(_) => unreachable!(),
         };
 
+        let routed = {
+            let sw = self.switch_mut(node);
+            sw.routes.try_pick(dst.0, flow, sw.id)
+        };
+        let Some(out_port) = routed else {
+            // Unreachable destination. Without injected faults this is a
+            // topology construction bug (the historical panic); under an
+            // active plan a partition legitimately black-holes traffic.
+            assert!(self.fault_plan.is_some(), "no route from {node} to host {}", dst.0);
+            self.link_drops += 1;
+            fault_trace!("[fault] {node}: no route to {dst}, frame dropped");
+            self.pool.put(frame);
+            return;
+        };
+
         let mut fc = FcActions::none();
         let admitted = {
             let sw = self.switch_mut(node);
-            let out_port = sw.routes.pick(dst.0, flow, sw.id);
             if frame.is_data() {
                 let q = frame.class as usize;
                 let outcome = sw.mmu.on_arrival(in_port, q, frame.bytes);
@@ -602,15 +786,15 @@ impl Network {
                 match outcome.region {
                     Some(region) => {
                         sw.occupancy.add(now, frame.bytes);
-                        Some((out_port, Some(IngressTag { in_port, in_queue: q, region })))
+                        Some(Some(IngressTag { in_port, in_queue: q, region }))
                     }
                     None => None,
                 }
             } else {
-                Some((out_port, None))
+                Some(None)
             }
         };
-        let Some((out_port, tag)) = admitted else {
+        let Some(tag) = admitted else {
             // Congestion loss. Lossless configurations must never reach
             // this (tests assert on the counter).
             self.data_drops += 1;
@@ -648,7 +832,9 @@ impl Network {
         match &frame.kind {
             FrameKind::Pfc(p) => {
                 let (scope, pause) = (p.scope, p.pause);
-                let bw = self.port_mut(node, in_port).bandwidth;
+                let port = self.port_mut(node, in_port);
+                let bw = port.bandwidth;
+                let gen = port.fault_gen();
                 let delay = bw.tx_delay(PFC_PROCESSING_BYTES);
                 sched.at(
                     now + delay,
@@ -657,6 +843,7 @@ impl Network {
                         port: in_port as u32,
                         scope,
                         pause,
+                        gen,
                     },
                 );
                 self.pool.put(frame);
@@ -664,13 +851,35 @@ impl Network {
             FrameKind::Data(_) => self.host_receive_data(node, frame, sched),
             FrameKind::Ack(a) => {
                 let flow = a.flow;
+                let recovery_on = self.params.recovery.is_some();
                 {
                     let host = self.host_mut(node);
                     if let Some(f) = host.sender_mut(flow) {
-                        f.acked = (f.acked + a.acked).min(f.size);
-                        let info =
-                            AckInfo { acked_bytes: a.acked, ecn_echo: a.ecn_echo, hops: &a.hops };
-                        f.cc.on_ack(now, &info);
+                        // ACKs are cumulative: the receiver echoes its
+                        // in-order high-water mark, so duplicates and
+                        // reordering collapse to `delta == 0`.
+                        let new_acked = a.acked.min(f.size).max(f.acked);
+                        let delta = new_acked - f.acked;
+                        if delta > 0 {
+                            f.acked = new_acked;
+                            let info =
+                                AckInfo { acked_bytes: delta, ecn_echo: a.ecn_echo, hops: &a.hops };
+                            f.cc.on_ack(now, &info);
+                            if recovery_on {
+                                f.recovery.on_progress();
+                                if f.acked >= f.size || f.in_flight() == 0 {
+                                    // Nothing outstanding: invalidate any
+                                    // armed timer.
+                                    f.rto_gen = f.rto_gen.wrapping_add(1);
+                                    f.rto_armed = false;
+                                    f.rto_deadline = Time::MAX;
+                                } else {
+                                    // Push the lazy deadline forward; the
+                                    // armed event re-schedules itself.
+                                    f.rto_deadline = f.recovery.deadline(now);
+                                }
+                            }
+                        }
                     }
                 }
                 self.pool.put(frame);
@@ -701,24 +910,35 @@ impl Network {
         let FrameKind::Data(d) = &frame.kind else {
             unreachable!("host_receive_data requires a data frame")
         };
-        let (flow, src, payload, ecn, hops) = (d.flow, d.src, d.payload, d.ecn, d.hops);
+        let (flow, src, seq, payload, ecn, hops) = (d.flow, d.src, d.seq, d.payload, d.ecn, d.hops);
         self.packets_delivered += 1;
         let now = sched.now();
         let meta_size = self.flows[flow.0].spec.size;
         let meta_start = self.flows[flow.0].spec.start;
 
-        let (send_cnp, completed) = {
+        let (send_cnp, completed, cum_acked) = {
             let rx = &mut self.rx_flows[flow.0];
-            rx.received += payload;
+            // Go-back-N receiver: only the next in-order segment advances
+            // the stream; duplicates (replays below the mark) and gaps
+            // (segments past a loss) are discarded, and the cumulative
+            // ACK below tells the sender where to resume. Segment
+            // boundaries re-derive identically after a rewind, so a
+            // partial overlap cannot occur.
+            let advanced = seq == rx.received;
+            if advanced {
+                rx.received += payload;
+            }
             let send_cnp = rx.cnp.on_data(now, ecn);
             let completed = !rx.completed && rx.received >= meta_size;
             if completed {
                 rx.completed = true;
             }
-            (send_cnp, completed)
+            (send_cnp, completed, rx.received)
         };
 
-        self.flow_rx[flow.0] += payload;
+        // Goodput counts new in-order bytes only; FCT ends at the last
+        // *new* byte delivered (retransmissions never extend a flow).
+        self.flow_rx[flow.0] = cum_acked;
         if completed {
             self.flows[flow.0].completed = true;
             self.fct.push(FctRecord { flow, size: meta_size, start: meta_start, finish: now });
@@ -727,7 +947,7 @@ impl Network {
         // Reply path: ACK (always) + CNP (DCQCN NP policy). The data
         // frame's box is rewritten in place as the ACK — the telemetry
         // echo is an inline copy, not a heap clone.
-        *frame = Frame::ack(AckFrame { flow, dst: src, acked: payload, ecn_echo: ecn, hops });
+        *frame = Frame::ack(AckFrame { flow, dst: src, acked: cum_acked, ecn_echo: ecn, hops });
         self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
         if send_cnp {
             let cnp = self.pool.get(|| Frame::cnp(flow, src));
@@ -743,6 +963,7 @@ impl Network {
             (host.uplink().bandwidth, self.params.base_rtt)
         };
         let cc = new_cc(spec.cc, bw, base_rtt);
+        let rcfg = self.params.recovery.unwrap_or_else(|| RecoveryConfig::for_rtt(base_rtt));
         let host = self.host_mut(spec.src);
         host.add_sender(SenderFlow {
             id: flow,
@@ -754,6 +975,11 @@ impl Network {
             next_send: spec.start,
             cc,
             timer_gen: 0,
+            recovery: GoBackN::new(rcfg),
+            rto_gen: 0,
+            rto_deadline: Time::MAX,
+            rto_armed: false,
+            max_sent: 0,
         });
         self.host_try_send(spec.src, sched);
     }
@@ -763,10 +989,17 @@ impl Network {
     fn host_try_send(&mut self, node: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
         let now = sched.now();
         let mtu = self.params.mtu;
+        let recovery_on = self.params.recovery.is_some();
         loop {
             let host = self.host_mut(node);
             let n = host.active.len();
             if n == 0 || host.port.is_none() {
+                break;
+            }
+            // A dead uplink accepts no new frames: flows wait for the
+            // `LinkUp` kick (or their RTO) instead of filling the NIC
+            // queue with traffic that would replay stale on repair.
+            if !host.uplink().is_link_up() {
                 break;
             }
             let mut chosen = None;
@@ -809,11 +1042,26 @@ impl Network {
                 hops: HopList::new(),
             };
             let class = f.class;
+            // Anything re-sent below the high-water mark is a
+            // retransmission (a go-back-N rewind replays from `acked`).
+            let is_retx = f.sent < f.max_sent;
             f.sent += seg;
+            f.max_sent = f.max_sent.max(f.sent);
             f.cc.on_sent(now, seg);
             let rate = f.cc.rate();
             f.next_send = now + rate.tx_delay(seg);
             let flow_id = f.id;
+            // Every send pushes the lazy RTO deadline; only the
+            // unarmed→armed transition touches the calendar.
+            let mut arm = None;
+            if recovery_on {
+                f.rto_deadline = f.recovery.deadline(now);
+                if !f.rto_armed {
+                    f.rto_armed = true;
+                    f.rto_gen = f.rto_gen.wrapping_add(1);
+                    arm = Some((f.rto_deadline, f.rto_gen));
+                }
+            }
             let done_sending = f.fully_sent();
             if done_sending {
                 host.active.swap_remove(slot);
@@ -822,6 +1070,15 @@ impl Network {
                 }
             } else {
                 host.rr_cursor = (slot + 1) % n;
+            }
+            if is_retx {
+                self.retransmitted_bytes += seg;
+            }
+            if let Some((deadline, gen)) = arm {
+                sched.at(
+                    deadline,
+                    NetEvent::RtoTimer { host: node.0 as u32, flow: flow_id.0 as u32, gen },
+                );
             }
             let frame = self.pool.get(|| Frame::data(df, class));
             self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
@@ -834,7 +1091,7 @@ impl Network {
         // TxDone re-enters this function and re-evaluates the clock, so a
         // wake-up event here would just be calendar churn.
         let host = self.host_mut(node);
-        if host.port.as_ref().is_some_and(EgressPort::is_busy) {
+        if host.port.as_ref().is_some_and(|p| p.is_busy() || !p.is_link_up()) {
             return;
         }
         let next =
@@ -889,17 +1146,292 @@ impl Network {
         self.host_try_send(node, sched);
     }
 
+    // ---- loss recovery ----------------------------------------------------
+
+    /// Handles a go-back-N RTO event. The timer is lazy: sends and ACK
+    /// progress only push `rto_deadline` forward in flow state, and the
+    /// one armed calendar event re-schedules itself here when it fires
+    /// before the deadline — so the steady-state packet path costs no
+    /// calendar traffic for the timer at all.
+    fn handle_rto_timer(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        gen: u32,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        enum Outcome {
+            Done,
+            Reschedule(Time),
+            Failed,
+            Retransmit,
+        }
+        let now = sched.now();
+        let outcome = {
+            let host = self.host_mut(node);
+            let Some(f) = host.sender_mut(flow) else { return };
+            if f.rto_gen != gen || !f.rto_armed {
+                Outcome::Done // stale generation
+            } else if f.acked >= f.size || f.recovery.failed() {
+                f.rto_armed = false;
+                Outcome::Done
+            } else if f.in_flight() == 0 {
+                // Nothing outstanding (e.g. rewound while the uplink was
+                // down): disarm; the next send re-arms.
+                f.rto_armed = false;
+                Outcome::Done
+            } else if now < f.rto_deadline {
+                Outcome::Reschedule(f.rto_deadline)
+            } else {
+                match f.recovery.on_timeout() {
+                    RtoOutcome::Failed => {
+                        f.rto_armed = false;
+                        f.timer_gen += 1; // park CC timers too
+                        Outcome::Failed
+                    }
+                    RtoOutcome::Retransmit => Outcome::Retransmit,
+                }
+            }
+        };
+        match outcome {
+            Outcome::Done => {}
+            Outcome::Reschedule(t) => {
+                sched.at(t, NetEvent::RtoTimer { host: node.0 as u32, flow: flow.0 as u32, gen });
+            }
+            Outcome::Failed => self.fail_flow(node, flow),
+            Outcome::Retransmit => self.retransmit(node, flow, sched),
+        }
+    }
+
+    /// Marks a flow failed after its retry budget ran out: it is removed
+    /// from the active list (never wedged, never silently dropped) and
+    /// reported via [`Network::failed_flow_count`].
+    fn fail_flow(&mut self, node: NodeId, flow: FlowId) {
+        self.failed_flows += 1;
+        self.flows[flow.0].failed = true;
+        let host = self.host_mut(node);
+        if let Some(slot) = host.sender_slot(flow) {
+            if let Some(pos) = host.active.iter().position(|&i| i == slot) {
+                host.active.swap_remove(pos);
+                if host.rr_cursor >= host.active.len() {
+                    host.rr_cursor = 0;
+                }
+            }
+        }
+        fault_trace!("[fault] flow {flow:?} FAILED: retry budget exhausted");
+    }
+
+    /// Go-back-N rewind: back off the transport, rewind `sent` to the
+    /// cumulative ACK mark, and resend from there. Frames from the old
+    /// transmission still in flight arrive as duplicates and are
+    /// discarded by the receiver's in-order check.
+    fn retransmit(&mut self, node: NodeId, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        self.retransmissions += 1;
+        let (deadline, gen) = {
+            let host = self.host_mut(node);
+            let slot = host.sender_slot(flow).expect("RTO for unregistered flow");
+            let f = &mut host.tx_flows[slot];
+            fault_trace!(
+                "[fault] t={now:?} flow {flow:?} RTO: go-back-N to seq {} (retry {}, rto {:?})",
+                f.acked,
+                f.recovery.retries(),
+                f.recovery.rto()
+            );
+            f.cc.on_loss(now);
+            f.sent = f.acked;
+            f.next_send = now;
+            // Still armed: the same generation carries the next event,
+            // scheduled at the backed-off deadline.
+            f.rto_deadline = f.recovery.deadline(now);
+            let pair = (f.rto_deadline, f.rto_gen);
+            // A fully-sent flow left the active list; the rewind has data
+            // to send again.
+            if !host.active.contains(&slot) {
+                host.active.push(slot);
+            }
+            pair
+        };
+        sched.at(deadline, NetEvent::RtoTimer { host: node.0 as u32, flow: flow.0 as u32, gen });
+        self.host_try_send(node, sched);
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    /// Resolves the port index on `node` facing `peer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such link exists (fault plans are validated at install
+    /// time, so this only fires on internal inconsistencies).
+    fn find_port(&self, node: NodeId, peer: NodeId) -> usize {
+        let ports: &[EgressPort] = match &self.nodes[node.0] {
+            Node::Switch(s) => &s.ports,
+            Node::Host(h) => h.port.as_slice(),
+        };
+        ports
+            .iter()
+            .position(|p| p.peer == peer)
+            .unwrap_or_else(|| panic!("no link between {node} and {peer}"))
+    }
+
+    /// Whether a frame completing its arrival is lost to a fault: the
+    /// ingress link died while it was in flight (the calendar cannot
+    /// retract `Arrive` events, so the cut happens at delivery), or a
+    /// corruption draw eats it. Only data frames are ever corrupted —
+    /// PFC is link-local control whose loss the protocol cannot recover
+    /// from (see the `fault` module docs).
+    fn arrival_lost(&mut self, node: NodeId, in_port: usize, frame: &Frame) -> bool {
+        if self.fault_plan.is_none() {
+            return false;
+        }
+        if !self.port_mut(node, in_port).is_link_up() {
+            fault_trace!("[fault] frame dropped on dead ingress {in_port} at {node}");
+            return true;
+        }
+        if frame.is_data() && !self.corrupt.is_empty() {
+            let key = (node.0 as u32, in_port as u32);
+            if let Some(c) = self.corrupt.iter_mut().find(|c| (c.node, c.in_port) == key) {
+                if c.rng.gen_bool(c.probability) {
+                    fault_trace!("[fault] frame corrupted on ingress {in_port} at {node}");
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn handle_fault(&mut self, index: usize, sched: &mut Scheduler<'_, NetEvent>) {
+        let ev = self.fault_plan.as_ref().expect("Fault event without a plan").events()[index];
+        match ev.kind {
+            FaultKind::LinkDown { a, b } => self.link_down(a, b, sched),
+            FaultKind::LinkUp { a, b } => self.link_up(a, b, sched),
+        }
+    }
+
+    fn link_down(&mut self, a: NodeId, b: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        fault_trace!("[fault] t={now:?} link DOWN {a}-{b}");
+        let pa = self.find_port(a, b);
+        let pb = self.find_port(b, a);
+        for (node, port) in [(a, pa), (b, pb)] {
+            self.kill_port(node, port, now, sched);
+        }
+        self.recompute_routes();
+    }
+
+    /// One endpoint's share of a link failure: force-clear the MMU pause
+    /// ledger for the dead ingress, drain the egress queues, release MMU
+    /// accounting for every drained frame, and forward any resumes that
+    /// releases toward still-alive upstreams.
+    fn kill_port(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        now: Time,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        // Pause state first: the upstream that asserted it is gone, and
+        // the drain's departures must already find the port unpaused so
+        // no resume is emitted toward the dead peer.
+        if let Node::Switch(s) = &mut self.nodes[node.0] {
+            let cleared = s.mmu.release_port_pauses(port);
+            if cleared > 0 {
+                fault_trace!(
+                    "[fault] {node}: cleared {cleared} pause ledger entries on port {port}"
+                );
+            }
+        }
+        // Cold path: faults are rare, so a fresh drain buffer per event is
+        // fine (the packet hot path stays allocation-free).
+        let mut drained = Vec::new();
+        self.port_mut(node, port).fail(now, &mut drained);
+        self.link_drops += drained.len() as u64;
+        let mut fc: Vec<FcAction> = Vec::new();
+        for qf in drained {
+            if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
+                let Node::Switch(s) = &mut self.nodes[node.0] else { unreachable!() };
+                let actions = s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
+                s.occupancy.sub(now, qf.frame.bytes);
+                fc.extend(actions);
+            }
+            self.pool.put(qf.frame);
+        }
+        for a in fc {
+            let (p, f) = SwitchNode::fc_frame(a);
+            if !self.port_mut(node, p).is_link_up() {
+                continue; // a resume owed to a dead upstream dies with it
+            }
+            let frame = self.pool.get(|| f);
+            self.port_mut(node, p).enqueue(QueuedFrame { frame, ingress: None });
+            self.try_transmit(node, p, sched);
+        }
+    }
+
+    fn link_up(&mut self, a: NodeId, b: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
+        fault_trace!("[fault] t={:?} link UP {a}-{b}", sched.now());
+        let pa = self.find_port(a, b);
+        let pb = self.find_port(b, a);
+        self.port_mut(a, pa).restore();
+        self.port_mut(b, pb).restore();
+        self.recompute_routes();
+        // Kick both ends: hosts may have flows parked on the dead uplink,
+        // switches may have frames enqueued while the port was down.
+        for (node, port) in [(a, pa), (b, pb)] {
+            if matches!(self.nodes[node.0], Node::Host(_)) {
+                self.host_try_send(node, sched);
+            } else {
+                self.try_transmit(node, port, sched);
+            }
+        }
+    }
+
+    /// Rebuilds every switch's ECMP table from the live (link-up)
+    /// adjacency — the same rule the builder uses at construction time.
+    fn recompute_routes(&mut self) {
+        let n = self.nodes.len();
+        let mut is_switch = vec![false; n];
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let ports: &[EgressPort] = match node {
+                Node::Switch(s) => {
+                    is_switch[i] = true;
+                    &s.ports
+                }
+                Node::Host(h) => h.port.as_slice(),
+            };
+            for (pi, p) in ports.iter().enumerate() {
+                if p.is_link_up() {
+                    adj[i].push((p.peer.0, pi));
+                }
+            }
+        }
+        let tables = crate::routing::compute_route_tables(&is_switch, &adj);
+        for (node, table) in self.nodes.iter_mut().zip(tables) {
+            if let Node::Switch(s) = node {
+                s.routes = table;
+            }
+        }
+    }
+
     fn handle_apply_pause(
         &mut self,
         node: NodeId,
         port: usize,
         scope: PfcScope,
         pause: bool,
+        gen: u32,
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
         let now = sched.now();
         {
             let p = self.port_mut(node, port);
+            if p.fault_gen() != gen {
+                // The link died while this PFC frame's processing delay
+                // elapsed: its pause state was force-cleared and (for a
+                // PAUSE) the matching RESUME is gone. Ignore it.
+                return;
+            }
             match scope {
                 PfcScope::Queue(c) => p.apply_class_pause(c, pause, now),
                 PfcScope::Port => p.apply_port_pause(pause, now),
@@ -1098,17 +1630,33 @@ impl Model for Network {
         match event {
             NetEvent::Arrive { node, in_port, frame } => {
                 let node = NodeId(node as usize);
+                let in_port = in_port as usize;
+                // In-flight frames cannot be retracted from the calendar,
+                // so link cuts (and corruption draws) take effect here, at
+                // delivery time.
+                if self.arrival_lost(node, in_port, &frame) {
+                    self.link_drops += 1;
+                    self.pool.put(frame);
+                    return;
+                }
                 if matches!(self.nodes[node.0], Node::Switch(_)) {
-                    self.switch_arrive(node, in_port as usize, frame, sched);
+                    self.switch_arrive(node, in_port, frame, sched);
                 } else {
-                    self.host_arrive(node, in_port as usize, frame, sched);
+                    self.host_arrive(node, in_port, frame, sched);
                 }
             }
             NetEvent::TxDone { node, port } => {
                 self.handle_tx_done(NodeId(node as usize), port as usize, sched);
             }
-            NetEvent::ApplyPause { node, port, scope, pause } => {
-                self.handle_apply_pause(NodeId(node as usize), port as usize, scope, pause, sched);
+            NetEvent::ApplyPause { node, port, scope, pause, gen } => {
+                self.handle_apply_pause(
+                    NodeId(node as usize),
+                    port as usize,
+                    scope,
+                    pause,
+                    gen,
+                    sched,
+                );
             }
             NetEvent::FlowStart { flow } => self.handle_flow_start(FlowId(flow as usize), sched),
             NetEvent::HostWake { host } => {
@@ -1119,6 +1667,10 @@ impl Model for Network {
             NetEvent::CcTimer { host, flow, gen } => {
                 self.handle_cc_timer(NodeId(host as usize), FlowId(flow as usize), gen, sched);
             }
+            NetEvent::RtoTimer { host, flow, gen } => {
+                self.handle_rto_timer(NodeId(host as usize), FlowId(flow as usize), gen, sched);
+            }
+            NetEvent::Fault { index } => self.handle_fault(index as usize, sched),
             NetEvent::Sample => self.handle_sample(sched),
         }
     }

@@ -112,6 +112,14 @@ pub struct EgressPort {
     /// First instant since which the port continuously had queued data but
     /// could transmit nothing (deadlock detection).
     blocked_since: Option<Time>,
+    /// Whether the attached link is alive. Both endpoints of a link share
+    /// one up/down state; fault injection flips both sides together.
+    link_up: bool,
+    /// Bumped on every [`EgressPort::fail`]. In-flight `ApplyPause` events
+    /// carry the generation they were issued under and are discarded on
+    /// mismatch: a PAUSE crossing a link that then dies must not wedge the
+    /// port, because its matching RESUME died with the link.
+    fault_gen: u32,
     /// Cumulative bytes transmitted (INT telemetry λ source).
     tx_bytes: u64,
     /// Frames transmitted.
@@ -145,6 +153,8 @@ impl EgressPort {
             class_pause: std::array::from_fn(|_| PauseClock::default()),
             port_pause: PauseClock::default(),
             blocked_since: None,
+            link_up: true,
+            fault_gen: 0,
             tx_bytes: 0,
             tx_frames: 0,
         }
@@ -280,6 +290,13 @@ impl EgressPort {
     /// Returns `None` when nothing is eligible. Updates the blocked-since
     /// marker used by deadlock detection.
     pub fn pick(&mut self, now: Time) -> Option<QueuedFrame> {
+        // A dead link transmits nothing. `fail` drained the queues, so
+        // this only guards frames enqueued while the link is down (they
+        // wait for `restore`); a dead port is never deadlock-blocked.
+        if !self.link_up {
+            return None;
+        }
+
         // PFC lane: ahead of everything, never paused (802.1Qbb pause
         // frames bypass even queued control traffic).
         if let Some(qf) = self.pfc.pop_front() {
@@ -402,6 +419,51 @@ impl EgressPort {
     #[must_use]
     pub fn port_paused_since(&self) -> Option<Time> {
         self.port_pause.paused_since()
+    }
+
+    /// Whether the attached link is alive.
+    #[must_use]
+    pub fn is_link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// Fault generation this port is currently in (see the field docs).
+    #[must_use]
+    pub fn fault_gen(&self) -> u32 {
+        self.fault_gen
+    }
+
+    /// Link failure: drains every queue (including the PFC lane) into
+    /// `out`, zeroes the byte/deficit accounting, force-closes all pause
+    /// clocks (the peer that asserted them is unreachable; the intervals
+    /// close into the telemetry histograms), clears the deadlock marker,
+    /// bumps the fault generation, and marks the link down. The caller
+    /// releases MMU accounting for the drained frames. The `busy` flag is
+    /// left alone: a pending `TxDone` event will clear it.
+    pub fn fail(&mut self, now: Time, out: &mut Vec<QueuedFrame>) {
+        self.link_up = false;
+        self.fault_gen = self.fault_gen.wrapping_add(1);
+        for c in 0..NUM_CLASSES {
+            self.qbytes[c] = 0;
+            self.deficit[c] = 0;
+            self.in_active[c] = false;
+            out.extend(self.queues[c].drain(..));
+        }
+        self.active.clear();
+        self.pfc_bytes = 0;
+        out.extend(self.pfc.drain(..));
+        for c in &mut self.class_pause {
+            c.set(false, now);
+        }
+        self.port_pause.set(false, now);
+        self.blocked_since = None;
+    }
+
+    /// Link repair: the port may transmit again. Pause state starts clean
+    /// (cleared by [`EgressPort::fail`]); the peer re-asserts any pause it
+    /// still needs through ordinary PFC frames.
+    pub fn restore(&mut self) {
+        self.link_up = true;
     }
 
     /// PFC watchdog action: forcibly clears the pause state of `class`
@@ -626,6 +688,38 @@ mod tests {
         p.enqueue(data_frame(2, 100));
         p.watchdog_flush_class(2, Time::from_us(6), &mut out);
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fail_drains_everything_and_clears_pause_state() {
+        let mut p = port();
+        p.enqueue(data_frame(0, 1500));
+        p.enqueue(data_frame(2, 500));
+        p.enqueue(ack_frame());
+        p.enqueue(pfc_frame(crate::frame::PfcScope::Queue(0), true));
+        p.apply_class_pause(0, true, Time::ZERO);
+        p.apply_port_pause(true, Time::ZERO);
+        let gen0 = p.fault_gen();
+
+        let mut out = Vec::new();
+        p.fail(Time::from_us(10), &mut out);
+        assert_eq!(out.len(), 4, "all queues including the PFC lane drain");
+        assert_eq!(p.total_queued_bytes(), 0);
+        assert!(!p.is_link_up());
+        assert_eq!(p.fault_gen(), gen0 + 1);
+        assert!(!p.class_paused(0), "pause clocks force-close on failure");
+        assert!(!p.port_paused());
+        assert!(p.blocked_since().is_none());
+
+        // Frames enqueued while down wait; a dead port transmits nothing.
+        p.enqueue(data_frame(1, 100));
+        assert!(p.pick(Time::from_us(11)).is_none());
+        assert!(p.blocked_since().is_none(), "a dead port is not deadlocked");
+
+        p.restore();
+        assert!(p.is_link_up());
+        let qf = p.pick(Time::from_us(12)).expect("restored port transmits");
+        assert_eq!(qf.frame.class, 1);
     }
 
     #[test]

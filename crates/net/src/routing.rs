@@ -50,6 +50,79 @@ impl RouteTable {
         assert!(!c.is_empty(), "no route from {node} to host {host}");
         c[(ecmp_hash(flow.0 as u64, node.0 as u64) as usize) % c.len()]
     }
+
+    /// Picks the ECMP port for `flow` toward `host`, or `None` when the
+    /// destination is unreachable. Runtime link failures legitimately
+    /// partition the fabric, so under an active fault plan an empty
+    /// candidate set is a drop, not a bug.
+    #[must_use]
+    pub fn try_pick(&self, host: usize, flow: FlowId, node: NodeId) -> Option<usize> {
+        let c = &self.routes[host];
+        if c.is_empty() {
+            return None;
+        }
+        Some(c[(ecmp_hash(flow.0 as u64, node.0 as u64) as usize) % c.len()])
+    }
+}
+
+/// Computes every node's routing table from the *live* topology.
+///
+/// `adj[n]` lists `(neighbour, egress port index)` pairs for each alive
+/// link out of node `n` (insertion order = port order); `is_switch[n]`
+/// marks switches. Hosts get empty tables. A host whose access link is
+/// down (no live adjacency into a switch) is simply unreachable: every
+/// switch's candidate set toward it stays empty until the link returns.
+///
+/// Shared by the topology builder (full adjacency at build time) and the
+/// runtime fault handler (recompute after each `LinkDown`/`LinkUp`), so
+/// build-time and post-repair routes are computed by one rule.
+#[must_use]
+pub fn compute_route_tables(is_switch: &[bool], adj: &[Vec<(usize, usize)>]) -> Vec<RouteTable> {
+    let n = is_switch.len();
+    // Switch-only adjacency for the BFS (hosts never transit traffic).
+    let switch_adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| {
+            if !is_switch[u] {
+                return Vec::new();
+            }
+            adj[u].iter().filter(|&&(v, _)| is_switch[v]).map(|&(v, _)| v).collect()
+        })
+        .collect();
+
+    let mut tables: Vec<RouteTable> = (0..n).map(|_| RouteTable::new(n)).collect();
+    for h in 0..n {
+        if is_switch[h] {
+            continue;
+        }
+        // The host's ToR is its (single-homed) live uplink peer.
+        let Some(&(t, _)) = adj[h].iter().find(|&&(v, _)| is_switch[v]) else {
+            continue; // access link down: unreachable until repaired
+        };
+        let dist = bfs_distances(&switch_adj, t);
+        for s in 0..n {
+            if !is_switch[s] {
+                continue;
+            }
+            if s == t {
+                // The ToR delivers on the access port itself.
+                if let Some(&(_, p)) = adj[s].iter().find(|&&(v, _)| v == h) {
+                    tables[s].set(h, vec![p]);
+                }
+            } else if dist[s] != usize::MAX {
+                let cands: Vec<usize> = adj[s]
+                    .iter()
+                    // The reachability guard matters at runtime: a severed
+                    // neighbour has dist MAX and `MAX + 1` would overflow.
+                    .filter(|&&(v, _)| {
+                        is_switch[v] && dist[v] != usize::MAX && dist[v] + 1 == dist[s]
+                    })
+                    .map(|&(_, p)| p)
+                    .collect();
+                tables[s].set(h, cands);
+            }
+        }
+    }
+    tables
 }
 
 /// Deterministic ECMP hash (SplitMix64 finalizer over flow ⊕ node).
@@ -123,5 +196,69 @@ mod tests {
     fn unreachable_pick_panics() {
         let t = RouteTable::new(1);
         let _ = t.pick(0, FlowId(0), NodeId(0));
+    }
+
+    #[test]
+    fn try_pick_returns_none_instead_of_panicking() {
+        let mut t = RouteTable::new(2);
+        t.set(1, vec![4]);
+        assert_eq!(t.try_pick(0, FlowId(0), NodeId(0)), None);
+        assert_eq!(t.try_pick(1, FlowId(0), NodeId(0)), Some(4));
+    }
+
+    /// Two hosts (0, 1) under ToRs (2, 3) joined by spines (4, 5):
+    /// classic 2x2 leaf-spine in miniature.
+    fn leaf_spine_adj() -> (Vec<bool>, Vec<Vec<(usize, usize)>>) {
+        let is_switch = vec![false, false, true, true, true, true];
+        let adj = vec![
+            vec![(2, 0)],                 // h0 -> ToR 2
+            vec![(3, 0)],                 // h1 -> ToR 3
+            vec![(0, 0), (4, 1), (5, 2)], // ToR 2
+            vec![(1, 0), (4, 1), (5, 2)], // ToR 3
+            vec![(2, 0), (3, 1)],         // spine 4
+            vec![(2, 0), (3, 1)],         // spine 5
+        ];
+        (is_switch, adj)
+    }
+
+    #[test]
+    fn compute_route_tables_ecmp_up_and_access_down() {
+        let (is_switch, adj) = leaf_spine_adj();
+        let tables = compute_route_tables(&is_switch, &adj);
+        // ToR 2 reaches h0 on the access port and h1 via both spines.
+        assert_eq!(tables[2].candidates(0), &[0]);
+        assert_eq!(tables[2].candidates(1), &[1, 2]);
+        // Spines deliver h1 straight down to ToR 3.
+        assert_eq!(tables[4].candidates(1), &[1]);
+        assert_eq!(tables[5].candidates(1), &[1]);
+        // Hosts have no routes of their own.
+        assert!(tables[0].candidates(1).is_empty());
+    }
+
+    #[test]
+    fn compute_route_tables_reroutes_around_dead_spine_link() {
+        let (is_switch, mut adj) = leaf_spine_adj();
+        // Kill ToR 2 <-> spine 4 (both directions).
+        adj[2].retain(|&(v, _)| v != 4);
+        adj[4].retain(|&(v, _)| v != 2);
+        let tables = compute_route_tables(&is_switch, &adj);
+        // ToR 2 now reaches h1 only via spine 5 (port 2).
+        assert_eq!(tables[2].candidates(1), &[2]);
+        // Spine 4 lost its only edge toward ToR 2, so it reaches h0 by
+        // the leaf bounce through ToR 3 (then spine 5, then ToR 2).
+        assert_eq!(tables[4].candidates(0), &[1]);
+    }
+
+    #[test]
+    fn compute_route_tables_tolerates_dead_access_link() {
+        let (is_switch, mut adj) = leaf_spine_adj();
+        adj[0].clear();
+        adj[2].retain(|&(v, _)| v != 0);
+        let tables = compute_route_tables(&is_switch, &adj);
+        for t in &tables {
+            assert!(t.candidates(0).is_empty(), "severed host must be unreachable");
+        }
+        // The rest of the fabric still routes.
+        assert_eq!(tables[2].candidates(1), &[1, 2]);
     }
 }

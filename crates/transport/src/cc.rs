@@ -50,6 +50,15 @@ pub trait Cc: fmt::Debug {
     /// Called when a Congestion Notification Packet arrives (DCQCN).
     fn on_cnp(&mut self, now: Time);
 
+    /// Called when the NIC detects a loss (go-back-N RTO fired) and is
+    /// about to retransmit. Transports should back off: lost frames mean
+    /// either a dead link or severe congestion, and hammering the rewound
+    /// window at full rate would re-lose the retransmission. Default:
+    /// no-op (uncontrolled senders rely on the RTO backoff alone).
+    fn on_loss(&mut self, now: Time) {
+        let _ = now;
+    }
+
     /// Called when the NIC hands `bytes` of this flow to the wire.
     fn on_sent(&mut self, now: Time, bytes: u64);
 

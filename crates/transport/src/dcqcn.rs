@@ -142,6 +142,12 @@ impl Cc for Dcqcn {
         self.increase_deadline = now + self.cfg.increase_timer;
     }
 
+    fn on_loss(&mut self, now: Time) {
+        // A go-back-N rewind is at least as strong a congestion signal as
+        // a CNP: apply the same multiplicative decrease.
+        self.on_cnp(now);
+    }
+
     fn on_sent(&mut self, _now: Time, bytes: u64) {
         if !self.cut_seen {
             return;

@@ -36,12 +36,14 @@ mod cc;
 mod dcqcn;
 mod powertcp;
 mod receiver;
+mod recovery;
 mod telemetry;
 
 pub use cc::{AckInfo, Cc, CcKind, Uncontrolled};
 pub use dcqcn::{Dcqcn, DcqcnConfig};
 pub use powertcp::{PowerTcp, PowerTcpConfig};
 pub use receiver::CnpPolicy;
+pub use recovery::{GoBackN, RecoveryConfig, RtoOutcome};
 pub use telemetry::{HopList, TelemetryHop, HOP_CAPACITY};
 
 use dsh_simcore::{Bandwidth, Delta};

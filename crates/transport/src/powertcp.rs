@@ -170,6 +170,12 @@ impl Cc for PowerTcp {
         // PowerTCP does not use CNPs.
     }
 
+    fn on_loss(&mut self, _now: Time) {
+        // INT tells PowerTCP nothing about a dead link; halve the window
+        // so the go-back-N rewind is not replayed at full blast.
+        self.cwnd = (self.cwnd / 2.0).max(self.cfg.min_cwnd as f64);
+    }
+
     fn on_sent(&mut self, _now: Time, _bytes: u64) {}
 
     fn rate(&self) -> Bandwidth {

@@ -1,0 +1,161 @@
+//! Go-back-N loss recovery (RoCEv2-style).
+//!
+//! RoCEv2 NICs assume a lossless fabric, but links still die: a frame lost
+//! to a link failure would wedge the flow forever without a retransmission
+//! path. Commercial NICs recover with *go-back-N* — the receiver only
+//! accepts the next in-order byte and acknowledges cumulatively; when the
+//! sender's retransmission timeout (RTO) fires it rewinds to the last
+//! cumulatively acknowledged byte and resends everything from there.
+//!
+//! [`GoBackN`] is the per-flow sender state machine: an RTO with
+//! exponential backoff and a max-retry cap that marks the flow **failed**
+//! (instead of retrying forever) so runs always terminate. The NIC model
+//! owns the calendar events; this type only decides *what* to do when the
+//! timer fires and how far the next deadline is.
+
+use dsh_simcore::{Delta, Time};
+
+/// Tuning knobs for [`GoBackN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Initial retransmission timeout. Each unproductive retry doubles it
+    /// (exponential backoff) up to `min_rto << max_retries`.
+    pub min_rto: Delta,
+    /// Consecutive unproductive RTO firings tolerated before the flow is
+    /// declared failed.
+    pub max_retries: u32,
+}
+
+impl RecoveryConfig {
+    /// Defaults scaled from the base RTT: the RTO starts at `3 × base_rtt`
+    /// (comfortably above one round trip plus queueing jitter) and gives
+    /// up after 8 doublings.
+    #[must_use]
+    pub fn for_rtt(base_rtt: Delta) -> Self {
+        RecoveryConfig { min_rto: base_rtt * 3, max_retries: 8 }
+    }
+}
+
+/// What the NIC must do after an RTO firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtoOutcome {
+    /// Rewind the send cursor to the last cumulative ACK and retransmit;
+    /// the timer has been re-armed with the backed-off RTO.
+    Retransmit,
+    /// The retry budget is exhausted: mark the flow failed and stop.
+    Failed,
+}
+
+/// Per-flow go-back-N sender state.
+#[derive(Clone, Copy, Debug)]
+pub struct GoBackN {
+    cfg: RecoveryConfig,
+    /// Consecutive RTO firings since the last cumulative-ACK progress.
+    retries: u32,
+    /// Current (backed-off) timeout.
+    rto: Delta,
+    failed: bool,
+}
+
+impl GoBackN {
+    /// Fresh state with the initial RTO armed-able.
+    #[must_use]
+    pub fn new(cfg: RecoveryConfig) -> Self {
+        GoBackN { cfg, retries: 0, rto: cfg.min_rto, failed: false }
+    }
+
+    /// The current (backed-off) timeout.
+    #[must_use]
+    pub fn rto(&self) -> Delta {
+        self.rto
+    }
+
+    /// Retries burned since the last progress.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Whether the flow has exhausted its retry budget.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// The deadline for a timer armed at `now`.
+    #[must_use]
+    pub fn deadline(&self, now: Time) -> Time {
+        now + self.rto
+    }
+
+    /// Cumulative-ACK progress: the path is alive again, so the backoff
+    /// and retry budget reset.
+    pub fn on_progress(&mut self) {
+        self.retries = 0;
+        self.rto = self.cfg.min_rto;
+    }
+
+    /// The RTO fired with data still outstanding. Returns what to do;
+    /// on [`RtoOutcome::Retransmit`] the internal RTO has already been
+    /// doubled for the next arming.
+    pub fn on_timeout(&mut self) -> RtoOutcome {
+        if self.retries >= self.cfg.max_retries {
+            self.failed = true;
+            return RtoOutcome::Failed;
+        }
+        self.retries += 1;
+        self.rto = Delta::from_ps(self.rto.as_ps().saturating_mul(2));
+        RtoOutcome::Retransmit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> GoBackN {
+        GoBackN::new(RecoveryConfig { min_rto: Delta::from_us(48), max_retries: 3 })
+    }
+
+    #[test]
+    fn backoff_doubles_until_failure() {
+        let mut g = mk();
+        assert_eq!(g.rto(), Delta::from_us(48));
+        assert_eq!(g.on_timeout(), RtoOutcome::Retransmit);
+        assert_eq!(g.rto(), Delta::from_us(96));
+        assert_eq!(g.on_timeout(), RtoOutcome::Retransmit);
+        assert_eq!(g.rto(), Delta::from_us(192));
+        assert_eq!(g.on_timeout(), RtoOutcome::Retransmit);
+        assert_eq!(g.rto(), Delta::from_us(384));
+        // 4th consecutive firing exceeds max_retries = 3.
+        assert_eq!(g.on_timeout(), RtoOutcome::Failed);
+        assert!(g.failed());
+    }
+
+    #[test]
+    fn progress_resets_backoff_and_budget() {
+        let mut g = mk();
+        g.on_timeout();
+        g.on_timeout();
+        assert_eq!(g.retries(), 2);
+        g.on_progress();
+        assert_eq!(g.retries(), 0);
+        assert_eq!(g.rto(), Delta::from_us(48));
+        assert!(!g.failed());
+    }
+
+    #[test]
+    fn deadline_is_now_plus_rto() {
+        let mut g = mk();
+        assert_eq!(g.deadline(Time::from_us(100)), Time::from_us(148));
+        g.on_timeout();
+        assert_eq!(g.deadline(Time::from_us(100)), Time::from_us(196));
+    }
+
+    #[test]
+    fn for_rtt_scales_min_rto() {
+        let cfg = RecoveryConfig::for_rtt(Delta::from_us(16));
+        assert_eq!(cfg.min_rto, Delta::from_us(48));
+        assert_eq!(cfg.max_retries, 8);
+    }
+}

@@ -49,6 +49,14 @@ pub fn run(net: Network, deadline: Time) -> Network {
 /// Asserts the run was lossless and internally consistent. On failure the
 /// message names each offending switch, port, and violated invariant
 /// (from [`Network::telemetry_report`]) instead of a bare counter.
+///
+/// Fault-aware: frames lost to an installed [`FaultPlan`] (`link_drops`)
+/// are the injected faults doing their job and are permitted; MMU
+/// admission drops (`data_drops`) are hard failures either way, and
+/// `link_drops` without a fault plan mean the fault path leaked into a
+/// healthy run.
+///
+/// [`FaultPlan`]: dsh_net::FaultPlan
 pub fn assert_lossless(net: &Network, now: Time) {
     let report = net.telemetry_report(now);
     let violations = report.lossless_violations();
@@ -57,5 +65,10 @@ pub fn assert_lossless(net: &Network, now: Time) {
         "losslessness violated ({} data drops):\n{}",
         net.data_drops(),
         violations.join("\n")
+    );
+    assert!(
+        net.fault_plan_active() || net.link_drops() == 0,
+        "{} link drops without an installed fault plan",
+        net.link_drops()
     );
 }
