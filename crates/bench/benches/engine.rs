@@ -195,7 +195,9 @@ fn end_to_end_incast(c: &mut Criterion) {
 }
 
 /// The 8-to-1 incast fixture shared by the timed and the alloc-accounted
-/// packet-path benches.
+/// packet-path benches. Trace points are compiled into this build; the
+/// fixture asserts they are masked off, so the zero-allocation and
+/// events/sec numbers measure the disabled-tracing hot path.
 fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
     let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
     let hosts: Vec<_> = (0..9).map(|_| bld.host()).collect();
@@ -204,6 +206,10 @@ fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
         bld.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
     }
     let mut net = bld.build();
+    assert!(
+        !net.tracer().wants(dsh_simcore::trace::TraceMask::ALL),
+        "packet-path benches must run with tracing masked off (unset DSH_TRACE_MASK)"
+    );
     for &src in &hosts[..8] {
         net.add_flow(FlowSpec {
             src,

@@ -1,10 +1,17 @@
 //! Fig. 4: trends of buffer in Broadcom's switching chips.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin fig04_headroom_trend
+//! cargo run --release -p dsh-bench --bin fig04_headroom_trend [--trace out.json]
 //! ```
 
 fn main() {
+    let args = dsh_bench::Args::parse();
+    // No simulation runs here (the figure is a table of chip specs), so
+    // `--trace` writes a valid but empty Chrome trace.
+    dsh_bench::with_trace(&args, run);
+}
+
+fn run() {
     println!("Fig. 4 — Trends of buffer in Broadcom switching chips");
     println!(
         "{:<12} {:>6} {:>10} {:>12} {:>12} {:>14} {:>10}",

@@ -12,6 +12,10 @@ use dsh_transport::CcKind;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+}
+
+fn run(args: &dsh_bench::Args) {
     let (full, seed) = (args.full, args.seed);
     let mut base = FctExperiment::small(Scheme::Sih, CcKind::PowerTcp);
     base.seed = seed;

@@ -12,6 +12,10 @@ use dsh_simcore::Delta;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+}
+
+fn run(args: &dsh_bench::Args) {
     let (full, seed) = (args.full, args.seed);
     let (leaves, hosts, horizon) =
         if full { (16, 16, Delta::from_ms(10)) } else { (4, 8, Delta::from_ms(3)) };

@@ -12,6 +12,10 @@ use dsh_simcore::Json;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+}
+
+fn run(args: &dsh_bench::Args) {
     let points: Vec<f64> = if args.full {
         (1..=12).map(|i| i as f64 * 0.05).collect()
     } else {
@@ -39,6 +43,9 @@ fn main() {
     println!();
     println!("paper: DSH absorbs bursts up to ~40% of buffer pause-free, >4x SIH");
     if args.json {
-        println!("{}", Json::Arr(docs));
+        let doc = Json::object()
+            .with("provenance", dsh_bench::provenance(args))
+            .with("points", Json::Arr(docs));
+        println!("{doc}");
     }
 }

@@ -10,6 +10,10 @@ use dsh_transport::CcKind;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+}
+
+fn run(args: &dsh_bench::Args) {
     let full = args.full;
     let ex = args.executor();
     let cfg = if full { Fig12Config::full() } else { Fig12Config::small() };

@@ -9,6 +9,10 @@ use dsh_transport::CcKind;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+}
+
+fn run(args: &dsh_bench::Args) {
     println!("Fig. 13 — collateral damage mitigation (victim flow F0 goodput)");
     let triples =
         fig13::sweep(&[CcKind::Uncontrolled, CcKind::Dcqcn, CcKind::PowerTcp], &args.executor());

@@ -2,25 +2,69 @@
 //!
 //! ```bash
 //! cargo run --release -p dsh-bench --bin fig13x_link_flap \
-//!     [--full] [--smoke] [--seed N] [--threads N]
+//!     [--full] [--smoke] [--seed N] [--threads N] [--trace out.json]
 //! ```
 //!
 //! `--smoke` runs one CI-sized flapped SIH/DSH pair and asserts the
 //! recovery invariants (no wedged flow, faults actually dropped frames,
-//! MMU audit clean — the audit is checked inside the run itself).
+//! MMU audit clean — the audit is checked inside the run itself). With
+//! `--trace` the smoke run additionally parses the Chrome trace it just
+//! wrote and asserts it contains PFC pause spans and fault instants, so
+//! CI validates the whole tracing pipeline with one command.
 
 use dsh_bench::fig13x::{self, FlapExperiment, FlapPoint};
 use dsh_core::Scheme;
-use dsh_simcore::Delta;
+use dsh_simcore::{ByteSize, Delta, Json};
 use dsh_transport::CcKind;
 
 fn main() {
     let args = dsh_bench::Args::parse();
+    dsh_bench::with_trace(&args, || run(&args));
+    if args.smoke {
+        if let Some(path) = args.trace.as_deref() {
+            validate_trace(path);
+        }
+    }
+}
+
+/// Smoke-mode self-check: the emitted Chrome trace must parse and must
+/// contain at least one PFC pause span and one fault instant — the two
+/// signals a flap run cannot be without.
+fn validate_trace(path: &str) {
+    let text = std::fs::read_to_string(path).expect("trace file just written must be readable");
+    let doc = Json::parse(&text).expect("emitted trace must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let pause_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("B")
+                && e.get("name").and_then(Json::as_str).is_some_and(|n| n.contains("pause"))
+        })
+        .count();
+    // pid 5 is the fault track (link death/repair, corruption, drains).
+    let fault_instants = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("i")
+                && e.get("pid").and_then(Json::as_u64) == Some(5)
+        })
+        .count();
+    assert!(pause_spans >= 1, "traced smoke run produced no PFC pause span");
+    assert!(fault_instants >= 1, "traced smoke run produced no fault instant");
+    println!("[smoke] trace OK: {pause_spans} pause spans, {fault_instants} fault instants");
+}
+
+fn run(args: &dsh_bench::Args) {
     let ex = args.executor();
 
     if args.smoke {
         let mut base = fig13x::smoke_base(Scheme::Sih);
         base.seed = args.seed;
+        // A 3 MiB buffer (vs the 16 MiB Tomahawk default) leaves just
+        // ~0.6 MiB shared after private + headroom reservations, so the
+        // rerouted fan-in crosses the PFC thresholds and the traced
+        // smoke run has real pause/resume spans to validate.
+        base.buffer = Some(ByteSize::mib(3));
         let points = fig13x::sweep(&[Some(Delta::from_us(300))], &base, &ex);
         let p = &points[0];
         for (name, r) in [("SIH", &p.sih), ("DSH", &p.dsh)] {

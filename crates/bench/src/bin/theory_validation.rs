@@ -1,12 +1,19 @@
 //! Theorems 1 & 2: closed-form burst-absorption bounds vs the fluid model.
 //!
 //! ```bash
-//! cargo run --release -p dsh-bench --bin theory_validation
+//! cargo run --release -p dsh-bench --bin theory_validation [--trace out.json]
 //! ```
 
 use dsh_bench::theory;
 
 fn main() {
+    let args = dsh_bench::Args::parse();
+    // The fluid model runs outside the event engine, so `--trace` writes
+    // a valid but empty Chrome trace.
+    dsh_bench::with_trace(&args, run);
+}
+
+fn run() {
     println!("Theorems 1-2 — burst absorption bounds (normalized time units)");
     println!(
         "{:>6} {:>4} {:>14} {:>14} {:>14} {:>14} {:>10}",

@@ -13,8 +13,8 @@
 use dsh_analysis::fct::FctSummary;
 use dsh_core::Scheme;
 use dsh_net::topology::{leaf_spine, LeafSpineShape};
-use dsh_net::{FaultPlan, FlowSpec, NetParams};
-use dsh_simcore::{Bandwidth, Delta, Executor, Time};
+use dsh_net::{FaultPlan, FlowSpec, NetEvent, NetParams};
+use dsh_simcore::{Bandwidth, ByteSize, Delta, EngineProfile, Executor, Time};
 use dsh_transport::CcKind;
 
 /// One link-flap experiment configuration.
@@ -43,6 +43,10 @@ pub struct FlapExperiment {
     pub run_until: Delta,
     /// Seed (workload stagger + fault-plan RNG streams).
     pub seed: u64,
+    /// Override the switch buffer (`None` = Tomahawk default). A small
+    /// buffer pushes the post-outage fan-in over the PFC thresholds, so
+    /// traced runs exercise the pause/resume machinery.
+    pub buffer: Option<ByteSize>,
 }
 
 impl FlapExperiment {
@@ -61,6 +65,7 @@ impl FlapExperiment {
             flap_until: Delta::from_ms(3),
             run_until: Delta::from_ms(6),
             seed: 1,
+            buffer: None,
         }
     }
 }
@@ -94,7 +99,25 @@ pub struct FlapResult {
 /// drops.
 #[must_use]
 pub fn run_flap(exp: &FlapExperiment) -> FlapResult {
-    let params = NetParams::tomahawk(exp.scheme).with_seed(exp.seed).with_default_recovery();
+    run_flap_inner(exp, None)
+}
+
+/// Runs one flap experiment under the engine profiler, returning the
+/// per-event-type dispatch breakdown alongside the result. Counts are
+/// always collected; per-class wall time additionally needs the
+/// `profile` feature (see [`EngineProfile::timing_enabled`]).
+#[must_use]
+pub fn run_flap_profiled(exp: &FlapExperiment) -> (FlapResult, EngineProfile) {
+    let mut profile = EngineProfile::new::<NetEvent>();
+    let result = run_flap_inner(exp, Some(&mut profile));
+    (result, profile)
+}
+
+fn run_flap_inner(exp: &FlapExperiment, profile: Option<&mut EngineProfile>) -> FlapResult {
+    let mut params = NetParams::tomahawk(exp.scheme).with_seed(exp.seed).with_default_recovery();
+    if let Some(buffer) = exp.buffer {
+        params = params.with_buffer(buffer);
+    }
     let ls = leaf_spine(
         params,
         LeafSpineShape {
@@ -140,7 +163,14 @@ pub fn run_flap(exp: &FlapExperiment) -> FlapResult {
 
     let registered = net.flow_count();
     let mut sim = net.into_sim();
-    sim.run_until(Time::ZERO + exp.run_until);
+    match profile {
+        Some(p) => {
+            sim.run_until_profiled(Time::ZERO + exp.run_until, p);
+        }
+        None => {
+            sim.run_until(Time::ZERO + exp.run_until);
+        }
+    }
     let events = sim.events_processed();
     let net = sim.into_model();
 

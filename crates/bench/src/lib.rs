@@ -32,11 +32,12 @@ pub mod fig14;
 pub mod fig15;
 pub mod theory;
 
-use dsh_simcore::{exec, Executor};
+use dsh_simcore::trace::{self, TraceConfig, TraceMask};
+use dsh_simcore::{exec, Executor, Json};
 
 /// Command-line options shared by the figure binaries, collected in a
 /// single pass over argv.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Args {
     /// `--full`: run at paper scale instead of the laptop-scale default.
     pub full: bool,
@@ -50,6 +51,10 @@ pub struct Args {
     /// `--threads N`, falling back to `DSH_THREADS`; 0 means "auto"
     /// (available parallelism). Resolve through [`Args::executor`].
     pub threads: usize,
+    /// `--trace PATH`: record flight-recorder traces for every
+    /// simulation of the run and write a Chrome `trace_event` JSON
+    /// document to PATH (see [`with_trace`]).
+    pub trace: Option<String>,
 }
 
 impl Args {
@@ -72,6 +77,7 @@ impl Args {
             smoke: false,
             seed: 1,
             threads: env_threads.unwrap_or(0),
+            trace: None,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -89,6 +95,7 @@ impl Args {
                         args.threads = v;
                     }
                 }
+                "--trace" => args.trace = it.next(),
                 _ => {}
             }
         }
@@ -102,6 +109,42 @@ impl Args {
     }
 }
 
+/// The provenance header embedded in every JSON artifact the harness
+/// emits (Chrome traces, structured dumps, bench metrics): the run's
+/// inputs plus the executor width, stamped with the package version.
+/// Per-scheme artifacts add their own `scheme` field; trace logs carry
+/// the scheme in their [`dsh_simcore::trace::TraceKey`] tag instead.
+#[must_use]
+pub fn provenance(args: &Args) -> Json {
+    Json::object()
+        .with("seed", args.seed)
+        .with("threads", args.executor().threads())
+        .with("version", env!("CARGO_PKG_VERSION"))
+}
+
+/// Runs `f` under a flight-recorder capture session when `--trace PATH`
+/// was given, then writes the Chrome `trace_event` JSON document (see
+/// [`dsh_simcore::trace::chrome_trace`]) to PATH. Without the flag `f`
+/// runs directly — no session, no recording, zero overhead.
+///
+/// The category mask honours `DSH_TRACE_MASK` when set and defaults to
+/// every category; the per-simulation ring capacity honours
+/// `DSH_TRACE_CAP`.
+pub fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> R {
+    let Some(path) = args.trace.as_deref() else { return f() };
+    let env = TraceConfig::from_env();
+    let mask = if env.mask.is_empty() { TraceMask::ALL } else { env.mask };
+    let (result, logs) = trace::capture(mask, env.capacity, f);
+    let records: usize = logs.iter().map(|l| l.records.len()).sum();
+    let doc = trace::chrome_trace(&logs, provenance(args));
+    if let Err(e) = std::fs::write(path, doc.to_string()) {
+        eprintln!("[dsh] failed to write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[dsh] wrote Chrome trace: {} simulations, {records} records -> {path}", logs.len());
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,16 +156,39 @@ mod tests {
     #[test]
     fn defaults_when_no_flags() {
         let a = Args::from_iter(argv(&[]), None);
-        assert_eq!(a, Args { full: false, json: false, smoke: false, seed: 1, threads: 0 });
+        assert_eq!(
+            a,
+            Args { full: false, json: false, smoke: false, seed: 1, threads: 0, trace: None }
+        );
     }
 
     #[test]
     fn parses_all_flags_in_one_pass() {
         let a = Args::from_iter(
-            argv(&["--full", "--seed", "9", "--json", "--smoke", "--threads", "3"]),
+            argv(&[
+                "--full",
+                "--seed",
+                "9",
+                "--json",
+                "--smoke",
+                "--threads",
+                "3",
+                "--trace",
+                "t.json",
+            ]),
             None,
         );
-        assert_eq!(a, Args { full: true, json: true, smoke: true, seed: 9, threads: 3 });
+        assert_eq!(
+            a,
+            Args {
+                full: true,
+                json: true,
+                smoke: true,
+                seed: 9,
+                threads: 3,
+                trace: Some("t.json".to_string()),
+            }
+        );
     }
 
     #[test]

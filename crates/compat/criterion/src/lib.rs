@@ -80,6 +80,11 @@ pub fn emit_json_to(path: &str) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"provenance\": {{\"harness_version\": \"{}\", \"threads\": {cores}, \"command\": \"{}\"}},\n",
+        json_escape(env!("CARGO_PKG_VERSION")),
+        json_escape(&std::env::args().collect::<Vec<_>>().join(" ")),
+    ));
     out.push_str("  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -298,6 +303,8 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(body.contains("\"available_parallelism\""), "{body}");
+        assert!(body.contains("\"provenance\""), "{body}");
+        assert!(body.contains("\"harness_version\""), "{body}");
         assert!(body.contains("\"json_emission_probe\""), "{body}");
         assert!(body.contains("\"mean_ns\""), "{body}");
         assert!(body.contains("\"metrics\""), "{body}");

@@ -5,6 +5,8 @@ use crate::action::{DropReason, FcAction, FcActions, Outcome, Region};
 use crate::audit::{AuditReport, AuditViolation};
 use crate::config::{MmuConfig, Scheme};
 use crate::dt::DtThreshold;
+use dsh_simcore::trace::{TraceEvent, Tracer};
+use dsh_simcore::trace_event;
 
 /// Per-ingress-queue accounting and PFC state.
 #[derive(Clone, Copy, Debug, Default)]
@@ -155,6 +157,8 @@ pub struct Mmu {
     stats: MmuStats,
     attribution: DropAttribution,
     port_drops: Vec<PortDrops>,
+    tracer: Tracer,
+    trace_node: u32,
 }
 
 impl Mmu {
@@ -179,7 +183,16 @@ impl Mmu {
             stats: MmuStats::default(),
             attribution: DropAttribution::default(),
             port_drops: vec![PortDrops::default(); np],
+            tracer: Tracer::disabled(),
+            trace_node: u32::MAX,
         }
+    }
+
+    /// Attaches a flight-recorder tracer; `node` tags every record this
+    /// MMU emits (the switch's node id). Off by default.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.trace_node = node;
     }
 
     /// The configuration this MMU runs.
@@ -375,11 +388,36 @@ impl Mmu {
         };
         if outcome.is_admitted() {
             self.stats.admitted_packets += 1;
+            match outcome.region {
+                Some(Region::Headroom) => {
+                    trace_event!(self.tracer, TraceEvent::HeadroomEnter, {
+                        node: self.trace_node,
+                        port: port as u16,
+                        class: queue as u8,
+                        payload: self.queues[self.qidx(port, queue)].headroom,
+                    });
+                }
+                Some(Region::Insurance) => {
+                    trace_event!(self.tracer, TraceEvent::HeadroomEnter, {
+                        node: self.trace_node,
+                        port: port as u16,
+                        class: queue as u8,
+                        payload: self.ports[port].insurance,
+                    });
+                }
+                _ => {}
+            }
         } else {
             self.stats.dropped_packets += 1;
             self.stats.dropped_bytes += bytes;
             self.port_drops[port].packets += 1;
             self.port_drops[port].bytes += bytes;
+            trace_event!(self.tracer, TraceEvent::MmuDrop, {
+                node: self.trace_node,
+                port: port as u16,
+                class: queue as u8,
+                payload: bytes,
+            });
         }
         self.debug_check();
         outcome
@@ -609,6 +647,12 @@ impl Mmu {
             self.queues[idx].paused = true;
             self.stats.queue_pauses += 1;
             actions.push(FcAction::QueuePause { port, queue });
+            trace_event!(self.tracer, TraceEvent::MmuQueuePause, {
+                node: self.trace_node,
+                port: port as u16,
+                class: queue as u8,
+                payload: self.queues[idx].shared,
+            });
         }
     }
 
@@ -617,6 +661,11 @@ impl Mmu {
             self.ports[port].paused = true;
             self.stats.port_pauses += 1;
             actions.push(FcAction::PortPause { port });
+            trace_event!(self.tracer, TraceEvent::MmuPortPause, {
+                node: self.trace_node,
+                port: port as u16,
+                payload: self.port_total_occupancy(port),
+            });
         }
     }
 
@@ -650,6 +699,12 @@ impl Mmu {
             self.queues[idx].paused = false;
             self.stats.queue_resumes += 1;
             actions.push(FcAction::QueueResume { port, queue });
+            trace_event!(self.tracer, TraceEvent::MmuQueueResume, {
+                node: self.trace_node,
+                port: port as u16,
+                class: queue as u8,
+                payload: self.queues[idx].shared,
+            });
         }
     }
 
@@ -667,6 +722,11 @@ impl Mmu {
             self.ports[port].paused = false;
             self.stats.port_resumes += 1;
             actions.push(FcAction::PortResume { port });
+            trace_event!(self.tracer, TraceEvent::MmuPortResume, {
+                node: self.trace_node,
+                port: port as u16,
+                payload: self.port_total_occupancy(port),
+            });
         }
     }
 
@@ -808,6 +868,22 @@ impl Mmu {
             );
         }
 
+        if let Some(first) = violations.first() {
+            // A dirty audit is about to fail an assertion somewhere above;
+            // record it and dump the flight recorder now, naming the
+            // invariant, while the recent history is still intact.
+            trace_event!(self.tracer, TraceEvent::AuditFail, {
+                node: self.trace_node,
+                payload: violations.len() as u64,
+            });
+            self.tracer.dump(
+                &format!(
+                    "MMU audit violation at node {}: {} (expected {}, actual {})",
+                    self.trace_node, first.invariant, first.expected, first.actual
+                ),
+                64,
+            );
+        }
         AuditReport { scheme: self.cfg.scheme, snapshot: self.occupancy_snapshot(), violations }
     }
 

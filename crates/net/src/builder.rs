@@ -8,6 +8,7 @@ use crate::port::EgressPort;
 use crate::routing::compute_route_tables;
 use crate::switch::SwitchNode;
 use dsh_core::{headroom, Mmu, MmuConfig, Scheme};
+use dsh_simcore::trace::{TraceConfig, TraceKey, Tracer};
 use dsh_simcore::{Bandwidth, ByteSize, Delta};
 use dsh_transport::RecoveryConfig;
 
@@ -49,6 +50,11 @@ pub struct NetParams {
     pub recovery: Option<RecoveryConfig>,
     /// RNG seed (ECN randomness).
     pub seed: u64,
+    /// Flight-recorder configuration. The default is off (zero
+    /// overhead); an active [`dsh_simcore::trace::capture`] session or
+    /// the `DSH_TRACE_MASK` environment variable can still enable
+    /// tracing at build time (see [`Tracer::for_simulation`]).
+    pub trace: TraceConfig,
 }
 
 impl NetParams {
@@ -70,6 +76,7 @@ impl NetParams {
             pfc_watchdog: None,
             recovery: None,
             seed: 1,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -138,6 +145,11 @@ impl NetworkBuilder {
     /// destinations are tolerated until routed to).
     #[must_use]
     pub fn build(self) -> Network {
+        // One tracer (and one flight-recorder ring) per network, shared
+        // with every switch MMU. The key makes multi-threaded capture
+        // sessions sort deterministically: the seed separates sweep
+        // points, the scheme tag separates the SIH/DSH pair of a point.
+        let tracer = Tracer::for_simulation(&self.params.trace, self.params.trace_key());
         let n = self.nodes.len();
         // Ports per node, in link insertion order.
         let mut ports: Vec<Vec<EgressPort>> = (0..n).map(|_| Vec::new()).collect();
@@ -212,10 +224,12 @@ impl NetworkBuilder {
                         builder.port_etas(port_etas);
                     }
                     let cfg: MmuConfig = builder.build();
+                    let mut mmu = Mmu::new(cfg);
+                    mmu.set_tracer(tracer.clone(), i as u32);
                     nodes.push(Node::Switch(SwitchNode {
                         id: NodeId(i),
                         ports: nports,
-                        mmu: Mmu::new(cfg),
+                        mmu,
                         routes: table,
                         occupancy: crate::monitor::OccupancySeries::new(
                             self.params.sample_interval,
@@ -225,7 +239,7 @@ impl NetworkBuilder {
             }
         }
 
-        Network::from_parts(self.params, nodes)
+        Network::from_parts(self.params, nodes, tracer)
     }
 }
 
@@ -281,5 +295,27 @@ impl NetParams {
     pub fn with_default_recovery(self) -> Self {
         let cfg = RecoveryConfig::for_rtt(self.base_rtt);
         self.with_recovery(cfg)
+    }
+
+    /// Returns a copy with the flight recorder configured explicitly.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The [`TraceKey`] a network built from these parameters registers
+    /// under in a [`dsh_simcore::trace::capture`] session: the seed
+    /// separates sweep points, the scheme tag separates the SIH/DSH pair
+    /// of one point.
+    #[must_use]
+    pub fn trace_key(&self) -> TraceKey {
+        TraceKey {
+            seed: self.seed,
+            tag: match self.scheme {
+                Scheme::Sih => 0,
+                Scheme::Dsh => 1,
+            },
+        }
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::ids::{FlowId, NodeId};
 use dsh_core::{AuditReport, DropAttribution, MmuStats, PortDrops};
-use dsh_simcore::{Delta, Json, Time};
+use dsh_simcore::{Delta, EngineProfile, Json, Time};
 
 /// Completion record of one flow (taken when the receiver gets the last
 /// payload byte).
@@ -365,6 +365,13 @@ pub struct TelemetryReport {
     pub switches: Vec<SwitchTelemetry>,
     /// Per-egress-port pause telemetry (every node, hosts included).
     pub ports: Vec<PortPauseTelemetry>,
+    /// Run-intrinsic provenance (seed, scheme, package version) — the
+    /// inputs that determine the run, not the machine it ran on, so the
+    /// report stays byte-identical at any thread count.
+    pub provenance: Json,
+    /// Engine dispatch profile, if the harness ran the simulation through
+    /// [`dsh_simcore::Simulation::run_until_profiled`] and attached it.
+    pub engine_profile: Option<EngineProfile>,
 }
 
 impl TelemetryReport {
@@ -390,11 +397,20 @@ impl TelemetryReport {
         out
     }
 
+    /// Attaches an engine dispatch profile (builder-style, for harnesses
+    /// that run profiled).
+    #[must_use]
+    pub fn with_engine_profile(mut self, profile: EngineProfile) -> Self {
+        self.engine_profile = Some(profile);
+        self
+    }
+
     /// JSON form of the whole report.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object()
+        let doc = Json::object()
             .with("generated_at_ns", self.generated_at.as_ns())
+            .with("provenance", self.provenance.clone())
             .with("data_drops", self.data_drops)
             .with("watchdog_drops", self.watchdog_drops)
             .with("link_drops", self.link_drops)
@@ -403,7 +419,11 @@ impl TelemetryReport {
                 "switches",
                 Json::Arr(self.switches.iter().map(SwitchTelemetry::to_json).collect()),
             )
-            .with("ports", Json::Arr(self.ports.iter().map(PortPauseTelemetry::to_json).collect()))
+            .with("ports", Json::Arr(self.ports.iter().map(PortPauseTelemetry::to_json).collect()));
+        match &self.engine_profile {
+            Some(p) => doc.with("engine_profile", p.to_json()),
+            None => doc,
+        }
     }
 }
 
@@ -496,14 +516,25 @@ mod tests {
                 occupancy: vec![],
             }],
             ports: vec![],
+            provenance: Json::object().with("seed", 1u64),
+            engine_profile: None,
         };
         let v = report.lossless_violations();
         assert_eq!(v.len(), 2);
         assert!(v[0].contains("port 1") && v[0].contains("2 packets"), "{}", v[0]);
         assert!(v[1].contains("total-shared-consistent"), "{}", v[1]);
-        // The JSON export round-trips through text.
+        // The JSON export round-trips through text, carries the
+        // provenance header, and omits the profile when absent.
         let j = report.to_json();
         assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+        assert!(j.get("provenance").is_some());
+        assert!(j.get("engine_profile").is_none());
+        // Attaching a profile adds the per-event-type breakdown.
+        let mut profile = EngineProfile::new::<crate::NetEvent>();
+        profile.record(0, 120);
+        let j = report.with_engine_profile(profile).to_json();
+        let prof = j.get("engine_profile").expect("profile must serialize");
+        assert!(prof.to_string().contains("arrive"), "{prof}");
     }
 
     #[test]

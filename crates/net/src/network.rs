@@ -14,7 +14,11 @@ use crate::port::{EgressPort, IngressTag, QueuedFrame};
 use crate::switch::SwitchNode;
 use dsh_core::headroom::PFC_PROCESSING_BYTES;
 use dsh_core::{FcAction, FcActions};
-use dsh_simcore::{split_seed, Model, Pool, Scheduler, SimRng, Simulation, Time};
+use dsh_simcore::trace::{TraceEvent, TraceLog, TraceMask, Tracer};
+use dsh_simcore::{
+    split_seed, trace_event, EventClass, FlightGuard, Model, Pool, Scheduler, SimRng, Simulation,
+    Time,
+};
 use dsh_transport::{
     new_cc, AckInfo, CcKind, GoBackN, HopList, RecoveryConfig, RtoOutcome, TelemetryHop,
 };
@@ -202,6 +206,9 @@ pub struct Network {
     retransmitted_bytes: u64,
     /// Flows whose recovery hit the retry cap and gave up.
     failed_flows: u64,
+    /// Flight recorder (shared with every switch MMU); the disabled
+    /// tracer when no trace configuration is active.
+    tracer: Tracer,
 }
 
 /// Number of free frame boxes the pool retains (beyond this, returned
@@ -210,7 +217,7 @@ pub struct Network {
 const FRAME_POOL_RETAIN: usize = 4096;
 
 impl Network {
-    pub(crate) fn from_parts(params: NetParams, nodes: Vec<Node>) -> Self {
+    pub(crate) fn from_parts(params: NetParams, nodes: Vec<Node>, tracer: Tracer) -> Self {
         let rng = SimRng::new(params.seed);
         Network {
             params,
@@ -234,7 +241,31 @@ impl Network {
             retransmissions: 0,
             retransmitted_bytes: 0,
             failed_flows: 0,
+            tracer,
         }
+    }
+
+    /// The flight-recorder tracer this network (and its switch MMUs)
+    /// records into. Disabled unless [`NetParams::trace`], a
+    /// [`dsh_simcore::trace::capture`] session, or `DSH_TRACE_MASK`
+    /// enabled it at build time.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of the flight recorder, keyed for deterministic export
+    /// (empty when tracing is off).
+    #[must_use]
+    pub fn trace_log(&self) -> TraceLog {
+        self.tracer.log(self.params.trace_key())
+    }
+
+    /// Arms a [`FlightGuard`] over this network's recorder: if the
+    /// caller's scope unwinds, the last records are dumped under `label`.
+    #[must_use]
+    pub fn flight_guard(&self, label: impl Into<String>) -> FlightGuard {
+        FlightGuard::arm(&self.tracer, label)
     }
 
     /// Registers a flow; returns its id. All flows must be added before
@@ -525,7 +556,21 @@ impl Network {
             retransmissions: self.retransmissions,
             switches,
             ports,
+            provenance: self.provenance(),
+            engine_profile: None,
         }
+    }
+
+    /// Run-intrinsic provenance: the inputs that determine this run
+    /// (seed, scheme, package version). Machine facts — thread count in
+    /// particular — are deliberately excluded so reports stay
+    /// byte-identical at any executor width.
+    #[must_use]
+    pub fn provenance(&self) -> dsh_simcore::Json {
+        dsh_simcore::Json::object()
+            .with("seed", self.params.seed)
+            .with("scheme", self.params.scheme.to_string())
+            .with("version", env!("CARGO_PKG_VERSION"))
     }
 
     /// Diagnostic: a sender flow's current congestion window and pacing
@@ -942,6 +987,11 @@ impl Network {
         if completed {
             self.flows[flow.0].completed = true;
             self.fct.push(FctRecord { flow, size: meta_size, start: meta_start, finish: now });
+            trace_event!(self.tracer, TraceEvent::FlowComplete, {
+                flow: flow.0 as u32,
+                node: node.0 as u32,
+                payload: now.saturating_since(meta_start).as_ps(),
+            });
         }
 
         // Reply path: ACK (always) + CNP (DCQCN NP policy). The data
@@ -958,6 +1008,12 @@ impl Network {
 
     fn handle_flow_start(&mut self, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
         let spec = self.flows[flow.0].spec;
+        trace_event!(self.tracer, TraceEvent::FlowStart, {
+            flow: flow.0 as u32,
+            node: spec.src.0 as u32,
+            class: spec.class,
+            payload: spec.size,
+        });
         let (bw, base_rtt) = {
             let host = self.host_mut(spec.src);
             (host.uplink().bandwidth, self.params.base_rtt)
@@ -1209,6 +1265,11 @@ impl Network {
     fn fail_flow(&mut self, node: NodeId, flow: FlowId) {
         self.failed_flows += 1;
         self.flows[flow.0].failed = true;
+        trace_event!(self.tracer, TraceEvent::FlowFailed, {
+            flow: flow.0 as u32,
+            node: node.0 as u32,
+            payload: self.flow_rx[flow.0],
+        });
         let host = self.host_mut(node);
         if let Some(slot) = host.sender_slot(flow) {
             if let Some(pos) = host.active.iter().position(|&i| i == slot) {
@@ -1228,7 +1289,7 @@ impl Network {
     fn retransmit(&mut self, node: NodeId, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
         let now = sched.now();
         self.retransmissions += 1;
-        let (deadline, gen) = {
+        let (deadline, gen, rto_word) = {
             let host = self.host_mut(node);
             let slot = host.sender_slot(flow).expect("RTO for unregistered flow");
             let f = &mut host.tx_flows[slot];
@@ -1244,7 +1305,7 @@ impl Network {
             // Still armed: the same generation carries the next event,
             // scheduled at the backed-off deadline.
             f.rto_deadline = f.recovery.deadline(now);
-            let pair = (f.rto_deadline, f.rto_gen);
+            let pair = (f.rto_deadline, f.rto_gen, f.recovery.trace_payload());
             // A fully-sent flow left the active list; the rewind has data
             // to send again.
             if !host.active.contains(&slot) {
@@ -1252,6 +1313,11 @@ impl Network {
             }
             pair
         };
+        trace_event!(self.tracer, TraceEvent::Retransmit, {
+            flow: flow.0 as u32,
+            node: node.0 as u32,
+            payload: rto_word,
+        });
         sched.at(deadline, NetEvent::RtoTimer { host: node.0 as u32, flow: flow.0 as u32, gen });
         self.host_try_send(node, sched);
     }
@@ -1294,6 +1360,11 @@ impl Network {
             if let Some(c) = self.corrupt.iter_mut().find(|c| (c.node, c.in_port) == key) {
                 if c.rng.gen_bool(c.probability) {
                     fault_trace!("[fault] frame corrupted on ingress {in_port} at {node}");
+                    trace_event!(self.tracer, TraceEvent::FrameCorrupt, {
+                        node: node.0 as u32,
+                        port: in_port as u16,
+                        payload: frame.bytes,
+                    });
                     return true;
                 }
             }
@@ -1312,6 +1383,10 @@ impl Network {
     fn link_down(&mut self, a: NodeId, b: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
         let now = sched.now();
         fault_trace!("[fault] t={now:?} link DOWN {a}-{b}");
+        trace_event!(self.tracer, TraceEvent::LinkDown, {
+            node: a.0 as u32,
+            payload: b.0 as u64,
+        });
         let pa = self.find_port(a, b);
         let pb = self.find_port(b, a);
         for (node, port) in [(a, pa), (b, pb)] {
@@ -1347,6 +1422,13 @@ impl Network {
         let mut drained = Vec::new();
         self.port_mut(node, port).fail(now, &mut drained);
         self.link_drops += drained.len() as u64;
+        if !drained.is_empty() {
+            trace_event!(self.tracer, TraceEvent::LinkDrain, {
+                node: node.0 as u32,
+                port: port as u16,
+                payload: drained.len() as u64,
+            });
+        }
         let mut fc: Vec<FcAction> = Vec::new();
         for qf in drained {
             if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
@@ -1370,6 +1452,10 @@ impl Network {
 
     fn link_up(&mut self, a: NodeId, b: NodeId, sched: &mut Scheduler<'_, NetEvent>) {
         fault_trace!("[fault] t={:?} link UP {a}-{b}", sched.now());
+        trace_event!(self.tracer, TraceEvent::LinkUp, {
+            node: a.0 as u32,
+            payload: b.0 as u64,
+        });
         let pa = self.find_port(a, b);
         let pb = self.find_port(b, a);
         self.port_mut(a, pa).restore();
@@ -1437,6 +1523,20 @@ impl Network {
                 PfcScope::Port => p.apply_port_pause(pause, now),
             }
         }
+        let kind = match (scope, pause) {
+            (PfcScope::Queue(_), true) => TraceEvent::PfcPause,
+            (PfcScope::Queue(_), false) => TraceEvent::PfcResume,
+            (PfcScope::Port, true) => TraceEvent::PfcPortPause,
+            (PfcScope::Port, false) => TraceEvent::PfcPortResume,
+        };
+        trace_event!(self.tracer, kind, {
+            node: node.0 as u32,
+            port: port as u16,
+            class: match scope {
+                PfcScope::Queue(c) => c,
+                PfcScope::Port => u8::MAX,
+            },
+        });
         if !pause {
             // Resumed: traffic may flow again.
             if matches!(self.nodes[node.0], Node::Host(_)) {
@@ -1533,6 +1633,29 @@ impl Network {
             self.run_watchdog(now, wd, sched);
         }
 
+        // Occupancy counter tracks (one snapshot per switch per tick;
+        // the outer mask test keeps the snapshot loop off the untraced
+        // path entirely).
+        if self.tracer.wants(TraceMask::MMU) {
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Node::Switch(s) = n {
+                    let snap = s.mmu.occupancy_snapshot();
+                    trace_event!(self.tracer, TraceEvent::OccShared, {
+                        node: i as u32,
+                        payload: snap.shared,
+                    });
+                    trace_event!(self.tracer, TraceEvent::OccHeadroom, {
+                        node: i as u32,
+                        payload: snap.headroom + snap.insurance,
+                    });
+                    trace_event!(self.tracer, TraceEvent::OccThreshold, {
+                        node: i as u32,
+                        payload: snap.threshold,
+                    });
+                }
+            }
+        }
+
         // Deadlock detection: a switch egress port continuously unable to
         // serve queued data for longer than the threshold. Recomputed on
         // every sample — transient congestion that eventually resolves
@@ -1540,15 +1663,25 @@ impl Network {
         // the network is *still* wedged (a true deadlock never unblocks).
         let thresh = self.params.deadlock_threshold;
         let mut onset: Option<Time> = None;
-        for n in &self.nodes {
+        let mut onset_node = u32::MAX;
+        for (i, n) in self.nodes.iter().enumerate() {
             if let Node::Switch(s) = n {
                 for p in &s.ports {
                     if let Some(b) = p.blocked_since() {
-                        if now.saturating_since(b) >= thresh {
-                            onset = Some(onset.map_or(b, |o: Time| o.min(b)));
+                        if now.saturating_since(b) >= thresh && onset.is_none_or(|o| b < o) {
+                            onset = Some(b);
+                            onset_node = i as u32;
                         }
                     }
                 }
+            }
+        }
+        if let Some(b) = onset {
+            if self.deadlock.onset.is_none() {
+                trace_event!(self.tracer, TraceEvent::DeadlockOnset, {
+                    node: onset_node,
+                    payload: b.as_ps(),
+                });
             }
         }
         self.deadlock.onset = onset;
@@ -1625,6 +1758,9 @@ impl Model for Network {
     type Event = NetEvent;
 
     fn handle(&mut self, event: NetEvent, sched: &mut Scheduler<'_, NetEvent>) {
+        // Stamp the flight-recorder clock once per event: trace points
+        // below the dispatch (the MMU in particular) need no Time access.
+        self.tracer.tick(sched.now());
         // Events carry compact u32 indices (see `NetEvent`); widen them
         // back into the typed ids the rest of the model uses.
         match event {
@@ -1672,6 +1808,36 @@ impl Model for Network {
             }
             NetEvent::Fault { index } => self.handle_fault(index as usize, sched),
             NetEvent::Sample => self.handle_sample(sched),
+        }
+    }
+}
+
+/// Classification for [`Simulation::run_until_profiled`]: one class per
+/// [`NetEvent`] variant, in declaration order.
+impl EventClass for NetEvent {
+    const NAMES: &'static [&'static str] = &[
+        "arrive",
+        "tx_done",
+        "apply_pause",
+        "flow_start",
+        "host_wake",
+        "cc_timer",
+        "rto_timer",
+        "fault",
+        "sample",
+    ];
+
+    fn class(&self) -> usize {
+        match self {
+            NetEvent::Arrive { .. } => 0,
+            NetEvent::TxDone { .. } => 1,
+            NetEvent::ApplyPause { .. } => 2,
+            NetEvent::FlowStart { .. } => 3,
+            NetEvent::HostWake { .. } => 4,
+            NetEvent::CcTimer { .. } => 5,
+            NetEvent::RtoTimer { .. } => 6,
+            NetEvent::Fault { .. } => 7,
+            NetEvent::Sample => 8,
         }
     }
 }

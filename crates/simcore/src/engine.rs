@@ -131,6 +131,39 @@ impl<M: Model> Simulation<M> {
         n
     }
 
+    /// Like [`Simulation::run_until`], but classifies every dispatched
+    /// event through [`EventClass`] and accumulates per-class counts
+    /// (and, with the `profile` feature, per-class wall time) into
+    /// `profile`.
+    pub fn run_until_profiled(
+        &mut self,
+        deadline: Time,
+        profile: &mut crate::profile::EngineProfile,
+    ) -> u64
+    where
+        M::Event: crate::profile::EventClass,
+    {
+        use crate::profile::EventClass as _;
+        let mut n = 0;
+        while let Some((t, event)) = self.queue.pop_before(deadline) {
+            debug_assert!(t >= self.now, "event calendar went backwards");
+            self.now = t;
+            let class = event.class();
+            #[cfg(feature = "profile")]
+            let started = std::time::Instant::now();
+            let mut sched = Scheduler { now: t, queue: &mut self.queue };
+            self.model.handle(event, &mut sched);
+            #[cfg(feature = "profile")]
+            let spent = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            #[cfg(not(feature = "profile"))]
+            let spent = 0;
+            profile.record(class, spent);
+            n += 1;
+        }
+        self.processed += n;
+        n
+    }
+
     /// The current simulated time (time of the last processed event).
     #[must_use]
     pub fn now(&self) -> Time {

@@ -26,12 +26,24 @@
 
 use crate::rng::split_seed;
 use std::panic::resume_unwind;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable overriding the default worker count.
 ///
 /// `0` or an unparsable value means "auto" (available parallelism).
 pub const THREADS_ENV: &str = "DSH_THREADS";
+
+/// Environment variable enabling sweep progress lines: with
+/// `DSH_PROGRESS=1`, `par_map` reports completed/total points and
+/// elapsed wall time on stderr as a long sweep advances.
+pub const PROGRESS_ENV: &str = "DSH_PROGRESS";
+
+/// Whether `DSH_PROGRESS=1` is set (read once per process).
+fn progress_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var(PROGRESS_ENV).is_ok_and(|v| v == "1"))
+}
 
 /// Interprets a `DSH_THREADS`-style value: `None`, `"0"`, or garbage mean
 /// "auto"; any positive integer is taken literally.
@@ -97,7 +109,23 @@ impl Executor {
     {
         let n = items.len();
         if self.threads <= 1 || n <= 1 {
-            return items.into_iter().map(f).collect();
+            let progress = progress_enabled() && n > 1;
+            let started = std::time::Instant::now();
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let r = f(item);
+                    if progress {
+                        eprintln!(
+                            "[dsh] {}/{n} points, {:.1}s elapsed",
+                            i + 1,
+                            started.elapsed().as_secs_f64()
+                        );
+                    }
+                    r
+                })
+                .collect();
         }
         let workers = self.threads.min(n);
         // Work queue: each worker claims the next unclaimed (index, item).
@@ -105,7 +133,31 @@ impl Executor {
         // contention is negligible next to a whole simulation run.
         let work = Mutex::new(items.into_iter().enumerate());
         let f = &f;
+        // Progress is observed from a dedicated reporter thread; workers
+        // only bump an atomic, so enabling it cannot perturb determinism.
+        let completed = AtomicUsize::new(0);
+        let finished = AtomicBool::new(false);
         std::thread::scope(|s| {
+            let reporter = progress_enabled().then(|| {
+                s.spawn(|| {
+                    let started = std::time::Instant::now();
+                    let mut last = 0;
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        let done = completed.load(Ordering::Relaxed);
+                        if done != last {
+                            last = done;
+                            eprintln!(
+                                "[dsh] {done}/{n} points, {:.1}s elapsed",
+                                started.elapsed().as_secs_f64()
+                            );
+                        }
+                        if finished.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                })
+            });
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -113,7 +165,10 @@ impl Executor {
                         loop {
                             let claimed = work.lock().expect("work queue poisoned").next();
                             match claimed {
-                                Some((i, item)) => done.push((i, f(item))),
+                                Some((i, item)) => {
+                                    done.push((i, f(item)));
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
                                 None => return done,
                             }
                         }
@@ -131,6 +186,10 @@ impl Executor {
                     }
                     Err(payload) => panic = panic.or(Some(payload)),
                 }
+            }
+            finished.store(true, Ordering::Relaxed);
+            if let Some(r) = reporter {
+                let _ = r.join();
             }
             if let Some(payload) = panic {
                 resume_unwind(payload);

@@ -44,16 +44,20 @@ mod engine;
 pub mod exec;
 pub mod json;
 mod pool;
+pub mod profile;
 mod queue;
 mod rng;
 mod time;
+pub mod trace;
 mod units;
 
 pub use engine::{Model, Scheduler, Simulation};
 pub use exec::Executor;
 pub use json::Json;
 pub use pool::Pool;
+pub use profile::{EngineProfile, EventClass};
 pub use queue::EventQueue;
 pub use rng::{split_seed, SimRng};
 pub use time::{Delta, Time};
+pub use trace::{FlightGuard, TraceConfig, TraceKey, TraceLog, TraceMask, Tracer};
 pub use units::{Bandwidth, ByteSize};

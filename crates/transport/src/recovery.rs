@@ -82,6 +82,16 @@ impl GoBackN {
         self.failed
     }
 
+    /// The retry count and current RTO packed into one flight-recorder
+    /// payload word: retries in the top 16 bits, RTO nanoseconds
+    /// (saturating at 2^48−1) below — the encoding the Chrome-trace
+    /// exporter's `retransmit` markers decode.
+    #[must_use]
+    pub fn trace_payload(&self) -> u64 {
+        const NS_MASK: u64 = (1 << 48) - 1;
+        (u64::from(self.retries) << 48) | self.rto.as_ns().min(NS_MASK)
+    }
+
     /// The deadline for a timer armed at `now`.
     #[must_use]
     pub fn deadline(&self, now: Time) -> Time {
