@@ -223,9 +223,9 @@ fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
     net.into_sim()
 }
 
-/// A 5-switch linear chain (the HOP_CAPACITY diameter) with PowerTCP, so
-/// every data packet is INT-stamped at five hops and every ACK echoes a
-/// full inline `HopList` back through the reverse path.
+/// A 5-switch linear chain (the nominal fat-tree diameter) with PowerTCP,
+/// so every data packet is INT-stamped at five hops and every ACK echoes a
+/// near-full inline `HopList` back through the reverse path.
 fn forward_chain_sim(scheme: Scheme) -> Simulation<Network> {
     let mut bld = NetworkBuilder::new(NetParams::tomahawk(scheme).without_ecn());
     let src = bld.host();

@@ -29,8 +29,8 @@ fn bench_fig05(c: &mut Criterion) {
     let base = small_base();
     g.bench_function("buffer_14_vs_30", |b| {
         b.iter(|| {
-            let lo = fig05::run_point(14, &base);
-            let hi = fig05::run_point(30, &base);
+            let lo = fig05::run_point(Scheme::Sih, 14, &base);
+            let hi = fig05::run_point(Scheme::Sih, 30, &base);
             (lo.avg_fct_ms, hi.avg_fct_ms)
         });
     });
@@ -40,16 +40,18 @@ fn bench_fig05(c: &mut Criterion) {
 fn bench_fig06(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig06_headroom_utilization");
     g.sample_size(10);
-    g.bench_function("leafspine_2x4", |b| {
-        b.iter(|| fig06::run(2, 4, Delta::from_us(500), 1).utilization.len());
-    });
+    for scheme in Scheme::ALL {
+        g.bench_function(format!("leafspine_2x4_{scheme}"), |b| {
+            b.iter(|| fig06::run(scheme, 2, 4, Delta::from_us(500), 1).utilization.len());
+        });
+    }
     g.finish();
 }
 
 fn bench_fig11(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_pfc_avoidance");
     g.sample_size(10);
-    for scheme in [Scheme::Sih, Scheme::Dsh] {
+    for scheme in Scheme::ALL {
         g.bench_function(format!("burst20pct_{scheme}"), |b| {
             b.iter(|| fig11::pause_duration(scheme, 0.20).pause_ms);
         });
@@ -129,6 +131,20 @@ fn bench_fig13x(c: &mut Criterion) {
             );
         }
     }
+    // BShare trajectory point (BENCH_PR6.json): same flap schedule under
+    // the queueing-delay-driven scheme, so its pause-threshold math
+    // leaking onto the packet path would show as an event-rate gap
+    // against the DSH number above.
+    let mut bshare_exp = fig13x::smoke_base(Scheme::BShare);
+    bshare_exp.flap_period = Some(Delta::from_us(300));
+    let mut bshare_rate = 0.0f64;
+    for _ in 0..3 {
+        let wall = std::time::Instant::now();
+        let r = fig13x::run_flap(&bshare_exp);
+        assert_eq!(r.wedged, 0);
+        bshare_rate = bshare_rate.max(r.events as f64 / wall.elapsed().as_secs_f64());
+    }
+    criterion::record_metric("fig13x_link_flap/bshare_events_per_sec", bshare_rate);
     // Engine profiler breakdown (BENCH_PR5.json): per-event-type dispatch
     // counts, plus per-class wall time under `--features profile`.
     let (_, prof) = fig13x::run_flap_profiled(&exp);

@@ -1,14 +1,16 @@
-//! Fig. 6: CDF of SIH headroom utilization at local-maximum points.
+//! Fig. 6: CDF of headroom utilization at local-maximum points, for every
+//! scheme (SIH static headroom; DSH/BShare insurance headroom).
 //!
 //! ```bash
 //! cargo run --release -p dsh-bench --bin fig06_headroom_utilization [--full] [--seed N] [--json]
 //! ```
 //!
-//! `--json` additionally prints the run's network telemetry (per-switch
-//! MMU audit, drop attribution, occupancy series, per-port pause
-//! durations) as one JSON document.
+//! `--json` additionally prints, per scheme, one JSON document with the
+//! run's network telemetry (per-switch MMU audit, drop attribution,
+//! occupancy series, per-port pause durations).
 
-use dsh_simcore::Delta;
+use dsh_core::Scheme;
+use dsh_simcore::{Delta, Json};
 
 fn main() {
     let args = dsh_bench::Args::parse();
@@ -19,21 +21,35 @@ fn run(args: &dsh_bench::Args) {
     let (full, seed) = (args.full, args.seed);
     let (leaves, hosts, horizon) =
         if full { (16, 16, Delta::from_ms(10)) } else { (4, 8, Delta::from_ms(3)) };
-    println!("Fig. 6 — headroom utilization at local maxima (SIH, DCQCN, high load)");
-    let r = dsh_bench::fig06::run(leaves, hosts, horizon, seed);
-    let cdf = &r.utilization;
-    println!("samples: {}", cdf.len());
-    for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+    println!("Fig. 6 — headroom utilization at local maxima (DCQCN, high load)");
+    let mut docs: Vec<Json> = Vec::new();
+    for scheme in Scheme::ALL {
+        let r = dsh_bench::fig06::run(scheme, leaves, hosts, horizon, seed);
+        let cdf = &r.utilization;
+        println!("[{scheme}] samples: {}", cdf.len());
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+            println!(
+                "  p{:<4} utilization = {:>6.2}%",
+                (q * 100.0) as u32,
+                cdf.quantile(q).unwrap_or(f64::NAN) * 100.0
+            );
+        }
         println!(
-            "  p{:<4} utilization = {:>6.2}%",
-            (q * 100.0) as u32,
-            cdf.quantile(q).unwrap_or(f64::NAN) * 100.0
+            "  fraction of peaks using <25% of headroom: {:.1}%",
+            cdf.fraction_at(0.25) * 100.0
         );
+        if args.json {
+            docs.push(
+                Json::object().with("scheme", scheme.to_string()).with("telemetry", r.telemetry),
+            );
+        }
     }
-    println!("  fraction of peaks using <25% of headroom: {:.1}%", cdf.fraction_at(0.25) * 100.0);
     println!();
-    println!("paper: median utilization 4.96%, p99 25.33% — headroom is mostly idle");
+    println!("paper: SIH median utilization 4.96%, p99 25.33% — headroom is mostly idle");
     if args.json {
-        println!("{}", r.telemetry);
+        let doc = Json::object()
+            .with("provenance", dsh_bench::provenance(args))
+            .with("schemes", Json::Arr(docs));
+        println!("{doc}");
     }
 }

@@ -8,6 +8,7 @@
 //! with the run's network telemetry embedded.
 
 use dsh_bench::fig11;
+use dsh_core::Scheme;
 use dsh_simcore::Json;
 
 fn main() {
@@ -22,17 +23,23 @@ fn run(args: &dsh_bench::Args) {
         vec![0.05, 0.10, 0.20, 0.30, 0.40, 0.50]
     };
     println!("Fig. 11 — PFC avoidance (pause duration vs burst size, 32-port Tomahawk)");
-    println!("{:>10} {:>14} {:>14}", "burst(%B)", "SIH pause(ms)", "DSH pause(ms)");
+    print!("{:>10}", "burst(%B)");
+    for scheme in Scheme::ALL {
+        print!(" {:>17}", format!("{scheme} pause(ms)"));
+    }
+    println!();
     let mut docs: Vec<Json> = Vec::new();
-    for ((sih, sih_tel), (dsh, dsh_tel)) in
-        fig11::sweep_pairs_with_telemetry(&points, &args.executor())
-    {
-        println!("{:>9.0}% {:>14.3} {:>14.3}", sih.burst_pct * 100.0, sih.pause_ms, dsh.pause_ms);
+    for runs in fig11::sweep_schemes_with_telemetry(&points, &args.executor()) {
+        print!("{:>9.0}%", runs[0].1.burst_pct * 100.0);
+        for (_, point, _) in &runs {
+            print!(" {:>17.3}", point.pause_ms);
+        }
+        println!();
         if args.json {
-            for (scheme, point, tel) in [("sih", sih, sih_tel), ("dsh", dsh, dsh_tel)] {
+            for (scheme, point, tel) in runs {
                 docs.push(
                     Json::object()
-                        .with("scheme", scheme)
+                        .with("scheme", scheme.to_string().to_ascii_lowercase())
                         .with("burst_pct", point.burst_pct)
                         .with("pause_ms", point.pause_ms)
                         .with("telemetry", tel),

@@ -2,15 +2,15 @@
 //!
 //! ```bash
 //! cargo run --release -p dsh-bench --bin fig13x_link_flap \
-//!     [--full] [--smoke] [--seed N] [--threads N] [--trace out.json]
+//!     [--full] [--smoke] [--json] [--seed N] [--threads N] [--trace out.json]
 //! ```
 //!
-//! `--smoke` runs one CI-sized flapped SIH/DSH pair and asserts the
-//! recovery invariants (no wedged flow, faults actually dropped frames,
-//! MMU audit clean — the audit is checked inside the run itself). With
-//! `--trace` the smoke run additionally parses the Chrome trace it just
-//! wrote and asserts it contains PFC pause spans and fault instants, so
-//! CI validates the whole tracing pipeline with one command.
+//! `--smoke` runs one CI-sized flapped run per scheme (SIH/DSH/BShare)
+//! and asserts the recovery invariants (no wedged flow, faults actually
+//! dropped frames, MMU audit clean — the audit is checked inside the run
+//! itself). With `--trace` the smoke run additionally parses the Chrome
+//! trace it just wrote and asserts it contains PFC pause spans and fault
+//! instants, so CI validates the whole tracing pipeline with one command.
 
 use dsh_bench::fig13x::{self, FlapExperiment, FlapPoint};
 use dsh_core::Scheme;
@@ -67,13 +67,13 @@ fn run(args: &dsh_bench::Args) {
         base.buffer = Some(ByteSize::mib(3));
         let points = fig13x::sweep(&[Some(Delta::from_us(300))], &base, &ex);
         let p = &points[0];
-        for (name, r) in [("SIH", &p.sih), ("DSH", &p.dsh)] {
+        for (scheme, r) in p.per_scheme() {
             println!(
-                "[smoke {name}] completed={} failed={} wedged={} link_drops={} retx={}",
+                "[smoke {scheme}] completed={} failed={} wedged={} link_drops={} retx={}",
                 r.completed, r.failed, r.wedged, r.link_drops, r.retransmissions
             );
-            assert_eq!(r.wedged, 0, "{name}: a flow wedged under flaps");
-            assert!(r.link_drops > 0, "{name}: flap run lost no frames — fault path idle");
+            assert_eq!(r.wedged, 0, "{scheme}: a flow wedged under flaps");
+            assert!(r.link_drops > 0, "{scheme}: flap run lost no frames — fault path idle");
         }
         println!("smoke OK");
         return;
@@ -95,37 +95,49 @@ fn run(args: &dsh_bench::Args) {
 
     println!("Fig. 13x — cross-rack FCT under leaf–spine uplink flaps (DCQCN, 60us outages)");
     println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "period_us",
-        "SIH p50x",
-        "DSH p50x",
-        "SIH drops",
-        "DSH drops",
-        "SIH retx",
-        "DSH retx",
-        "SIH c/f",
-        "DSH c/f"
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "period_us", "scheme", "p50x", "drops", "retx", "c/f"
     );
     let points = fig13x::sweep(&periods, &base, &ex);
     let baseline = points[0];
+    let mut docs: Vec<Json> = Vec::new();
     for p in &points {
         let period =
             p.period.map_or_else(|| "none".to_string(), |d| d.as_ns().div_euclid(1000).to_string());
-        println!(
-            "{:>10} {:>10.3} {:>10.3} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-            period,
-            FlapPoint::slowdown(&p.sih, &baseline.sih).unwrap_or(f64::NAN),
-            FlapPoint::slowdown(&p.dsh, &baseline.dsh).unwrap_or(f64::NAN),
-            p.sih.link_drops,
-            p.dsh.link_drops,
-            p.sih.retransmissions,
-            p.dsh.retransmissions,
-            format!("{}/{}", p.sih.completed, p.sih.failed),
-            format!("{}/{}", p.dsh.completed, p.dsh.failed),
-        );
-        assert_eq!(p.sih.wedged + p.dsh.wedged, 0, "wedged flows under flaps");
+        for ((scheme, r), (_, base_r)) in p.per_scheme().into_iter().zip(baseline.per_scheme()) {
+            let slowdown = FlapPoint::slowdown(r, base_r);
+            println!(
+                "{:>10} {:>8} {:>8.3} {:>8} {:>8} {:>8}",
+                period,
+                scheme.to_string(),
+                slowdown.unwrap_or(f64::NAN),
+                r.link_drops,
+                r.retransmissions,
+                format!("{}/{}", r.completed, r.failed),
+            );
+            assert_eq!(r.wedged, 0, "{scheme}: wedged flows under flaps");
+            if args.json {
+                docs.push(
+                    Json::object()
+                        .with("scheme", scheme.to_string().to_ascii_lowercase())
+                        .with("period_us", p.period.map_or(0, |d| d.as_ns().div_euclid(1000)))
+                        .with("slowdown", slowdown.unwrap_or(f64::NAN))
+                        .with("link_drops", r.link_drops)
+                        .with("retransmissions", r.retransmissions)
+                        .with("completed", r.completed as u64)
+                        .with("failed", r.failed)
+                        .with("events", r.events),
+                );
+            }
+        }
     }
     println!();
     println!("p50x = p50 FCT normalized to the fault-free baseline of the same scheme;");
     println!("c/f = completed/failed flows. Every lost frame is recovered by go-back-N.");
+    if args.json {
+        let doc = Json::object()
+            .with("provenance", dsh_bench::provenance(args))
+            .with("points", Json::Arr(docs));
+        println!("{doc}");
+    }
 }

@@ -5,6 +5,8 @@
 //! ```
 
 use dsh_bench::theory;
+use dsh_core::headroom::{eta, sonic_headroom};
+use dsh_simcore::{Bandwidth, Delta};
 
 fn main() {
     let args = dsh_bench::Args::parse();
@@ -33,4 +35,16 @@ fn run() {
     }
     println!();
     println!("remark check: DSH columns are constant in Nq; SIH shrinks as Nq grows");
+
+    // Headroom-source cross-check: SONiC's per-port formula
+    // 2·C·D_cable + 2·MTU + C·t_peer equals the paper's Eq. 1 exactly when
+    // the peer-response allowance C·t_peer matches Eq. 1's fixed
+    // 3840-byte PFC processing term (307.2 ns at 100 Gb/s).
+    println!();
+    println!("headroom-source check: SONiC formula vs Eq. 1 (100G, 2us cable, 1500B MTU)");
+    let (cap, cable, mtu) = (Bandwidth::from_gbps(100), Delta::from_us(2), 1500);
+    let paper = eta(cap, cable, mtu);
+    let sonic = sonic_headroom(cap, cable, mtu, Delta::from_ps(307_200));
+    println!("  Eq. 1: {paper}   SONiC(t_peer=307.2ns): {sonic}");
+    assert_eq!(paper, sonic, "SONiC headroom must reduce to Eq. 1 at t_peer = 3840B/C");
 }

@@ -1,5 +1,7 @@
 //! Fig. 5: average FCT vs switch buffer size (motivation §III-A) —
-//! PowerTCP, web search at 0.9 total load, leaf–spine.
+//! PowerTCP, web search at 0.9 total load, leaf–spine. The paper plots
+//! SIH only (the figure motivates DSH); the harness sweeps every scheme
+//! so the same pipeline compares SIH/DSH/BShare curves.
 
 use crate::fabric::{run_fct, FctExperiment};
 use dsh_core::Scheme;
@@ -17,15 +19,11 @@ pub struct Fig5Point {
     pub completed: usize,
 }
 
-/// Runs one buffer size under SIH (the motivation figure predates DSH).
+/// Runs one buffer size under one scheme.
 #[must_use]
-pub fn run_point(buffer_mib: u64, base: &FctExperiment) -> Fig5Point {
-    let exp = FctExperiment {
-        scheme: Scheme::Sih,
-        cc: CcKind::PowerTcp,
-        buffer: ByteSize::mib(buffer_mib),
-        ..*base
-    };
+pub fn run_point(scheme: Scheme, buffer_mib: u64, base: &FctExperiment) -> Fig5Point {
+    let exp =
+        FctExperiment { scheme, cc: CcKind::PowerTcp, buffer: ByteSize::mib(buffer_mib), ..*base };
     let r = run_fct(&exp);
     Fig5Point {
         buffer_mib,
@@ -34,8 +32,30 @@ pub fn run_point(buffer_mib: u64, base: &FctExperiment) -> Fig5Point {
     }
 }
 
-/// Sweeps the paper's buffer sizes (14–30 MB) on the pool.
+/// Sweeps the paper's buffer sizes (14–30 MB) for one scheme on the pool.
 #[must_use]
-pub fn sweep(buffers_mib: &[u64], base: &FctExperiment, ex: &Executor) -> Vec<Fig5Point> {
-    ex.par_map(buffers_mib.to_vec(), |b| run_point(b, base))
+pub fn sweep(
+    scheme: Scheme,
+    buffers_mib: &[u64],
+    base: &FctExperiment,
+    ex: &Executor,
+) -> Vec<Fig5Point> {
+    ex.par_map(buffers_mib.to_vec(), |b| run_point(scheme, b, base))
+}
+
+/// Sweeps the full scheme × buffer grid on the pool; one curve per
+/// scheme, in [`Scheme::ALL`] order.
+#[must_use]
+pub fn sweep_schemes(
+    buffers_mib: &[u64],
+    base: &FctExperiment,
+    ex: &Executor,
+) -> Vec<(Scheme, Vec<Fig5Point>)> {
+    let grid: Vec<(Scheme, u64)> =
+        Scheme::ALL.iter().flat_map(|&s| buffers_mib.iter().map(move |&b| (s, b))).collect();
+    let mut runs = ex.par_map(grid, |(s, b)| run_point(s, b, base)).into_iter();
+    Scheme::ALL
+        .iter()
+        .map(|&s| (s, buffers_mib.iter().map(|_| runs.next().expect("full grid")).collect()))
+        .collect()
 }

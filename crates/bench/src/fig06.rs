@@ -1,6 +1,9 @@
-//! Fig. 6: CDF of SIH headroom utilization at local-maximum points, under
+//! Fig. 6: CDF of headroom utilization at local-maximum points, under
 //! DCQCN at high load (motivation §III-B: "75% of headroom keeps unused
-//! 99% of the time").
+//! 99% of the time"). The paper measures SIH's static headroom; the same
+//! pipeline also measures DSH/BShare insurance-headroom utilization, so
+//! the three schemes' reserved-but-idle fractions are directly
+//! comparable.
 
 use crate::fabric::FAN_IN_CLASS;
 use dsh_analysis::stats::Cdf;
@@ -21,11 +24,19 @@ pub struct Fig6Result {
     pub telemetry: dsh_simcore::Json,
 }
 
-/// Runs the headroom-utilization experiment on a leaf–spine under SIH +
-/// DCQCN; `hosts_per_leaf`/`leaves` and `horizon` control scale.
+/// Runs the headroom-utilization experiment on a leaf–spine under DCQCN;
+/// `hosts_per_leaf`/`leaves` and `horizon` control scale. Utilization is
+/// measured against the scheme's own reservation: `N_q·η` per port for
+/// SIH, the insurance `η` per port for DSH/BShare.
 #[must_use]
-pub fn run(leaves: usize, hosts_per_leaf: usize, horizon: Delta, seed: u64) -> Fig6Result {
-    let params = NetParams::tomahawk(Scheme::Sih).with_seed(seed);
+pub fn run(
+    scheme: Scheme,
+    leaves: usize,
+    hosts_per_leaf: usize,
+    horizon: Delta,
+    seed: u64,
+) -> Fig6Result {
+    let params = NetParams::tomahawk(scheme).with_seed(seed);
     let ls = leaf_spine(
         params,
         LeafSpineShape {
@@ -78,15 +89,19 @@ pub fn run(leaves: usize, hosts_per_leaf: usize, horizon: Delta, seed: u64) -> F
     let telemetry = net.telemetry_report(end).to_json();
 
     // Utilization of a port's headroom at each local maximum: occupancy
-    // divided by the port's total SIH allocation (N_q · η for that port).
+    // divided by the port's reservation — N_q · η for SIH's static
+    // headroom, η for DSH/BShare's per-port insurance.
+    let alloc = match scheme {
+        // All ports here are 100G/2us: eta = 56840, 7 lossless queues.
+        Scheme::Sih => 7.0 * 56_840.0,
+        Scheme::Dsh | Scheme::BShare => 56_840.0,
+    };
     let mut samples = Vec::new();
     for (node, per_port) in net.take_headroom_peaks() {
         let _ = node;
         for (port, peaks) in per_port.into_iter().enumerate() {
             let _ = port;
             for peak in peaks {
-                // All ports here are 100G/2us: eta = 56840, 7 queues.
-                let alloc = 7.0 * 56_840.0;
                 samples.push((peak as f64 / alloc).min(1.0));
             }
         }

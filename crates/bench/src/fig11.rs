@@ -91,25 +91,25 @@ pub fn sweep(scheme: Scheme, points: &[f64], ex: &Executor) -> Vec<Fig11Point> {
     ex.par_map(points.to_vec(), |p| pause_duration(scheme, p))
 }
 
-/// Runs the SIH/DSH pair for every burst size on the pool, with each
-/// run's telemetry; result is one `(sih, dsh)` tuple per point, in input
-/// order.
+/// Runs every scheme for every burst size on the pool, with each run's
+/// telemetry; result is one `Vec` per point with [`Scheme::ALL`]-order
+/// entries, in input point order.
 #[must_use]
-pub fn sweep_pairs_with_telemetry(
+pub fn sweep_schemes_with_telemetry(
     points: &[f64],
     ex: &Executor,
-) -> Vec<((Fig11Point, dsh_simcore::Json), (Fig11Point, dsh_simcore::Json))> {
+) -> Vec<Vec<(Scheme, Fig11Point, dsh_simcore::Json)>> {
     let grid: Vec<(Scheme, f64)> =
-        points.iter().flat_map(|&p| [(Scheme::Sih, p), (Scheme::Dsh, p)]).collect();
-    let mut runs =
-        ex.par_map(grid, |(scheme, p)| pause_duration_with_telemetry(scheme, p)).into_iter();
+        points.iter().flat_map(|&p| Scheme::ALL.map(|scheme| (scheme, p))).collect();
+    let mut runs = ex
+        .par_map(grid, |(scheme, p)| {
+            let (point, tel) = pause_duration_with_telemetry(scheme, p);
+            (scheme, point, tel)
+        })
+        .into_iter();
     points
         .iter()
-        .map(|_| {
-            let sih = runs.next().expect("one SIH run per point");
-            let dsh = runs.next().expect("one DSH run per point");
-            (sih, dsh)
-        })
+        .map(|_| Scheme::ALL.iter().map(|_| runs.next().expect("full grid")).collect())
         .collect()
 }
 

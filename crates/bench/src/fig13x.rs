@@ -7,8 +7,9 @@
 //! PFC pause ledger and reroutes via the surviving spine; the NICs' go-
 //! back-N recovery retransmits what was lost. The sweep reports FCT
 //! slowdown versus the fault-free baseline, retransmissions and drops for
-//! SIH and DSH — demonstrating that headroom accounting stays sound (MMU
-//! audit clean, zero admission drops) across arbitrary flap schedules.
+//! every scheme (SIH/DSH/BShare) — demonstrating that headroom accounting
+//! stays sound (MMU audit clean, zero admission drops) across arbitrary
+//! flap schedules.
 
 use dsh_analysis::fct::FctSummary;
 use dsh_core::Scheme;
@@ -193,7 +194,7 @@ fn run_flap_inner(exp: &FlapExperiment, profile: Option<&mut EngineProfile>) -> 
     }
 }
 
-/// One sweep row: a flap period with its SIH and DSH outcomes.
+/// One sweep row: a flap period with one outcome per scheme.
 #[derive(Clone, Copy, Debug)]
 pub struct FlapPoint {
     /// Flap period (`None` = fault-free baseline).
@@ -202,6 +203,8 @@ pub struct FlapPoint {
     pub sih: FlapResult,
     /// DSH outcome.
     pub dsh: FlapResult,
+    /// BShare outcome.
+    pub bshare: FlapResult,
 }
 
 impl FlapPoint {
@@ -210,21 +213,22 @@ impl FlapPoint {
     pub fn slowdown(r: &FlapResult, baseline: &FlapResult) -> Option<f64> {
         Some(r.fct?.p50_secs / baseline.fct?.p50_secs)
     }
+
+    /// The point's outcomes keyed by scheme, in [`Scheme::ALL`] order.
+    #[must_use]
+    pub fn per_scheme(&self) -> [(Scheme, &FlapResult); 3] {
+        [(Scheme::Sih, &self.sih), (Scheme::Dsh, &self.dsh), (Scheme::BShare, &self.bshare)]
+    }
 }
 
-/// Sweeps flap periods × {SIH, DSH} on the pool. `periods` should start
-/// with `None` so callers can normalize against the fault-free baseline.
+/// Sweeps flap periods × [`Scheme::ALL`] on the pool. `periods` should
+/// start with `None` so callers can normalize against the fault-free
+/// baseline.
 #[must_use]
 pub fn sweep(periods: &[Option<Delta>], base: &FlapExperiment, ex: &Executor) -> Vec<FlapPoint> {
     let grid: Vec<FlapExperiment> = periods
         .iter()
-        .flat_map(|&p| {
-            [Scheme::Sih, Scheme::Dsh].map(|scheme| FlapExperiment {
-                scheme,
-                flap_period: p,
-                ..*base
-            })
-        })
+        .flat_map(|&p| Scheme::ALL.map(|scheme| FlapExperiment { scheme, flap_period: p, ..*base }))
         .collect();
     let mut results = ex.par_map(grid, |exp| run_flap(&exp)).into_iter();
     periods
@@ -232,7 +236,8 @@ pub fn sweep(periods: &[Option<Delta>], base: &FlapExperiment, ex: &Executor) ->
         .map(|&period| {
             let sih = results.next().expect("one SIH result per period");
             let dsh = results.next().expect("one DSH result per period");
-            FlapPoint { period, sih, dsh }
+            let bshare = results.next().expect("one BShare result per period");
+            FlapPoint { period, sih, dsh, bshare }
         })
         .collect()
 }

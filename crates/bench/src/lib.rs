@@ -57,20 +57,48 @@ pub struct Args {
     pub trace: Option<String>,
 }
 
+/// Usage text printed (to stderr) when argument parsing fails.
+pub const USAGE: &str = "\
+usage: <figure-binary> [OPTIONS]
+  --full          run at paper scale instead of the laptop-scale default
+  --json          also print structured telemetry as one JSON document
+  --smoke         CI-sized single-point run with hard assertions
+  --seed N        RNG seed (unsigned integer, default 1)
+  --threads N     worker pool width (0 = auto; DSH_THREADS fallback)
+  --trace PATH    write a Chrome trace_event JSON document to PATH";
+
 impl Args {
     /// Parses the process argv, with `DSH_THREADS` as the `--threads`
-    /// fallback.
+    /// fallback. Invalid arguments print the error and [`USAGE`] to
+    /// stderr and exit with status 2 — a typo'd flag or value must never
+    /// silently run with defaults.
     #[must_use]
     pub fn parse() -> Args {
-        Args::from_iter(
+        let parsed = Args::from_iter(
             std::env::args().skip(1),
             exec::threads_from(std::env::var(exec::THREADS_ENV).ok().as_deref()),
-        )
+        );
+        match parsed {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses an explicit token stream (testable core of [`Args::parse`]).
-    /// Unknown tokens are ignored, matching the old per-flag scanners.
-    fn from_iter<I: IntoIterator<Item = String>>(argv: I, env_threads: Option<usize>) -> Args {
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on unknown tokens, missing operands (`--seed`,
+    /// `--threads`, `--trace` all take one) and unparseable values —
+    /// the old scanner silently kept defaults, so `--seed abc` ran with
+    /// seed 1 and `--trace` as the last token produced no trace at all.
+    fn from_iter<I: IntoIterator<Item = String>>(
+        argv: I,
+        env_threads: Option<usize>,
+    ) -> Result<Args, String> {
         let mut args = Args {
             full: false,
             json: false,
@@ -85,21 +113,20 @@ impl Args {
                 "--full" => args.full = true,
                 "--json" => args.json = true,
                 "--smoke" => args.smoke = true,
-                "--seed" => {
-                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                        args.seed = v;
+                "--seed" => args.seed = parse_value(&tok, it.next())?,
+                "--threads" => args.threads = parse_value(&tok, it.next())?,
+                "--trace" => {
+                    let path =
+                        it.next().ok_or_else(|| "--trace requires a PATH operand".to_string())?;
+                    if path.starts_with("--") {
+                        return Err(format!("--trace requires a PATH operand, got flag '{path}'"));
                     }
+                    args.trace = Some(path);
                 }
-                "--threads" => {
-                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
-                        args.threads = v;
-                    }
-                }
-                "--trace" => args.trace = it.next(),
-                _ => {}
+                other => return Err(format!("unknown argument '{other}'")),
             }
         }
-        args
+        Ok(args)
     }
 
     /// The worker pool the sweeps should run on.
@@ -107,6 +134,13 @@ impl Args {
     pub fn executor(&self) -> Executor {
         Executor::new(self.threads)
     }
+}
+
+/// Parses the operand of a value-taking flag, failing on a missing or
+/// unparseable operand.
+fn parse_value<T: std::str::FromStr>(flag: &str, operand: Option<String>) -> Result<T, String> {
+    let v = operand.ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse().map_err(|_| format!("invalid value for {flag}: '{v}' (expected unsigned integer)"))
 }
 
 /// The provenance header embedded in every JSON artifact the harness
@@ -155,7 +189,7 @@ mod tests {
 
     #[test]
     fn defaults_when_no_flags() {
-        let a = Args::from_iter(argv(&[]), None);
+        let a = Args::from_iter(argv(&[]), None).unwrap();
         assert_eq!(
             a,
             Args { full: false, json: false, smoke: false, seed: 1, threads: 0, trace: None }
@@ -177,7 +211,8 @@ mod tests {
                 "t.json",
             ]),
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(
             a,
             Args {
@@ -193,13 +228,48 @@ mod tests {
 
     #[test]
     fn threads_flag_overrides_env_fallback() {
-        assert_eq!(Args::from_iter(argv(&[]), Some(2)).threads, 2);
-        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2)).threads, 5);
+        assert_eq!(Args::from_iter(argv(&[]), Some(2)).unwrap().threads, 2);
+        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2)).unwrap().threads, 5);
     }
 
     #[test]
-    fn malformed_values_keep_defaults() {
-        let a = Args::from_iter(argv(&["--seed", "x", "--threads"]), None);
-        assert_eq!((a.seed, a.threads), (1, 0));
+    fn typod_flags_are_rejected() {
+        let e = Args::from_iter(argv(&["--sed", "9"]), None).unwrap_err();
+        assert!(e.contains("unknown argument '--sed'"), "{e}");
+        let e = Args::from_iter(argv(&["--bogus"]), None).unwrap_err();
+        assert!(e.contains("--bogus"), "{e}");
+        // Bare operands are unknown tokens too.
+        let e = Args::from_iter(argv(&["full"]), None).unwrap_err();
+        assert!(e.contains("unknown argument 'full'"), "{e}");
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        let e = Args::from_iter(argv(&["--seed", "abc"]), None).unwrap_err();
+        assert!(e.contains("invalid value for --seed: 'abc'"), "{e}");
+        let e = Args::from_iter(argv(&["--threads", "-1"]), None).unwrap_err();
+        assert!(e.contains("invalid value for --threads"), "{e}");
+    }
+
+    #[test]
+    fn missing_operands_are_rejected() {
+        let e = Args::from_iter(argv(&["--seed"]), None).unwrap_err();
+        assert!(e.contains("--seed requires a value"), "{e}");
+        let e = Args::from_iter(argv(&["--threads"]), None).unwrap_err();
+        assert!(e.contains("--threads requires a value"), "{e}");
+        // The original bug: `--trace` as the last token silently produced
+        // an untraced run.
+        let e = Args::from_iter(argv(&["--trace"]), None).unwrap_err();
+        assert!(e.contains("--trace requires a PATH"), "{e}");
+        // A following flag is not a PATH either.
+        let e = Args::from_iter(argv(&["--trace", "--json"]), None).unwrap_err();
+        assert!(e.contains("--trace requires a PATH"), "{e}");
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        for flag in ["--full", "--json", "--smoke", "--seed", "--threads", "--trace"] {
+            assert!(USAGE.contains(flag), "usage must list {flag}");
+        }
     }
 }

@@ -18,7 +18,7 @@ fn micro_base() -> FctExperiment {
 
 #[test]
 fn fct_pipeline_runs_for_all_scheme_transport_combinations() {
-    for scheme in [Scheme::Sih, Scheme::Dsh] {
+    for scheme in Scheme::ALL {
         for cc in [CcKind::Dcqcn, CcKind::PowerTcp] {
             let exp = FctExperiment { scheme, cc, ..micro_base() };
             let r = run_fct(&exp);
@@ -80,8 +80,8 @@ fn fig15_fat_tree_variant_runs() {
 #[test]
 fn fig05_fct_improves_with_more_buffer() {
     let base = micro_base();
-    let lo = fig05::run_point(14, &base);
-    let hi = fig05::run_point(30, &base);
+    let lo = fig05::run_point(Scheme::Sih, 14, &base);
+    let hi = fig05::run_point(Scheme::Sih, 30, &base);
     assert!(lo.completed > 0 && hi.completed > 0);
     // With a scaled-down run the gap is noisy but the ordering must hold:
     // less buffer can never make average FCT better than +5% of the big
@@ -97,7 +97,7 @@ fn fig05_fct_improves_with_more_buffer() {
 #[test]
 fn fig06_utilization_is_low() {
     // Needs enough hosts that fan-in backlogs reach the headroom region.
-    let r = fig06::run(4, 8, Delta::from_ms(1), 3);
+    let r = fig06::run(Scheme::Sih, 4, 8, Delta::from_ms(1), 3);
     let cdf = &r.utilization;
     assert!(cdf.len() > 10, "need headroom-peak samples, got {}", cdf.len());
     let med = cdf.quantile(0.5).unwrap();

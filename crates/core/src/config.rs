@@ -11,6 +11,17 @@ pub enum Scheme {
     Sih,
     /// Dynamic and Shared Headroom — the paper's contribution (§IV).
     Dsh,
+    /// BShare's queueing-delay-driven sharing (arxiv 2605.24178): DSH's
+    /// admission and insurance machinery, with the queue pause threshold
+    /// additionally capped at `drain_rate × delay_target` so slow-draining
+    /// queues pause before they build deep standing queues.
+    BShare,
+}
+
+impl Scheme {
+    /// Every scheme, in sweep order (SIH first, matching the paper's
+    /// baseline-then-contribution presentation).
+    pub const ALL: [Scheme; 3] = [Scheme::Sih, Scheme::Dsh, Scheme::BShare];
 }
 
 impl std::fmt::Display for Scheme {
@@ -18,6 +29,7 @@ impl std::fmt::Display for Scheme {
         f.write_str(match self {
             Scheme::Sih => "SIH",
             Scheme::Dsh => "DSH",
+            Scheme::BShare => "BShare",
         })
     }
 }
@@ -60,6 +72,10 @@ pub struct MmuConfig {
     /// `T(t) − η`. **Not lossless** — exists to demonstrate why the
     /// insurance headroom is necessary (DESIGN.md ablations).
     pub dsh_port_fc: bool,
+    /// BShare only: target per-packet queueing delay. The queue pause
+    /// threshold is capped at `drain_rate × bshare_delay_target`; SIH and
+    /// DSH ignore this field.
+    pub bshare_delay_target: Delta,
 }
 
 impl MmuConfig {
@@ -108,8 +124,8 @@ impl MmuConfig {
         let per_port_sum: u64 = (0..self.num_ports).map(|p| self.eta_for(p).as_u64()).sum();
         match self.scheme {
             Scheme::Sih => ByteSize::bytes(self.queues_per_port as u64 * per_port_sum),
-            Scheme::Dsh if self.dsh_port_fc => ByteSize::bytes(per_port_sum),
-            Scheme::Dsh => ByteSize::ZERO,
+            Scheme::Dsh | Scheme::BShare if self.dsh_port_fc => ByteSize::bytes(per_port_sum),
+            Scheme::Dsh | Scheme::BShare => ByteSize::ZERO,
         }
     }
 
@@ -164,6 +180,9 @@ impl MmuConfig {
                 return Err("per-port eta must be positive".into());
             }
         }
+        if self.scheme == Scheme::BShare && self.bshare_delay_target.as_ns() == 0 {
+            return Err("BShare requires a positive bshare_delay_target".into());
+        }
         if self.shared_size().as_u64() == 0 {
             return Err(format!(
                 "no shared buffer left: total={} private={} reserved headroom={}",
@@ -190,6 +209,7 @@ pub struct MmuConfigBuilder {
     resume_delta_queue: ByteSize,
     resume_delta_port: ByteSize,
     dsh_port_fc: bool,
+    bshare_delay_target: Delta,
 }
 
 impl Default for MmuConfigBuilder {
@@ -206,6 +226,7 @@ impl Default for MmuConfigBuilder {
             resume_delta_queue: ByteSize::ZERO,
             resume_delta_port: ByteSize::ZERO,
             dsh_port_fc: true,
+            bshare_delay_target: Delta::from_us(20),
         }
     }
 }
@@ -290,6 +311,13 @@ impl MmuConfigBuilder {
         self
     }
 
+    /// Sets BShare's target per-packet queueing delay (ignored by SIH and
+    /// DSH).
+    pub fn bshare_delay_target(&mut self, d: Delta) -> &mut Self {
+        self.bshare_delay_target = d;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -320,6 +348,7 @@ impl MmuConfigBuilder {
             resume_delta_queue: self.resume_delta_queue,
             resume_delta_port: self.resume_delta_port,
             dsh_port_fc: self.dsh_port_fc,
+            bshare_delay_target: self.bshare_delay_target,
         };
         cfg.validate()?;
         Ok(cfg)
@@ -380,5 +409,24 @@ mod tests {
     fn scheme_display() {
         assert_eq!(Scheme::Sih.to_string(), "SIH");
         assert_eq!(Scheme::Dsh.to_string(), "DSH");
+        assert_eq!(Scheme::BShare.to_string(), "BShare");
+    }
+
+    #[test]
+    fn bshare_shares_dsh_buffer_partitioning() {
+        let dsh = MmuConfig::tomahawk(Scheme::Dsh);
+        let bsh = MmuConfig::tomahawk(Scheme::BShare);
+        assert_eq!(bsh.reserved_headroom(), dsh.reserved_headroom());
+        assert_eq!(bsh.shared_size(), dsh.shared_size());
+        assert_eq!(bsh.bshare_delay_target, Delta::from_us(20));
+    }
+
+    #[test]
+    fn bshare_requires_positive_delay_target() {
+        assert!(MmuConfig::builder()
+            .scheme(Scheme::BShare)
+            .bshare_delay_target(Delta::from_ns(0))
+            .try_build()
+            .is_err());
     }
 }

@@ -31,6 +31,37 @@ pub fn eta(capacity: Bandwidth, prop_delay: Delta, mtu_bytes: u64) -> ByteSize {
     ByteSize::bytes(2 * (in_flight + mtu_bytes) + PFC_PROCESSING_BYTES)
 }
 
+/// SONiC BufferManager's per-queue headroom formula: the operator
+/// configures link speed, cable length, MTU and the peer's response time,
+/// and the daemon derives
+/// `η = 2·C·D_cable + 2·L_MTU + C·t_peer`.
+///
+/// Structurally identical to Eq. 1, except the peer response allowance is
+/// an explicit time knob (`C·t_peer` bytes) instead of the standard's
+/// fixed worst-case 3840 B. The two formulas agree exactly when
+/// `C·t_peer = 3840 B` — 307.2 ns at 100 Gb/s:
+///
+/// ```
+/// use dsh_core::headroom::{eta, sonic_headroom};
+/// use dsh_simcore::{Bandwidth, Delta};
+///
+/// let c = Bandwidth::from_gbps(100);
+/// let d = Delta::from_us(2);
+/// let sonic = sonic_headroom(c, d, 1500, Delta::from_ps(307_200));
+/// assert_eq!(sonic, eta(c, d, 1500));
+/// ```
+#[must_use]
+pub fn sonic_headroom(
+    capacity: Bandwidth,
+    cable_delay: Delta,
+    mtu_bytes: u64,
+    peer_response: Delta,
+) -> ByteSize {
+    let in_flight = capacity.bytes_in(cable_delay);
+    let peer_bytes = capacity.bytes_in(peer_response);
+    ByteSize::bytes(2 * (in_flight + mtu_bytes) + peer_bytes)
+}
+
 /// Total headroom reserved by SIH — Eq. (3): `h = N_p · N_q · η`.
 ///
 /// `N_q` counts the *lossless* queues per port (the paper reserves one of

@@ -15,7 +15,15 @@
 //!   folded into the shared pool and allocated on demand — queue-level pause
 //!   at `X_qoff = T(t) − η` (Eq. 5), port-level pause at `X_poff = N_q·T(t)`
 //!   (Eq. 6) backed by a small per-port *insurance headroom* `η` (Eq. 4)
-//!   that guarantees losslessness under any circumstances.
+//!   that guarantees losslessness under any circumstances;
+//! * **BShare**'s queueing-delay-driven sharing (arxiv 2605.24178): DSH's
+//!   admission and insurance machinery with the queue pause threshold
+//!   additionally capped at `drain_rate × delay_target`, pausing
+//!   slow-draining queues before they build deep standing queues.
+//!
+//! Schemes are pluggable: policy lives behind the [`MmuScheme`] trait
+//! (statically dispatched via [`SchemeImpl`], so the hot path stays
+//! allocation-free) while [`Mmu`]/[`MmuCore`] own the mechanism.
 //!
 //! The MMU is driven by two calls — [`Mmu::on_arrival`] and
 //! [`Mmu::on_departure`] — and answers with buffer-region placement and
@@ -27,6 +35,7 @@
 //!
 //! ```
 //! use dsh_core::{FcAction, Mmu, MmuConfig, Scheme};
+//! use dsh_simcore::Time;
 //!
 //! // A Broadcom Tomahawk-like chip (32x100G, 16 MB), running DSH.
 //! let cfg = MmuConfig::tomahawk(Scheme::Dsh);
@@ -35,7 +44,7 @@
 //! // Blast one ingress queue until it asks us to pause the upstream.
 //! let mut paused = false;
 //! for _ in 0..10_000 {
-//!     let outcome = mmu.on_arrival(0, 0, 1500);
+//!     let outcome = mmu.on_arrival(0, 0, 1500, Time::ZERO);
 //!     assert!(outcome.region.is_some(), "lossless switch must not drop");
 //!     if outcome.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
 //!         paused = true;
@@ -55,9 +64,11 @@ mod config;
 mod dt;
 pub mod headroom;
 mod mmu;
+mod scheme;
 
 pub use action::{DropReason, FcAction, FcActions, Outcome, Region};
 pub use audit::{AuditReport, AuditViolation};
 pub use config::{MmuConfig, MmuConfigBuilder, Scheme};
 pub use dt::DtThreshold;
-pub use mmu::{DropAttribution, Mmu, MmuStats, OccupancySnapshot, PortDrops};
+pub use mmu::{DropAttribution, Mmu, MmuCore, MmuStats, OccupancySnapshot, PortDrops};
+pub use scheme::{BShareScheme, DshScheme, MmuScheme, SchemeImpl, SihScheme};

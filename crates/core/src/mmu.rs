@@ -1,44 +1,50 @@
 //! The Memory Management Unit: ingress admission, buffer accounting and
-//! PFC flow-control decisions for SIH and DSH.
+//! PFC flow-control decisions.
+//!
+//! The MMU is split in two: [`MmuCore`] owns the mechanism (byte counters,
+//! pause flags, statistics, trace emission) and the [`Mmu`] facade drives
+//! it through a pluggable [`crate::MmuScheme`] policy (SIH, DSH or
+//! BShare), dispatched statically via [`crate::SchemeImpl`].
 
-use crate::action::{DropReason, FcAction, FcActions, Outcome, Region};
+use crate::action::{FcAction, FcActions, Outcome, Region};
 use crate::audit::{AuditReport, AuditViolation};
 use crate::config::{MmuConfig, Scheme};
 use crate::dt::DtThreshold;
+use crate::scheme::{MmuScheme, SchemeImpl};
 use dsh_simcore::trace::{TraceEvent, Tracer};
-use dsh_simcore::trace_event;
+use dsh_simcore::{trace_event, Time};
 
 /// Per-ingress-queue accounting and PFC state.
 #[derive(Clone, Copy, Debug, Default)]
-struct QueueState {
+pub(crate) struct QueueState {
     /// Bytes in the private segment (≤ φ).
-    private: u64,
+    pub(crate) private: u64,
     /// Bytes in the shared segment (`w_ij`).
-    shared: u64,
+    pub(crate) shared: u64,
     /// SIH only: bytes in this queue's static headroom (≤ η).
-    headroom: u64,
+    pub(crate) headroom: u64,
     /// `true` = QOFF (upstream paused for this priority).
-    paused: bool,
+    pub(crate) paused: bool,
 }
 
-/// Per-ingress-port accounting and PFC state (DSH).
+/// Per-ingress-port accounting and PFC state (DSH/BShare).
 #[derive(Clone, Copy, Debug, Default)]
-struct PortState {
+pub(crate) struct PortState {
     /// Sum of `shared` over this port's queues.
-    shared_sum: u64,
-    /// DSH only: bytes in this port's insurance headroom (≤ η).
-    insurance: u64,
+    pub(crate) shared_sum: u64,
+    /// DSH/BShare only: bytes in this port's insurance headroom (≤ η).
+    pub(crate) insurance: u64,
     /// `true` = POFF (upstream fully paused).
-    paused: bool,
+    pub(crate) paused: bool,
 }
 
 /// Tracks local maxima of a byte counter (used for the paper's Fig. 6
 /// headroom-utilization analysis).
 #[derive(Clone, Debug, Default)]
-struct PeakTracker {
-    current: u64,
-    rising: bool,
-    peaks: Vec<u64>,
+pub(crate) struct PeakTracker {
+    pub(crate) current: u64,
+    pub(crate) rising: bool,
+    pub(crate) peaks: Vec<u64>,
 }
 
 impl PeakTracker {
@@ -142,38 +148,34 @@ pub struct OccupancySnapshot {
     pub paused_ports: usize,
 }
 
-/// The lossless-pool MMU of one switch.
+/// The scheme-independent mechanism of a lossless-pool MMU: region byte
+/// counters, pause-flag flips, statistics, drop attribution and trace
+/// emission.
 ///
-/// See the [crate documentation](crate) for the model; drive it with
-/// [`Mmu::on_arrival`] / [`Mmu::on_departure`].
+/// An [`crate::MmuScheme`] drives this through the charge/release and
+/// pause/resume helpers; the [`Mmu`] facade owns one `MmuCore` plus the
+/// scheme and exposes the public API.
 #[derive(Clone, Debug)]
-pub struct Mmu {
-    cfg: MmuConfig,
-    dt: DtThreshold,
-    queues: Vec<QueueState>,
-    ports: Vec<PortState>,
-    total_shared: u64,
-    headroom_peaks: Vec<PeakTracker>,
-    stats: MmuStats,
-    attribution: DropAttribution,
-    port_drops: Vec<PortDrops>,
-    tracer: Tracer,
-    trace_node: u32,
+pub struct MmuCore {
+    pub(crate) cfg: MmuConfig,
+    pub(crate) dt: DtThreshold,
+    pub(crate) queues: Vec<QueueState>,
+    pub(crate) ports: Vec<PortState>,
+    pub(crate) total_shared: u64,
+    pub(crate) headroom_peaks: Vec<PeakTracker>,
+    pub(crate) stats: MmuStats,
+    pub(crate) attribution: DropAttribution,
+    pub(crate) port_drops: Vec<PortDrops>,
+    pub(crate) tracer: Tracer,
+    pub(crate) trace_node: u32,
 }
 
-impl Mmu {
-    /// Creates an MMU with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see [`MmuConfig::validate`]).
-    #[must_use]
-    pub fn new(cfg: MmuConfig) -> Self {
-        cfg.validate().expect("invalid MMU configuration");
+impl MmuCore {
+    fn new(cfg: MmuConfig) -> Self {
         let dt = DtThreshold::new(cfg.alpha, cfg.shared_size());
         let nq = cfg.total_queues();
         let np = cfg.num_ports;
-        Mmu {
+        MmuCore {
             cfg,
             dt,
             queues: vec![QueueState::default(); nq],
@@ -188,20 +190,7 @@ impl Mmu {
         }
     }
 
-    /// Attaches a flight-recorder tracer; `node` tags every record this
-    /// MMU emits (the switch's node id). Off by default.
-    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
-        self.tracer = tracer;
-        self.trace_node = node;
-    }
-
-    /// The configuration this MMU runs.
-    #[must_use]
-    pub fn config(&self) -> &MmuConfig {
-        &self.cfg
-    }
-
-    fn qidx(&self, port: usize, queue: usize) -> usize {
+    pub(crate) fn qidx(&self, port: usize, queue: usize) -> usize {
         assert!(port < self.cfg.num_ports, "port {port} out of range");
         assert!(queue < self.cfg.queues_per_port, "queue {queue} out of range");
         port * self.cfg.queues_per_port + queue
@@ -213,14 +202,8 @@ impl Mmu {
         self.dt.threshold(self.total_shared)
     }
 
-    /// DSH queue-level pause threshold `X_qoff(t) = T(t) − η` (Eq. 5),
-    /// with the default `η`.
-    #[must_use]
-    pub fn x_qoff(&self) -> u64 {
-        self.threshold().saturating_sub(self.cfg.eta.as_u64())
-    }
-
-    /// DSH queue-level pause threshold for a specific ingress port's `η`.
+    /// DSH queue-level pause threshold `X_qoff(t) = T(t) − η` (Eq. 5) for
+    /// a specific ingress port's `η`.
     #[must_use]
     pub fn x_qoff_for(&self, port: usize) -> u64 {
         self.threshold().saturating_sub(self.cfg.eta_for(port).as_u64())
@@ -232,219 +215,43 @@ impl Mmu {
         self.cfg.queues_per_port as u64 * self.threshold()
     }
 
-    /// Total shared-segment occupancy `Σ w_ij(t)`.
-    #[must_use]
-    pub fn total_shared(&self) -> u64 {
-        self.total_shared
+    /// Port-level occupancy compared against `X_poff`/`X_pon`: shared plus
+    /// insurance bytes of the port.
+    pub(crate) fn port_total_occupancy(&self, port: usize) -> u64 {
+        let p = &self.ports[port];
+        p.shared_sum + p.insurance
     }
 
-    /// Shared occupancy `w_ij` of one ingress queue.
-    #[must_use]
-    pub fn shared_occupancy(&self, port: usize, queue: usize) -> u64 {
-        self.queues[self.qidx(port, queue)].shared
+    // ---- region charge/release (the only occupancy mutators) ------------
+
+    pub(crate) fn charge_private(&mut self, idx: usize, bytes: u64) {
+        self.queues[idx].private += bytes;
     }
 
-    /// SIH headroom occupancy of one ingress queue.
-    #[must_use]
-    pub fn headroom_occupancy(&self, port: usize, queue: usize) -> u64 {
-        self.queues[self.qidx(port, queue)].headroom
+    pub(crate) fn charge_shared(&mut self, idx: usize, port: usize, bytes: u64) {
+        self.queues[idx].shared += bytes;
+        self.ports[port].shared_sum += bytes;
+        self.total_shared += bytes;
     }
 
-    /// Total occupancy of one ingress queue across all segments.
-    #[must_use]
-    pub fn queue_occupancy(&self, port: usize, queue: usize) -> u64 {
-        let q = self.queues[self.qidx(port, queue)];
-        q.private + q.shared + q.headroom
+    pub(crate) fn charge_headroom(&mut self, idx: usize, port: usize, bytes: u64) {
+        self.queues[idx].headroom += bytes;
+        self.headroom_peaks[port].add(bytes);
     }
 
-    /// DSH insurance-headroom occupancy of one port.
-    #[must_use]
-    pub fn insurance_occupancy(&self, port: usize) -> u64 {
-        self.ports[port].insurance
+    pub(crate) fn charge_insurance(&mut self, port: usize, bytes: u64) {
+        self.ports[port].insurance += bytes;
+        self.headroom_peaks[port].add(bytes);
     }
 
-    /// Sum of shared occupancies over a port's queues.
-    #[must_use]
-    pub fn port_shared_occupancy(&self, port: usize) -> u64 {
-        self.ports[port].shared_sum
-    }
-
-    /// Per-port headroom occupancy (SIH: static headroom; DSH: insurance).
-    /// This is the quantity whose local maxima Fig. 6 analyses.
-    #[must_use]
-    pub fn port_headroom_occupancy(&self, port: usize) -> u64 {
-        match self.cfg.scheme {
-            Scheme::Sih => {
-                let base = port * self.cfg.queues_per_port;
-                self.queues[base..base + self.cfg.queues_per_port].iter().map(|q| q.headroom).sum()
-            }
-            Scheme::Dsh => self.ports[port].insurance,
-        }
-    }
-
-    /// Whether a queue is in QOFF (upstream paused).
-    #[must_use]
-    pub fn queue_paused(&self, port: usize, queue: usize) -> bool {
-        self.queues[self.qidx(port, queue)].paused
-    }
-
-    /// Whether a port is in POFF (upstream fully paused; DSH only).
-    #[must_use]
-    pub fn port_paused(&self, port: usize) -> bool {
-        self.ports[port].paused
-    }
-
-    /// Aggregate counters.
-    #[must_use]
-    pub fn stats(&self) -> MmuStats {
-        self.stats
-    }
-
-    /// Cumulative per-rule drop attribution (always on, release builds
-    /// included).
-    #[must_use]
-    pub fn drop_attribution(&self) -> DropAttribution {
-        self.attribution
-    }
-
-    /// Cumulative drop counters per ingress port.
-    #[must_use]
-    pub fn port_drops(&self) -> &[PortDrops] {
-        &self.port_drops
-    }
-
-    /// A point-in-time snapshot of the MMU's buffer occupancy, useful for
-    /// probes and debugging dashboards.
-    #[must_use]
-    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
-        let mut private = 0;
-        let mut headroom = 0;
-        for q in &self.queues {
-            private += q.private;
-            headroom += q.headroom;
-        }
-        let insurance = self.ports.iter().map(|p| p.insurance).sum();
-        OccupancySnapshot {
-            shared: self.total_shared,
-            private,
-            headroom,
-            insurance,
-            threshold: self.threshold(),
-            paused_queues: self.queues.iter().filter(|q| q.paused).count(),
-            paused_ports: self.ports.iter().filter(|p| p.paused).count(),
-        }
-    }
-
-    /// Returns the MMU to its empty initial state, keeping the
-    /// configuration and cumulative statistics.
-    pub fn reset_occupancy(&mut self) {
-        for q in &mut self.queues {
-            *q = QueueState::default();
-        }
-        for p in &mut self.ports {
-            *p = PortState::default();
-        }
-        self.total_shared = 0;
-        for t in &mut self.headroom_peaks {
-            // Keep already-recorded peaks (they are measurements, like the
-            // cumulative stats) but close out any in-progress maximum
-            // before zeroing the live occupancy.
-            t.flush();
-            t.current = 0;
-            t.rising = false;
-        }
-    }
-
-    /// Drains and returns the recorded local maxima of per-port headroom
-    /// occupancy (Fig. 6's measurement), one `Vec` per port.
-    ///
-    /// A still-rising occupancy counts as a final peak at its current
-    /// value, so measurements that end mid-burst are not biased low.
-    pub fn take_headroom_peaks(&mut self) -> Vec<Vec<u64>> {
-        self.headroom_peaks
-            .iter_mut()
-            .map(|p| {
-                p.flush();
-                std::mem::take(&mut p.peaks)
-            })
-            .collect()
-    }
-
-    /// Admits a packet of `bytes` arriving at ingress `port` for priority
-    /// `queue`.
-    ///
-    /// Returns where the packet was placed (`None` ⇒ dropped) plus any
-    /// PAUSE/RESUME actions the switch must send upstream. The caller must
-    /// remember the region and pass it to [`Mmu::on_departure`] when the
-    /// packet leaves the switch.
+    /// Releases a departing packet from the region its arrival charged.
     ///
     /// # Panics
     ///
-    /// Panics if `port`/`queue` are out of range.
-    pub fn on_arrival(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
-        let outcome = match self.cfg.scheme {
-            Scheme::Sih => self.arrival_sih(port, queue, bytes),
-            Scheme::Dsh => self.arrival_dsh(port, queue, bytes),
-        };
-        if outcome.is_admitted() {
-            self.stats.admitted_packets += 1;
-            match outcome.region {
-                Some(Region::Headroom) => {
-                    trace_event!(self.tracer, TraceEvent::HeadroomEnter, {
-                        node: self.trace_node,
-                        port: port as u16,
-                        class: queue as u8,
-                        payload: self.queues[self.qidx(port, queue)].headroom,
-                    });
-                }
-                Some(Region::Insurance) => {
-                    trace_event!(self.tracer, TraceEvent::HeadroomEnter, {
-                        node: self.trace_node,
-                        port: port as u16,
-                        class: queue as u8,
-                        payload: self.ports[port].insurance,
-                    });
-                }
-                _ => {}
-            }
-        } else {
-            self.stats.dropped_packets += 1;
-            self.stats.dropped_bytes += bytes;
-            self.port_drops[port].packets += 1;
-            self.port_drops[port].bytes += bytes;
-            trace_event!(self.tracer, TraceEvent::MmuDrop, {
-                node: self.trace_node,
-                port: port as u16,
-                class: queue as u8,
-                payload: bytes,
-            });
-        }
-        self.debug_check();
-        outcome
-    }
-
-    /// Releases a packet's accounting when it leaves the switch (is
-    /// scheduled for transmission on its egress port).
-    ///
-    /// `region` is the placement [`Mmu::on_arrival`] returned for this
-    /// packet — the per-packet pool tag a real MMU keeps. Departure
-    /// releases exactly the counter the arrival charged, so the
-    /// accounting is exact regardless of the order queues drain in (the
-    /// old heuristic headroom-first drain and its cross-queue "residual
-    /// slop" settlement are gone).
-    ///
-    /// # Panics
-    ///
-    /// Panics with "departure exceeds admission" if the released region's
-    /// counter does not hold `bytes` (the caller's tag is wrong, or more
-    /// bytes depart than arrived).
-    pub fn on_departure(
-        &mut self,
-        port: usize,
-        queue: usize,
-        bytes: u64,
-        region: Region,
-    ) -> FcActions {
+    /// Panics with "departure exceeds admission" if the region's counter
+    /// does not hold `bytes`, and on a region the running scheme never
+    /// charges.
+    pub(crate) fn release(&mut self, port: usize, queue: usize, bytes: u64, region: Region) {
         let idx = self.qidx(port, queue);
         match region {
             Region::Private => {
@@ -473,7 +280,7 @@ impl Mmu {
                 self.headroom_peaks[port].sub(bytes);
             }
             Region::Insurance => {
-                assert_eq!(self.cfg.scheme, Scheme::Dsh, "insurance headroom is DSH-only");
+                assert_ne!(self.cfg.scheme, Scheme::Sih, "insurance headroom is DSH-only");
                 let p = &mut self.ports[port];
                 p.insurance = p
                     .insurance
@@ -482,166 +289,11 @@ impl Mmu {
                 self.headroom_peaks[port].sub(bytes);
             }
         }
-
-        let mut actions = FcActions::none();
-        self.check_resume(port, queue, &mut actions);
-        self.debug_check();
-        actions
     }
 
-    // ---- SIH ------------------------------------------------------------
+    // ---- pause/resume state machine --------------------------------------
 
-    fn arrival_sih(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
-        let idx = self.qidx(port, queue);
-        let phi = self.cfg.private_per_queue.as_u64();
-        let eta = self.cfg.eta_for(port).as_u64();
-        let t = self.threshold();
-
-        let region = {
-            let q = &self.queues[idx];
-            if q.private + bytes <= phi {
-                Some(Region::Private)
-            } else if q.shared + bytes <= t && self.total_shared + bytes <= self.dt.shared_size() {
-                Some(Region::Shared)
-            } else if q.headroom + bytes <= eta {
-                Some(Region::Headroom)
-            } else {
-                None
-            }
-        };
-
-        let mut actions = FcActions::none();
-        let mut drop_reason = None;
-        match region {
-            Some(Region::Private) => {
-                self.queues[idx].private += bytes;
-                self.check_resume_queue(port, queue, &mut actions);
-            }
-            Some(Region::Shared) => {
-                self.queues[idx].shared += bytes;
-                self.ports[port].shared_sum += bytes;
-                self.total_shared += bytes;
-                self.check_resume_queue(port, queue, &mut actions);
-            }
-            Some(Region::Headroom) => {
-                self.queues[idx].headroom += bytes;
-                self.headroom_peaks[port].add(bytes);
-                // Case ③ (§II-C): entering headroom pauses the upstream.
-                self.pause_queue(port, queue, &mut actions);
-            }
-            Some(Region::Insurance) => unreachable!("SIH never uses insurance"),
-            None => {
-                // Attribute the drop to every rule that rejected it.
-                let q = &self.queues[idx];
-                self.attribution.private_full += 1;
-                if q.shared + bytes > t {
-                    self.attribution.dt_threshold += 1;
-                }
-                if self.total_shared + bytes > self.dt.shared_size() {
-                    self.attribution.shared_cap += 1;
-                }
-                self.attribution.headroom_full += 1;
-                drop_reason = Some(DropReason::HeadroomFull);
-                // Defensive: a drop means headroom was exhausted; make sure
-                // the upstream is paused (it should already be).
-                self.pause_queue(port, queue, &mut actions);
-            }
-        }
-
-        Outcome { region, drop_reason, actions }
-    }
-
-    // ---- DSH ------------------------------------------------------------
-
-    fn arrival_dsh(&mut self, port: usize, queue: usize, bytes: u64) -> Outcome {
-        let idx = self.qidx(port, queue);
-        let phi = self.cfg.private_per_queue.as_u64();
-        let eta = self.cfg.eta_for(port).as_u64();
-
-        let region = {
-            let q = &self.queues[idx];
-            let p = &self.ports[port];
-            if q.private + bytes <= phi {
-                Some(Region::Private)
-            } else if !p.paused && self.total_shared + bytes <= self.dt.shared_size() {
-                // PON: packets go into the shared segment, which includes
-                // the dynamically allocated headroom (the paper's key idea).
-                Some(Region::Shared)
-            } else if self.cfg.dsh_port_fc && p.insurance + bytes <= eta {
-                // POFF (or the shared pool is physically full): in-flight
-                // packets are absorbed by the per-port insurance headroom.
-                Some(Region::Insurance)
-            } else {
-                None
-            }
-        };
-
-        let mut actions = FcActions::none();
-        let mut drop_reason = None;
-        match region {
-            Some(Region::Private) => {
-                self.queues[idx].private += bytes;
-                self.check_resume(port, queue, &mut actions);
-            }
-            Some(Region::Shared) => {
-                self.queues[idx].shared += bytes;
-                self.ports[port].shared_sum += bytes;
-                self.total_shared += bytes;
-                // Recompute thresholds with the new occupancy and fire the
-                // queue- and port-level state machines (Fig. 8).
-                let x_qoff = self.x_qoff_for(port);
-                let x_poff = self.x_poff();
-                if self.queues[idx].shared > x_qoff {
-                    self.pause_queue(port, queue, &mut actions);
-                } else {
-                    self.check_resume_queue(port, queue, &mut actions);
-                }
-                if self.cfg.dsh_port_fc && self.port_total_occupancy(port) > x_poff {
-                    self.pause_port(port, &mut actions);
-                }
-            }
-            Some(Region::Insurance) => {
-                self.ports[port].insurance += bytes;
-                self.headroom_peaks[port].add(bytes);
-                // Insurance occupancy means the port must be (or go) POFF.
-                self.pause_port(port, &mut actions);
-            }
-            Some(Region::Headroom) => unreachable!("DSH never uses static headroom"),
-            None => {
-                // Attribute the drop to every rule that rejected it.
-                self.attribution.private_full += 1;
-                if self.ports[port].paused {
-                    self.attribution.port_paused += 1;
-                }
-                if self.total_shared + bytes > self.dt.shared_size() {
-                    self.attribution.shared_cap += 1;
-                }
-                drop_reason = Some(if self.cfg.dsh_port_fc {
-                    self.attribution.insurance_full += 1;
-                    DropReason::InsuranceFull
-                } else {
-                    self.attribution.insurance_disabled += 1;
-                    DropReason::InsuranceDisabled
-                });
-                if self.cfg.dsh_port_fc {
-                    self.pause_port(port, &mut actions);
-                }
-            }
-        }
-
-        Outcome { region, drop_reason, actions }
-    }
-
-    // ---- shared state-machine helpers ------------------------------------
-
-    /// Port-level occupancy compared against `X_poff`/`X_pon`: shared plus
-    /// insurance bytes of the port.
-    fn port_total_occupancy(&self, port: usize) -> u64 {
-        let p = &self.ports[port];
-        p.shared_sum + p.insurance
-    }
-
-    fn pause_queue(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
+    pub(crate) fn pause_queue(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
         let idx = self.qidx(port, queue);
         if !self.queues[idx].paused {
             self.queues[idx].paused = true;
@@ -656,7 +308,7 @@ impl Mmu {
         }
     }
 
-    fn pause_port(&mut self, port: usize, actions: &mut FcActions) {
+    pub(crate) fn pause_port(&mut self, port: usize, actions: &mut FcActions) {
         if !self.ports[port].paused {
             self.ports[port].paused = true;
             self.stats.port_pauses += 1;
@@ -669,32 +321,21 @@ impl Mmu {
         }
     }
 
-    /// Queue-level resume check (paper case ② / Fig. 8a).
-    fn check_resume_queue(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
+    /// Resumes a paused queue once its shared occupancy has drained to
+    /// `x_on` (`<=`, not `<`, so a fully drained queue always resumes even
+    /// when the threshold itself is 0). The scheme supplies `x_on` — that
+    /// is its resume policy.
+    pub(crate) fn resume_queue_below(
+        &mut self,
+        port: usize,
+        queue: usize,
+        x_on: u64,
+        actions: &mut FcActions,
+    ) {
         let idx = self.qidx(port, queue);
         if !self.queues[idx].paused {
             return;
         }
-        let x_on = match self.cfg.scheme {
-            // SIH: X_on = T(t) − δ (compared against shared occupancy,
-            // footnote 1). Resuming also requires the queue's headroom to
-            // have drained, otherwise the next pause cycle would find less
-            // than η of slack and could overflow.
-            Scheme::Sih => {
-                if self.queues[idx].headroom > 0 {
-                    return;
-                }
-                self.threshold().saturating_sub(self.cfg.resume_delta_queue.as_u64())
-            }
-            // DSH: X_qon = X_qoff − δ_q. The slack here is recomputed from
-            // the live threshold (T − w ≥ η whenever w ≤ X_qoff), so no
-            // headroom-empty gate is needed.
-            Scheme::Dsh => {
-                self.x_qoff_for(port).saturating_sub(self.cfg.resume_delta_queue.as_u64())
-            }
-        };
-        // `<=` (not `<`) so a fully drained queue always resumes even when
-        // the threshold itself is 0.
         if self.queues[idx].shared <= x_on {
             self.queues[idx].paused = false;
             self.stats.queue_resumes += 1;
@@ -708,9 +349,10 @@ impl Mmu {
         }
     }
 
-    /// Port-level resume check (Fig. 8b). Requires the insurance headroom
-    /// to be empty so the next port-pause cycle has its full η of slack.
-    fn check_resume_port(&mut self, port: usize, actions: &mut FcActions) {
+    /// Port-level resume check (Fig. 8b), shared by DSH and BShare.
+    /// Requires the insurance headroom to be empty so the next port-pause
+    /// cycle has its full η of slack.
+    pub(crate) fn check_resume_port(&mut self, port: usize, actions: &mut FcActions) {
         if !self.ports[port].paused {
             return;
         }
@@ -729,12 +371,284 @@ impl Mmu {
             });
         }
     }
+}
 
-    fn check_resume(&mut self, port: usize, queue: usize, actions: &mut FcActions) {
-        self.check_resume_queue(port, queue, actions);
-        if self.cfg.scheme == Scheme::Dsh {
-            self.check_resume_port(port, actions);
+/// The lossless-pool MMU of one switch.
+///
+/// See the [crate documentation](crate) for the model; drive it with
+/// [`Mmu::on_arrival`] / [`Mmu::on_departure`].
+#[derive(Clone, Debug)]
+pub struct Mmu {
+    core: MmuCore,
+    scheme: SchemeImpl,
+}
+
+impl Mmu {
+    /// Creates an MMU with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`MmuConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: MmuConfig) -> Self {
+        cfg.validate().expect("invalid MMU configuration");
+        let scheme = SchemeImpl::for_config(&cfg);
+        Mmu { core: MmuCore::new(cfg), scheme }
+    }
+
+    /// Attaches a flight-recorder tracer; `node` tags every record this
+    /// MMU emits (the switch's node id). Off by default.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.core.tracer = tracer;
+        self.core.trace_node = node;
+    }
+
+    /// The configuration this MMU runs.
+    #[must_use]
+    pub fn config(&self) -> &MmuConfig {
+        &self.core.cfg
+    }
+
+    /// Current Dynamic Threshold `T(t)` in bytes.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.core.threshold()
+    }
+
+    /// DSH queue-level pause threshold `X_qoff(t) = T(t) − η` (Eq. 5),
+    /// with the default `η`.
+    #[must_use]
+    pub fn x_qoff(&self) -> u64 {
+        self.core.threshold().saturating_sub(self.core.cfg.eta.as_u64())
+    }
+
+    /// DSH queue-level pause threshold for a specific ingress port's `η`.
+    #[must_use]
+    pub fn x_qoff_for(&self, port: usize) -> u64 {
+        self.core.x_qoff_for(port)
+    }
+
+    /// DSH port-level pause threshold `X_poff(t) = N_q·T(t)` (Eq. 6).
+    #[must_use]
+    pub fn x_poff(&self) -> u64 {
+        self.core.x_poff()
+    }
+
+    /// Total shared-segment occupancy `Σ w_ij(t)`.
+    #[must_use]
+    pub fn total_shared(&self) -> u64 {
+        self.core.total_shared
+    }
+
+    /// Shared occupancy `w_ij` of one ingress queue.
+    #[must_use]
+    pub fn shared_occupancy(&self, port: usize, queue: usize) -> u64 {
+        self.core.queues[self.core.qidx(port, queue)].shared
+    }
+
+    /// SIH headroom occupancy of one ingress queue.
+    #[must_use]
+    pub fn headroom_occupancy(&self, port: usize, queue: usize) -> u64 {
+        self.core.queues[self.core.qidx(port, queue)].headroom
+    }
+
+    /// Total occupancy of one ingress queue across all segments.
+    #[must_use]
+    pub fn queue_occupancy(&self, port: usize, queue: usize) -> u64 {
+        let q = self.core.queues[self.core.qidx(port, queue)];
+        q.private + q.shared + q.headroom
+    }
+
+    /// DSH insurance-headroom occupancy of one port.
+    #[must_use]
+    pub fn insurance_occupancy(&self, port: usize) -> u64 {
+        self.core.ports[port].insurance
+    }
+
+    /// Sum of shared occupancies over a port's queues.
+    #[must_use]
+    pub fn port_shared_occupancy(&self, port: usize) -> u64 {
+        self.core.ports[port].shared_sum
+    }
+
+    /// Per-port headroom occupancy (SIH: static headroom; DSH/BShare:
+    /// insurance). This is the quantity whose local maxima Fig. 6
+    /// analyses.
+    #[must_use]
+    pub fn port_headroom_occupancy(&self, port: usize) -> u64 {
+        self.scheme.port_headroom_occupancy(&self.core, port)
+    }
+
+    /// Whether a queue is in QOFF (upstream paused).
+    #[must_use]
+    pub fn queue_paused(&self, port: usize, queue: usize) -> bool {
+        self.core.queues[self.core.qidx(port, queue)].paused
+    }
+
+    /// Whether a port is in POFF (upstream fully paused; DSH only).
+    #[must_use]
+    pub fn port_paused(&self, port: usize) -> bool {
+        self.core.ports[port].paused
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> MmuStats {
+        self.core.stats
+    }
+
+    /// Cumulative per-rule drop attribution (always on, release builds
+    /// included).
+    #[must_use]
+    pub fn drop_attribution(&self) -> DropAttribution {
+        self.core.attribution
+    }
+
+    /// Cumulative drop counters per ingress port.
+    #[must_use]
+    pub fn port_drops(&self) -> &[PortDrops] {
+        &self.core.port_drops
+    }
+
+    /// A point-in-time snapshot of the MMU's buffer occupancy, useful for
+    /// probes and debugging dashboards.
+    #[must_use]
+    pub fn occupancy_snapshot(&self) -> OccupancySnapshot {
+        let mut private = 0;
+        let mut headroom = 0;
+        for q in &self.core.queues {
+            private += q.private;
+            headroom += q.headroom;
         }
+        let insurance = self.core.ports.iter().map(|p| p.insurance).sum();
+        OccupancySnapshot {
+            shared: self.core.total_shared,
+            private,
+            headroom,
+            insurance,
+            threshold: self.core.threshold(),
+            paused_queues: self.core.queues.iter().filter(|q| q.paused).count(),
+            paused_ports: self.core.ports.iter().filter(|p| p.paused).count(),
+        }
+    }
+
+    /// Returns the MMU to its empty initial state, keeping the
+    /// configuration and cumulative statistics.
+    pub fn reset_occupancy(&mut self) {
+        for q in &mut self.core.queues {
+            *q = QueueState::default();
+        }
+        for p in &mut self.core.ports {
+            *p = PortState::default();
+        }
+        self.core.total_shared = 0;
+        for t in &mut self.core.headroom_peaks {
+            // Keep already-recorded peaks (they are measurements, like the
+            // cumulative stats) but close out any in-progress maximum
+            // before zeroing the live occupancy.
+            t.flush();
+            t.current = 0;
+            t.rising = false;
+        }
+        self.scheme.reset();
+    }
+
+    /// Drains and returns the recorded local maxima of per-port headroom
+    /// occupancy (Fig. 6's measurement), one `Vec` per port.
+    ///
+    /// A still-rising occupancy counts as a final peak at its current
+    /// value, so measurements that end mid-burst are not biased low.
+    pub fn take_headroom_peaks(&mut self) -> Vec<Vec<u64>> {
+        self.core
+            .headroom_peaks
+            .iter_mut()
+            .map(|p| {
+                p.flush();
+                std::mem::take(&mut p.peaks)
+            })
+            .collect()
+    }
+
+    /// Admits a packet of `bytes` arriving at ingress `port` for priority
+    /// `queue` at simulation time `now`.
+    ///
+    /// Returns where the packet was placed (`None` ⇒ dropped) plus any
+    /// PAUSE/RESUME actions the switch must send upstream. The caller must
+    /// remember the region and pass it to [`Mmu::on_departure`] when the
+    /// packet leaves the switch. `now` feeds time-aware schemes (BShare's
+    /// drain-rate estimator); SIH and DSH ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port`/`queue` are out of range.
+    pub fn on_arrival(&mut self, port: usize, queue: usize, bytes: u64, now: Time) -> Outcome {
+        let outcome = self.scheme.on_arrival(&mut self.core, port, queue, bytes, now);
+        let core = &mut self.core;
+        if outcome.is_admitted() {
+            core.stats.admitted_packets += 1;
+            match outcome.region {
+                Some(Region::Headroom) => {
+                    trace_event!(core.tracer, TraceEvent::HeadroomEnter, {
+                        node: core.trace_node,
+                        port: port as u16,
+                        class: queue as u8,
+                        payload: core.queues[core.qidx(port, queue)].headroom,
+                    });
+                }
+                Some(Region::Insurance) => {
+                    trace_event!(core.tracer, TraceEvent::HeadroomEnter, {
+                        node: core.trace_node,
+                        port: port as u16,
+                        class: queue as u8,
+                        payload: core.ports[port].insurance,
+                    });
+                }
+                _ => {}
+            }
+        } else {
+            core.stats.dropped_packets += 1;
+            core.stats.dropped_bytes += bytes;
+            core.port_drops[port].packets += 1;
+            core.port_drops[port].bytes += bytes;
+            trace_event!(core.tracer, TraceEvent::MmuDrop, {
+                node: core.trace_node,
+                port: port as u16,
+                class: queue as u8,
+                payload: bytes,
+            });
+        }
+        self.debug_check();
+        outcome
+    }
+
+    /// Releases a packet's accounting when it leaves the switch (is
+    /// scheduled for transmission on its egress port) at simulation time
+    /// `now`.
+    ///
+    /// `region` is the placement [`Mmu::on_arrival`] returned for this
+    /// packet — the per-packet pool tag a real MMU keeps. Departure
+    /// releases exactly the counter the arrival charged, so the
+    /// accounting is exact regardless of the order queues drain in (the
+    /// old heuristic headroom-first drain and its cross-queue "residual
+    /// slop" settlement are gone). `now` feeds time-aware schemes
+    /// (BShare's drain-rate estimator); SIH and DSH ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics with "departure exceeds admission" if the released region's
+    /// counter does not hold `bytes` (the caller's tag is wrong, or more
+    /// bytes depart than arrived).
+    pub fn on_departure(
+        &mut self,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        now: Time,
+    ) -> FcActions {
+        let actions = self.scheme.on_departure(&mut self.core, port, queue, bytes, region, now);
+        self.debug_check();
+        actions
     }
 
     /// Forcibly clears the QOFF/POFF state of one ingress `port` after its
@@ -750,18 +664,19 @@ impl Mmu {
     /// normally and re-trigger pause logic from scratch if the link
     /// returns.
     pub fn release_port_pauses(&mut self, port: usize) -> usize {
+        let core = &mut self.core;
         let mut cleared = 0;
-        for queue in 0..self.cfg.queues_per_port {
-            let idx = self.qidx(port, queue);
-            if self.queues[idx].paused {
-                self.queues[idx].paused = false;
-                self.stats.queue_resumes += 1;
+        for queue in 0..core.cfg.queues_per_port {
+            let idx = core.qidx(port, queue);
+            if core.queues[idx].paused {
+                core.queues[idx].paused = false;
+                core.stats.queue_resumes += 1;
                 cleared += 1;
             }
         }
-        if self.ports[port].paused {
-            self.ports[port].paused = false;
-            self.stats.port_resumes += 1;
+        if core.ports[port].paused {
+            core.ports[port].paused = false;
+            core.stats.port_resumes += 1;
             cleared += 1;
         }
         #[cfg(debug_assertions)]
@@ -781,14 +696,11 @@ impl Mmu {
     /// accounting went wrong. Debug builds additionally assert a clean
     /// audit after every MMU transition.
     ///
-    /// Invariants checked, in order:
+    /// Invariants checked:
     ///
     /// * `queue-private-within-phi` — every queue's private occupancy ≤ φ;
     /// * `queue-headroom-within-eta` — SIH headroom occupancy ≤ η (per
     ///   port's η);
-    /// * `dsh-no-static-headroom` / `sih-no-insurance` /
-    ///   `sih-no-port-pause` — segments and states a scheme never uses
-    ///   stay empty;
     /// * `port-shared-sum-consistent` — each port's cached `shared_sum`
     ///   equals the sum over its queues;
     /// * `total-shared-consistent` — the global `Σ w_ij` cache equals the
@@ -796,95 +708,91 @@ impl Mmu {
     /// * `shared-within-pool` — `Σ w_ij ≤ B_s`;
     /// * `insurance-within-eta` — each port's insurance occupancy ≤ η;
     /// * `queue-resumes-within-pauses` / `port-resumes-within-pauses` —
-    ///   cumulative RESUME counts never exceed PAUSE counts.
+    ///   cumulative RESUME counts never exceed PAUSE counts;
+    /// * scheme-specific arms via [`crate::MmuScheme::audit`]:
+    ///   `dsh-no-static-headroom` / `bshare-no-static-headroom` /
+    ///   `sih-no-insurance` / `sih-no-port-pause` — segments and states a
+    ///   scheme never uses stay empty.
     #[must_use]
     pub fn audit(&self) -> AuditReport {
+        let core = &self.core;
         let mut violations = Vec::new();
         let mut violate = |invariant, port, queue, expected: u64, actual: u64| {
             violations.push(AuditViolation { invariant, port, queue, expected, actual });
         };
 
-        let phi = self.cfg.private_per_queue.as_u64();
+        let phi = core.cfg.private_per_queue.as_u64();
         let mut sum_shared: u64 = 0;
-        for (i, q) in self.queues.iter().enumerate() {
-            let port = i / self.cfg.queues_per_port;
-            let queue = i % self.cfg.queues_per_port;
-            let eta = self.cfg.eta_for(port).as_u64();
+        for (i, q) in core.queues.iter().enumerate() {
+            let port = i / core.cfg.queues_per_port;
+            let queue = i % core.cfg.queues_per_port;
+            let eta = core.cfg.eta_for(port).as_u64();
             if q.private > phi {
                 violate("queue-private-within-phi", Some(port), Some(queue), phi, q.private);
             }
             if q.headroom > eta {
                 violate("queue-headroom-within-eta", Some(port), Some(queue), eta, q.headroom);
             }
-            if self.cfg.scheme == Scheme::Dsh && q.headroom > 0 {
-                violate("dsh-no-static-headroom", Some(port), Some(queue), 0, q.headroom);
-            }
             sum_shared += q.shared;
         }
 
-        for (port, p) in self.ports.iter().enumerate() {
-            let base = port * self.cfg.queues_per_port;
+        for (port, p) in core.ports.iter().enumerate() {
+            let base = port * core.cfg.queues_per_port;
             let port_sum: u64 =
-                self.queues[base..base + self.cfg.queues_per_port].iter().map(|q| q.shared).sum();
+                core.queues[base..base + core.cfg.queues_per_port].iter().map(|q| q.shared).sum();
             if p.shared_sum != port_sum {
                 violate("port-shared-sum-consistent", Some(port), None, port_sum, p.shared_sum);
             }
-            let eta = self.cfg.eta_for(port).as_u64();
+            let eta = core.cfg.eta_for(port).as_u64();
             if p.insurance > eta {
                 violate("insurance-within-eta", Some(port), None, eta, p.insurance);
             }
-            if self.cfg.scheme == Scheme::Sih {
-                if p.insurance > 0 {
-                    violate("sih-no-insurance", Some(port), None, 0, p.insurance);
-                }
-                if p.paused {
-                    violate("sih-no-port-pause", Some(port), None, 0, 1);
-                }
-            }
         }
 
-        if sum_shared != self.total_shared {
-            violate("total-shared-consistent", None, None, sum_shared, self.total_shared);
+        if sum_shared != core.total_shared {
+            violate("total-shared-consistent", None, None, sum_shared, core.total_shared);
         }
-        if self.total_shared > self.dt.shared_size() {
-            violate("shared-within-pool", None, None, self.dt.shared_size(), self.total_shared);
+        if core.total_shared > core.dt.shared_size() {
+            violate("shared-within-pool", None, None, core.dt.shared_size(), core.total_shared);
         }
-        if self.stats.queue_resumes > self.stats.queue_pauses {
+        if core.stats.queue_resumes > core.stats.queue_pauses {
             violate(
                 "queue-resumes-within-pauses",
                 None,
                 None,
-                self.stats.queue_pauses,
-                self.stats.queue_resumes,
+                core.stats.queue_pauses,
+                core.stats.queue_resumes,
             );
         }
-        if self.stats.port_resumes > self.stats.port_pauses {
+        if core.stats.port_resumes > core.stats.port_pauses {
             violate(
                 "port-resumes-within-pauses",
                 None,
                 None,
-                self.stats.port_pauses,
-                self.stats.port_resumes,
+                core.stats.port_pauses,
+                core.stats.port_resumes,
             );
         }
+
+        self.scheme.audit(core, &mut violations);
 
         if let Some(first) = violations.first() {
             // A dirty audit is about to fail an assertion somewhere above;
             // record it and dump the flight recorder now, naming the
             // invariant, while the recent history is still intact.
-            trace_event!(self.tracer, TraceEvent::AuditFail, {
-                node: self.trace_node,
+            trace_event!(core.tracer, TraceEvent::AuditFail, {
+                node: core.trace_node,
                 payload: violations.len() as u64,
             });
-            self.tracer.dump(
+            core.tracer.dump(
                 &format!(
                     "MMU audit violation at node {}: {} (expected {}, actual {})",
-                    self.trace_node, first.invariant, first.expected, first.actual
+                    core.trace_node, first.invariant, first.expected, first.actual
                 ),
                 64,
             );
         }
-        AuditReport { scheme: self.cfg.scheme, snapshot: self.occupancy_snapshot(), violations }
+        AuditReport { scheme: core.cfg.scheme, snapshot: self.occupancy_snapshot(), violations }
     }
 
     /// Debug-build conservation checks: a full audit after every
@@ -902,14 +810,15 @@ impl Mmu {
     /// accounting corruption; never call it outside tests.
     #[doc(hidden)]
     pub fn corrupt_port_shared_sum_for_test(&mut self, port: usize, delta: u64) {
-        self.ports[port].shared_sum += delta;
+        self.core.ports[port].shared_sum += delta;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsh_simcore::ByteSize;
+    use crate::action::DropReason;
+    use dsh_simcore::{ByteSize, Delta};
 
     fn small_cfg(scheme: Scheme) -> MmuConfig {
         MmuConfig::builder()
@@ -926,12 +835,12 @@ mod tests {
     /// Drives arrivals of `n` packets of `sz` bytes into (port, queue),
     /// returning outcomes.
     fn blast(mmu: &mut Mmu, port: usize, queue: usize, n: usize, sz: u64) -> Vec<Outcome> {
-        (0..n).map(|_| mmu.on_arrival(port, queue, sz)).collect()
+        (0..n).map(|_| mmu.on_arrival(port, queue, sz, Time::ZERO)).collect()
     }
 
     #[test]
     fn release_port_pauses_clears_state_and_counts_resumes() {
-        for scheme in [Scheme::Sih, Scheme::Dsh] {
+        for scheme in Scheme::ALL {
             let mut mmu = Mmu::new(small_cfg(scheme));
             // Congest both queues of port 0 (and, under DSH, the port).
             blast(&mut mmu, 0, 0, 2000, 1500);
@@ -954,13 +863,13 @@ mod tests {
     #[test]
     fn private_fills_first() {
         let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
-        let o = mmu.on_arrival(0, 0, 1500);
+        let o = mmu.on_arrival(0, 0, 1500, Time::ZERO);
         assert_eq!(o.region, Some(Region::Private));
         assert_eq!(mmu.queue_occupancy(0, 0), 1500);
         // 3 KiB private: two 1500 B packets fit, third goes to shared.
-        let o = mmu.on_arrival(0, 0, 1500);
+        let o = mmu.on_arrival(0, 0, 1500, Time::ZERO);
         assert_eq!(o.region, Some(Region::Private));
-        let o = mmu.on_arrival(0, 0, 1500);
+        let o = mmu.on_arrival(0, 0, 1500, Time::ZERO);
         assert_eq!(o.region, Some(Region::Shared));
     }
 
@@ -1007,7 +916,7 @@ mod tests {
         let mut resumed = false;
         for o in &outcomes {
             if let Some(r) = o.region {
-                let acts = mmu.on_departure(0, 0, 1500, r);
+                let acts = mmu.on_departure(0, 0, 1500, r, Time::ZERO);
                 if acts.iter().any(|a| matches!(a, FcAction::QueueResume { port: 0, queue: 0 })) {
                     resumed = true;
                 }
@@ -1044,7 +953,7 @@ mod tests {
         let mut dsh = Mmu::new(small_cfg(Scheme::Dsh));
         let count_until_pause = |mmu: &mut Mmu| -> usize {
             for i in 0..10_000 {
-                let o = mmu.on_arrival(0, 0, 1500);
+                let o = mmu.on_arrival(0, 0, 1500, Time::ZERO);
                 if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
                     return i;
                 }
@@ -1066,7 +975,7 @@ mod tests {
         let mut port_paused = false;
         'outer: for _ in 0..20_000 {
             for q in 0..2 {
-                let o = mmu.on_arrival(0, q, 1500);
+                let o = mmu.on_arrival(0, q, 1500, Time::ZERO);
                 if o.actions.iter().any(|a| matches!(a, FcAction::PortPause { port: 0 })) {
                     port_paused = true;
                     break 'outer;
@@ -1079,7 +988,7 @@ mod tests {
         assert!(port_paused, "port-level flow control must engage");
         assert!(mmu.port_paused(0));
         // After POFF, arrivals land in insurance headroom.
-        let o = mmu.on_arrival(0, 0, 1500);
+        let o = mmu.on_arrival(0, 0, 1500, Time::ZERO);
         assert_eq!(o.region, Some(Region::Insurance));
         assert!(mmu.insurance_occupancy(0) >= 1500);
     }
@@ -1109,7 +1018,7 @@ mod tests {
         let mut port_resumed = false;
         for o in &outcomes {
             if let Some(r) = o.region {
-                let acts = mmu.on_departure(0, 0, 1500, r);
+                let acts = mmu.on_departure(0, 0, 1500, r, Time::ZERO);
                 if acts.iter().any(|a| matches!(a, FcAction::PortResume { port: 0 })) {
                     port_resumed = true;
                 }
@@ -1129,7 +1038,7 @@ mod tests {
         let mut one = Mmu::new(cfg.clone());
         let n_one = (0..10_000)
             .take_while(|_| {
-                let o = one.on_arrival(0, 0, 1500);
+                let o = one.on_arrival(0, 0, 1500, Time::ZERO);
                 !o.actions.into_iter().any(|a| matches!(a, FcAction::QueuePause { .. }))
             })
             .count();
@@ -1137,7 +1046,7 @@ mod tests {
         let mut n_two = 0;
         'l: for _ in 0..10_000 {
             for q in 0..2 {
-                let o = two.on_arrival(0, q, 1500);
+                let o = two.on_arrival(0, q, 1500, Time::ZERO);
                 if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
                     break 'l;
                 }
@@ -1158,7 +1067,7 @@ mod tests {
         assert!(hw > 0);
         for o in &outcomes {
             if let Some(r) = o.region {
-                let _ = mmu.on_departure(0, 0, 1500, r);
+                let _ = mmu.on_departure(0, 0, 1500, r, Time::ZERO);
             }
         }
         let peaks = mmu.take_headroom_peaks();
@@ -1224,7 +1133,7 @@ mod tests {
         assert_eq!(snap.paused_queues + snap.paused_ports, 0);
         assert_eq!(mmu.stats().queue_pauses, pauses, "stats survive reset");
         // Usable again after reset.
-        assert!(mmu.on_arrival(0, 0, 1500).is_admitted());
+        assert!(mmu.on_arrival(0, 0, 1500, Time::ZERO).is_admitted());
     }
 
     #[test]
@@ -1259,26 +1168,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_port_panics() {
         let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
-        let _ = mmu.on_arrival(99, 0, 100);
+        let _ = mmu.on_arrival(99, 0, 100, Time::ZERO);
     }
 
     #[test]
     #[should_panic(expected = "departure exceeds admission")]
     fn mismatched_departure_panics() {
         let mut mmu = Mmu::new(small_cfg(Scheme::Sih));
-        let _ = mmu.on_departure(0, 0, 100, Region::Shared);
+        let _ = mmu.on_departure(0, 0, 100, Region::Shared, Time::ZERO);
     }
 
     #[test]
     fn audit_is_clean_under_normal_operation() {
-        for scheme in [Scheme::Sih, Scheme::Dsh] {
+        for scheme in Scheme::ALL {
             let mut mmu = Mmu::new(small_cfg(scheme));
             let outcomes = blast(&mut mmu, 0, 0, 500, 1500);
             assert!(mmu.audit().is_clean(), "{scheme}: {}", mmu.audit());
             // Partial drain keeps it clean too.
             for o in outcomes.iter().take(100) {
                 if let Some(r) = o.region {
-                    let _ = mmu.on_departure(0, 0, 1500, r);
+                    let _ = mmu.on_departure(0, 0, 1500, r, Time::ZERO);
                 }
             }
             let report = mmu.audit();
@@ -1342,5 +1251,131 @@ mod tests {
         assert_eq!(per_port[1].packets, st.dropped_packets);
         assert_eq!(per_port[1].bytes, st.dropped_bytes);
         assert_eq!(per_port[0], PortDrops::default());
+    }
+
+    // ---- BShare ---------------------------------------------------------
+
+    /// With `now` fixed at zero the drain estimator never primes, so
+    /// BShare must reproduce DSH decision-for-decision.
+    #[test]
+    fn bshare_without_time_signal_matches_dsh() {
+        let mut dsh = Mmu::new(small_cfg(Scheme::Dsh));
+        let mut bsh = Mmu::new(small_cfg(Scheme::BShare));
+        for step in 0..20_000u64 {
+            let q = (step % 2) as usize;
+            let a = dsh.on_arrival(0, q, 1000, Time::ZERO);
+            let b = bsh.on_arrival(0, q, 1000, Time::ZERO);
+            assert_eq!(a.region, b.region, "step {step}");
+            assert_eq!(a.drop_reason, b.drop_reason, "step {step}");
+            assert_eq!(a.actions, b.actions, "step {step}");
+        }
+        assert_eq!(dsh.stats(), bsh.stats());
+    }
+
+    #[test]
+    fn bshare_slow_drain_pauses_earlier_than_dsh() {
+        // Prime the drain estimator with a glacial service rate: 1000 B
+        // per 100 µs ⇒ delay cap (20 µs target) ≈ 200 B, far below X_qoff.
+        let mut cfg = small_cfg(Scheme::BShare);
+        cfg.bshare_delay_target = Delta::from_us(20);
+        let mut bsh = Mmu::new(cfg);
+        let mut dsh = Mmu::new(small_cfg(Scheme::Dsh));
+
+        let prime = |mmu: &mut Mmu| {
+            let mut t = Time::ZERO;
+            for _ in 0..20 {
+                let o = mmu.on_arrival(0, 0, 1000, t);
+                t = Time::from_ns(t.as_ns() + 100_000);
+                let _ = mmu.on_departure(0, 0, 1000, o.region.unwrap(), t);
+            }
+            t
+        };
+        let t_b = prime(&mut bsh);
+        let t_d = prime(&mut dsh);
+
+        let pause_index = |mmu: &mut Mmu, t: Time| -> usize {
+            for i in 0..10_000 {
+                let o = mmu.on_arrival(0, 0, 1000, t);
+                if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
+                    return i;
+                }
+            }
+            panic!("never paused");
+        };
+        let b = pause_index(&mut bsh, t_b);
+        let d = pause_index(&mut dsh, t_d);
+        assert!(b < d, "BShare must pause a slow-draining queue earlier: bshare={b} dsh={d}");
+        assert!(bsh.audit().is_clean(), "{}", bsh.audit());
+    }
+
+    #[test]
+    fn bshare_is_lossless_with_insurance_and_resumes() {
+        // A sustained burst with a primed (slow) drain estimate: BShare
+        // must pause, absorb overshoot in insurance, never drop, and
+        // resume once drained — exactly DSH's losslessness argument.
+        let mut mmu = Mmu::new(small_cfg(Scheme::BShare));
+        let mut t = Time::ZERO;
+        // Prime a slow drain rate.
+        for _ in 0..10 {
+            let o = mmu.on_arrival(0, 0, 1000, t);
+            t = Time::from_ns(t.as_ns() + 50_000);
+            let _ = mmu.on_departure(0, 0, 1000, o.region.unwrap(), t);
+        }
+        // Burst until the port pauses; nothing may drop while the
+        // upstream (we) would have obeyed the pause.
+        let mut regions = Vec::new();
+        let mut port_paused = false;
+        for _ in 0..10_000 {
+            let o = mmu.on_arrival(0, 0, 1000, t);
+            assert!(o.is_admitted(), "BShare must stay lossless until insurance fills");
+            regions.push(o.region.unwrap());
+            if o.actions.iter().any(|a| matches!(a, FcAction::PortPause { .. })) {
+                port_paused = true;
+                break;
+            }
+        }
+        assert!(port_paused, "port-level FC must engage");
+        assert_eq!(mmu.stats().dropped_packets, 0);
+        // Drain everything; queue and port must resume.
+        let mut queue_resumed = false;
+        let mut port_resumed = false;
+        for r in &regions {
+            t = Time::from_ns(t.as_ns() + 1_000);
+            for a in mmu.on_departure(0, 0, 1000, *r, t) {
+                match a {
+                    FcAction::QueueResume { .. } => queue_resumed = true,
+                    FcAction::PortResume { .. } => port_resumed = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(queue_resumed, "queue must resume after drain");
+        assert!(port_resumed, "port must resume after drain");
+        assert!(mmu.audit().is_clean(), "{}", mmu.audit());
+    }
+
+    #[test]
+    fn bshare_reset_clears_drain_estimate() {
+        let mut mmu = Mmu::new(small_cfg(Scheme::BShare));
+        let mut t = Time::ZERO;
+        for _ in 0..10 {
+            let o = mmu.on_arrival(0, 0, 1000, t);
+            t = Time::from_ns(t.as_ns() + 100_000);
+            let _ = mmu.on_departure(0, 0, 1000, o.region.unwrap(), t);
+        }
+        mmu.reset_occupancy();
+        // After reset the estimator is unprimed again: BShare behaves like
+        // DSH, whose first pause on this chip happens far beyond the ~200 B
+        // delay cap the stale estimate would have imposed.
+        let mut first_pause = None;
+        for i in 0..10_000 {
+            let o = mmu.on_arrival(0, 0, 1000, t);
+            if o.actions.iter().any(|a| matches!(a, FcAction::QueuePause { .. })) {
+                first_pause = Some(i);
+                break;
+            }
+        }
+        let i = first_pause.expect("must pause eventually");
+        assert!(i > 10, "stale delay cap survived reset: paused at packet {i}");
     }
 }

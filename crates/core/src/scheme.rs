@@ -1,0 +1,611 @@
+//! Pluggable headroom-allocation policies: the [`MmuScheme`] trait and its
+//! SIH, DSH and BShare implementations.
+//!
+//! The MMU is split into mechanism and policy. The mechanism —
+//! [`MmuCore`]: byte counters per region, pause-flag flips, statistics,
+//! drop attribution and trace emission — is shared by every scheme, so the
+//! conservation invariants [`crate::Mmu::audit`] checks hold no matter
+//! which policy runs. A scheme supplies the policy: where an arriving
+//! packet is accounted (admission), when PAUSE/RESUME frames are emitted
+//! (flow control) and which extra invariants it adds to the audit.
+//!
+//! The contract (DESIGN.md, "The MmuScheme trait contract"):
+//!
+//! * a scheme may observe any core state, but mutates occupancy and pause
+//!   state exclusively through the `MmuCore` charge/release/pause/resume
+//!   helpers (plus the drop-attribution counters), so the shared audit
+//!   stays authoritative;
+//! * `on_arrival`/`on_departure` must be deterministic functions of the
+//!   (core, scheme) state and their arguments — no wall clocks, no
+//!   randomness; the only notion of time is the `now` the caller passes;
+//! * the per-packet path must stay allocation-free: per-queue scheme
+//!   state is sized once at construction and [`MmuScheme::reset`] must
+//!   not allocate either. Dispatch is static, via the [`SchemeImpl`]
+//!   enum-of-impls.
+
+use crate::action::{DropReason, FcActions, Outcome, Region};
+use crate::audit::AuditViolation;
+use crate::config::{MmuConfig, Scheme};
+use crate::mmu::MmuCore;
+use dsh_simcore::Time;
+
+/// A headroom-allocation policy driving one [`MmuCore`].
+///
+/// Implementations exist for the paper's two schemes (SIH §III, DSH §IV)
+/// plus BShare's queueing-delay-driven sharing; [`SchemeImpl`] dispatches
+/// between them statically.
+pub trait MmuScheme {
+    /// Admission decision for a packet of `bytes` arriving at ingress
+    /// `port`, priority `queue`: place it in a buffer region (charging the
+    /// core's counters) or reject it, emitting any PAUSE/RESUME actions
+    /// the transition triggers.
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        now: Time,
+    ) -> Outcome;
+
+    /// Releases a departing packet's accounting (the `region` its arrival
+    /// charged) and applies the scheme's resume policy.
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        now: Time,
+    ) -> FcActions;
+
+    /// Appends the scheme-specific audit invariants (segments and states
+    /// this scheme never uses must stay empty).
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>);
+
+    /// Per-port headroom occupancy — the quantity whose local maxima
+    /// Fig. 6 analyses (SIH: static headroom; DSH/BShare: insurance).
+    fn port_headroom_occupancy(&self, core: &MmuCore, port: usize) -> u64;
+
+    /// Clears any scheme-internal estimator state (called from
+    /// [`crate::Mmu::reset_occupancy`]). Must not allocate.
+    fn reset(&mut self) {}
+}
+
+// ---- SIH ----------------------------------------------------------------
+
+/// Static Independent Headroom (paper §III): worst-case `η` statically
+/// reserved per ingress queue; queue-level PFC at the DT threshold.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SihScheme;
+
+impl SihScheme {
+    /// Queue-level resume check (paper case ② / Fig. 8a): `X_on = T(t) − δ`
+    /// against shared occupancy, gated on the queue's headroom having
+    /// drained (otherwise the next pause cycle would find less than `η`
+    /// of slack and could overflow).
+    fn check_resume_queue(
+        &self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        actions: &mut FcActions,
+    ) {
+        let idx = core.qidx(port, queue);
+        if core.queues[idx].headroom > 0 {
+            return;
+        }
+        let x_on = core.threshold().saturating_sub(core.cfg.resume_delta_queue.as_u64());
+        core.resume_queue_below(port, queue, x_on, actions);
+    }
+}
+
+impl MmuScheme for SihScheme {
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        _now: Time,
+    ) -> Outcome {
+        let idx = core.qidx(port, queue);
+        let phi = core.cfg.private_per_queue.as_u64();
+        let eta = core.cfg.eta_for(port).as_u64();
+        let t = core.threshold();
+
+        let region = {
+            let q = &core.queues[idx];
+            if q.private + bytes <= phi {
+                Some(Region::Private)
+            } else if q.shared + bytes <= t && core.total_shared + bytes <= core.dt.shared_size() {
+                Some(Region::Shared)
+            } else if q.headroom + bytes <= eta {
+                Some(Region::Headroom)
+            } else {
+                None
+            }
+        };
+
+        let mut actions = FcActions::none();
+        let mut drop_reason = None;
+        match region {
+            Some(Region::Private) => {
+                core.charge_private(idx, bytes);
+                self.check_resume_queue(core, port, queue, &mut actions);
+            }
+            Some(Region::Shared) => {
+                core.charge_shared(idx, port, bytes);
+                self.check_resume_queue(core, port, queue, &mut actions);
+            }
+            Some(Region::Headroom) => {
+                core.charge_headroom(idx, port, bytes);
+                // Case ③ (§II-C): entering headroom pauses the upstream.
+                core.pause_queue(port, queue, &mut actions);
+            }
+            Some(Region::Insurance) => unreachable!("SIH never uses insurance"),
+            None => {
+                // Attribute the drop to every rule that rejected it.
+                let q = &core.queues[idx];
+                core.attribution.private_full += 1;
+                if q.shared + bytes > t {
+                    core.attribution.dt_threshold += 1;
+                }
+                if core.total_shared + bytes > core.dt.shared_size() {
+                    core.attribution.shared_cap += 1;
+                }
+                core.attribution.headroom_full += 1;
+                drop_reason = Some(DropReason::HeadroomFull);
+                // Defensive: a drop means headroom was exhausted; make sure
+                // the upstream is paused (it should already be).
+                core.pause_queue(port, queue, &mut actions);
+            }
+        }
+
+        Outcome { region, drop_reason, actions }
+    }
+
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        _now: Time,
+    ) -> FcActions {
+        core.release(port, queue, bytes, region);
+        let mut actions = FcActions::none();
+        self.check_resume_queue(core, port, queue, &mut actions);
+        actions
+    }
+
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>) {
+        for (port, p) in core.ports.iter().enumerate() {
+            if p.insurance > 0 {
+                violations.push(AuditViolation {
+                    invariant: "sih-no-insurance",
+                    port: Some(port),
+                    queue: None,
+                    expected: 0,
+                    actual: p.insurance,
+                });
+            }
+            if p.paused {
+                violations.push(AuditViolation {
+                    invariant: "sih-no-port-pause",
+                    port: Some(port),
+                    queue: None,
+                    expected: 0,
+                    actual: 1,
+                });
+            }
+        }
+    }
+
+    fn port_headroom_occupancy(&self, core: &MmuCore, port: usize) -> u64 {
+        let base = port * core.cfg.queues_per_port;
+        core.queues[base..base + core.cfg.queues_per_port].iter().map(|q| q.headroom).sum()
+    }
+}
+
+// ---- DSH ----------------------------------------------------------------
+
+/// Dynamic and Shared Headroom (paper §IV): headroom folded into the
+/// shared pool; queue pause at `X_qoff = T(t) − η` (Eq. 5), port pause at
+/// `X_poff = N_q·T(t)` (Eq. 6) backed by per-port insurance headroom.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DshScheme;
+
+impl DshScheme {
+    /// DSH queue resume: `X_qon = X_qoff − δ_q`. The slack here is
+    /// recomputed from the live threshold (`T − w ≥ η` whenever
+    /// `w ≤ X_qoff`), so no headroom-empty gate is needed.
+    fn check_resume_queue(
+        &self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        actions: &mut FcActions,
+    ) {
+        let x_on = core.x_qoff_for(port).saturating_sub(core.cfg.resume_delta_queue.as_u64());
+        core.resume_queue_below(port, queue, x_on, actions);
+    }
+}
+
+impl MmuScheme for DshScheme {
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        _now: Time,
+    ) -> Outcome {
+        let idx = core.qidx(port, queue);
+        shared_pool_arrival(
+            core,
+            port,
+            queue,
+            idx,
+            bytes,
+            |core| core.x_qoff_for(port),
+            |core, p, q, a| DshScheme.check_resume_queue(core, p, q, a),
+        )
+    }
+
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        _now: Time,
+    ) -> FcActions {
+        core.release(port, queue, bytes, region);
+        let mut actions = FcActions::none();
+        self.check_resume_queue(core, port, queue, &mut actions);
+        core.check_resume_port(port, &mut actions);
+        actions
+    }
+
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>) {
+        audit_no_static_headroom(core, "dsh-no-static-headroom", violations);
+    }
+
+    fn port_headroom_occupancy(&self, core: &MmuCore, port: usize) -> u64 {
+        core.ports[port].insurance
+    }
+}
+
+// ---- BShare -------------------------------------------------------------
+
+/// Per-queue drain-rate estimate: an EWMA (gain 1/8) over instantaneous
+/// departure rates, in bytes per nanosecond.
+#[derive(Clone, Copy, Debug, Default)]
+struct DrainEstimate {
+    /// EWMA service rate in bytes/ns; meaningless until `primed`.
+    rate: f64,
+    /// Timestamp of the queue's previous departure.
+    last_departure: Time,
+    /// Whether at least one rate sample has been folded in.
+    primed: bool,
+}
+
+/// BShare: packet-queueing-delay-driven buffer sharing (PAPERS.md,
+/// arxiv 2605.24178), adapted to the PFC-headroom setting.
+///
+/// Admission, port-level flow control and the insurance headroom are
+/// exactly DSH's — which is what makes the scheme lossless, since its
+/// only deviation tightens a pause threshold. The deviation: each
+/// queue's pause threshold is capped by the buffer its measured drain
+/// rate can empty within the configured delay target, so a slow-draining
+/// queue pauses its upstream *earlier* than DSH's `X_qoff` and cannot
+/// build standing queueing delay beyond the target. Queues with no
+/// estimate yet (or an idle history) fall back to plain DSH behaviour.
+#[derive(Clone, Debug)]
+pub struct BShareScheme {
+    /// One estimator per (port, queue), indexed like `MmuCore::queues`.
+    drain: Vec<DrainEstimate>,
+    /// The delay target in nanoseconds (from
+    /// [`MmuConfig::bshare_delay_target`]).
+    delay_target_ns: f64,
+}
+
+impl BShareScheme {
+    /// Sizes the per-queue estimators for `cfg`'s topology.
+    #[must_use]
+    pub fn new(cfg: &MmuConfig) -> Self {
+        BShareScheme {
+            drain: vec![DrainEstimate::default(); cfg.total_queues()],
+            delay_target_ns: cfg.bshare_delay_target.as_ns() as f64,
+        }
+    }
+
+    /// The delay-derived cap on a queue's shared occupancy:
+    /// `rate × delay_target` bytes, or "no cap" before the first rate
+    /// sample (which degenerates to DSH).
+    fn delay_cap(&self, idx: usize) -> u64 {
+        let e = &self.drain[idx];
+        if !e.primed {
+            return u64::MAX;
+        }
+        // f64→u64 casts saturate, so an over-large product is just "no cap".
+        (e.rate * self.delay_target_ns) as u64
+    }
+
+    /// The queue pause threshold: DSH's `X_qoff` tightened by the delay
+    /// cap (Eq. 5 with a min).
+    fn x_qoff(&self, core: &MmuCore, port: usize, idx: usize) -> u64 {
+        core.x_qoff_for(port).min(self.delay_cap(idx))
+    }
+
+    /// Folds one departure into the queue's drain-rate EWMA.
+    fn observe_departure(&mut self, idx: usize, bytes: u64, now: Time) {
+        let e = &mut self.drain[idx];
+        let dt = now.as_ns().saturating_sub(e.last_departure.as_ns());
+        if dt > 0 {
+            let inst = bytes as f64 / dt as f64;
+            e.rate = if e.primed { e.rate + (inst - e.rate) * 0.125 } else { inst };
+            e.primed = true;
+        }
+        e.last_departure = now;
+    }
+
+    /// Queue resume at `X_qon = min(X_qoff, delay cap) − δ_q`, mirroring
+    /// the tightened pause threshold.
+    fn check_resume_queue(
+        &self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        actions: &mut FcActions,
+    ) {
+        let idx = core.qidx(port, queue);
+        let x_on =
+            self.x_qoff(core, port, idx).saturating_sub(core.cfg.resume_delta_queue.as_u64());
+        core.resume_queue_below(port, queue, x_on, actions);
+    }
+}
+
+impl MmuScheme for BShareScheme {
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        _now: Time,
+    ) -> Outcome {
+        let idx = core.qidx(port, queue);
+        let this = &*self;
+        shared_pool_arrival(
+            core,
+            port,
+            queue,
+            idx,
+            bytes,
+            |core| this.x_qoff(core, port, idx),
+            |core, p, q, a| this.check_resume_queue(core, p, q, a),
+        )
+    }
+
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        now: Time,
+    ) -> FcActions {
+        let idx = core.qidx(port, queue);
+        self.observe_departure(idx, bytes, now);
+        core.release(port, queue, bytes, region);
+        let mut actions = FcActions::none();
+        self.check_resume_queue(core, port, queue, &mut actions);
+        core.check_resume_port(port, &mut actions);
+        actions
+    }
+
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>) {
+        audit_no_static_headroom(core, "bshare-no-static-headroom", violations);
+    }
+
+    fn port_headroom_occupancy(&self, core: &MmuCore, port: usize) -> u64 {
+        core.ports[port].insurance
+    }
+
+    fn reset(&mut self) {
+        for e in &mut self.drain {
+            *e = DrainEstimate::default();
+        }
+    }
+}
+
+// ---- shared-pool admission (DSH & BShare) -------------------------------
+
+/// The shared-pool arrival state machine DSH and BShare have in common
+/// (paper Fig. 8): private → shared (gated on POFF and the pool cap) →
+/// insurance → drop. Only the queue pause threshold (`x_qoff`) and the
+/// queue resume policy differ between the two schemes, so they are passed
+/// in. `x_qoff` is evaluated *after* the packet is charged, matching the
+/// original inline code.
+fn shared_pool_arrival(
+    core: &mut MmuCore,
+    port: usize,
+    queue: usize,
+    idx: usize,
+    bytes: u64,
+    x_qoff: impl FnOnce(&MmuCore) -> u64,
+    mut check_resume_queue: impl FnMut(&mut MmuCore, usize, usize, &mut FcActions),
+) -> Outcome {
+    let phi = core.cfg.private_per_queue.as_u64();
+    let eta = core.cfg.eta_for(port).as_u64();
+
+    let region = {
+        let q = &core.queues[idx];
+        let p = &core.ports[port];
+        if q.private + bytes <= phi {
+            Some(Region::Private)
+        } else if !p.paused && core.total_shared + bytes <= core.dt.shared_size() {
+            // PON: packets go into the shared segment, which includes
+            // the dynamically allocated headroom (the paper's key idea).
+            Some(Region::Shared)
+        } else if core.cfg.dsh_port_fc && p.insurance + bytes <= eta {
+            // POFF (or the shared pool is physically full): in-flight
+            // packets are absorbed by the per-port insurance headroom.
+            Some(Region::Insurance)
+        } else {
+            None
+        }
+    };
+
+    let mut actions = FcActions::none();
+    let mut drop_reason = None;
+    match region {
+        Some(Region::Private) => {
+            core.charge_private(idx, bytes);
+            check_resume_queue(core, port, queue, &mut actions);
+            core.check_resume_port(port, &mut actions);
+        }
+        Some(Region::Shared) => {
+            core.charge_shared(idx, port, bytes);
+            // Recompute thresholds with the new occupancy and fire the
+            // queue- and port-level state machines (Fig. 8).
+            let x_qoff = x_qoff(core);
+            let x_poff = core.x_poff();
+            if core.queues[idx].shared > x_qoff {
+                core.pause_queue(port, queue, &mut actions);
+            } else {
+                check_resume_queue(core, port, queue, &mut actions);
+            }
+            if core.cfg.dsh_port_fc && core.port_total_occupancy(port) > x_poff {
+                core.pause_port(port, &mut actions);
+            }
+        }
+        Some(Region::Insurance) => {
+            core.charge_insurance(port, bytes);
+            // Insurance occupancy means the port must be (or go) POFF.
+            core.pause_port(port, &mut actions);
+        }
+        Some(Region::Headroom) => unreachable!("shared-pool schemes never use static headroom"),
+        None => {
+            // Attribute the drop to every rule that rejected it.
+            core.attribution.private_full += 1;
+            if core.ports[port].paused {
+                core.attribution.port_paused += 1;
+            }
+            if core.total_shared + bytes > core.dt.shared_size() {
+                core.attribution.shared_cap += 1;
+            }
+            drop_reason = Some(if core.cfg.dsh_port_fc {
+                core.attribution.insurance_full += 1;
+                DropReason::InsuranceFull
+            } else {
+                core.attribution.insurance_disabled += 1;
+                DropReason::InsuranceDisabled
+            });
+            if core.cfg.dsh_port_fc {
+                core.pause_port(port, &mut actions);
+            }
+        }
+    }
+
+    Outcome { region, drop_reason, actions }
+}
+
+/// Shared audit arm for shared-pool schemes: the static-headroom segment
+/// must stay empty.
+fn audit_no_static_headroom(
+    core: &MmuCore,
+    invariant: &'static str,
+    violations: &mut Vec<AuditViolation>,
+) {
+    for (i, q) in core.queues.iter().enumerate() {
+        if q.headroom > 0 {
+            violations.push(AuditViolation {
+                invariant,
+                port: Some(i / core.cfg.queues_per_port),
+                queue: Some(i % core.cfg.queues_per_port),
+                expected: 0,
+                actual: q.headroom,
+            });
+        }
+    }
+}
+
+// ---- static dispatch ----------------------------------------------------
+
+/// Enum-of-impls static dispatch over the built-in schemes: keeps the
+/// per-packet path free of vtable indirection and heap allocation.
+#[derive(Clone, Debug)]
+pub enum SchemeImpl {
+    /// Static Independent Headroom.
+    Sih(SihScheme),
+    /// Dynamic and Shared Headroom.
+    Dsh(DshScheme),
+    /// Queueing-delay-driven sharing.
+    BShare(BShareScheme),
+}
+
+impl SchemeImpl {
+    /// Instantiates the scheme `cfg` selects.
+    #[must_use]
+    pub fn for_config(cfg: &MmuConfig) -> Self {
+        match cfg.scheme {
+            Scheme::Sih => SchemeImpl::Sih(SihScheme),
+            Scheme::Dsh => SchemeImpl::Dsh(DshScheme),
+            Scheme::BShare => SchemeImpl::BShare(BShareScheme::new(cfg)),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            SchemeImpl::Sih($s) => $body,
+            SchemeImpl::Dsh($s) => $body,
+            SchemeImpl::BShare($s) => $body,
+        }
+    };
+}
+
+impl MmuScheme for SchemeImpl {
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        now: Time,
+    ) -> Outcome {
+        dispatch!(self, s => s.on_arrival(core, port, queue, bytes, now))
+    }
+
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        now: Time,
+    ) -> FcActions {
+        dispatch!(self, s => s.on_departure(core, port, queue, bytes, region, now))
+    }
+
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>) {
+        dispatch!(self, s => s.audit(core, violations))
+    }
+
+    fn port_headroom_occupancy(&self, core: &MmuCore, port: usize) -> u64 {
+        dispatch!(self, s => s.port_headroom_occupancy(core, port))
+    }
+
+    fn reset(&mut self) {
+        dispatch!(self, s => s.reset())
+    }
+}

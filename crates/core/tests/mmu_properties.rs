@@ -2,7 +2,7 @@
 //! invariants, driven by randomized arrival/departure traces.
 
 use dsh_core::{FcAction, Mmu, MmuConfig, Region, Scheme};
-use dsh_simcore::ByteSize;
+use dsh_simcore::{ByteSize, Time};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -53,13 +53,13 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
     for &op in ops {
         match op {
             Op::Arrive { port, queue, bytes } => {
-                let out = mmu.on_arrival(port, queue, bytes);
+                let out = mmu.on_arrival(port, queue, bytes, Time::ZERO);
                 if let Some(region) = out.region {
-                    // SIH never uses insurance; DSH never uses static
-                    // headroom.
+                    // SIH never uses insurance; DSH/BShare never use
+                    // static headroom.
                     match scheme {
                         Scheme::Sih => assert_ne!(region, Region::Insurance),
-                        Scheme::Dsh => assert_ne!(region, Region::Headroom),
+                        Scheme::Dsh | Scheme::BShare => assert_ne!(region, Region::Headroom),
                     }
                     fifos[port * queues + queue].push_back((bytes, region));
                     buffered += bytes;
@@ -68,10 +68,12 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
                     // last-resort segment lacks room for this very packet.
                     let slack = match scheme {
                         Scheme::Sih => eta - mmu.headroom_occupancy(port, queue),
-                        Scheme::Dsh if port_fc => eta - mmu.insurance_occupancy(port),
+                        Scheme::Dsh | Scheme::BShare if port_fc => {
+                            eta - mmu.insurance_occupancy(port)
+                        }
                         // Ablated DSH has no last-resort segment; drops are
                         // expected (that is the ablation's point).
-                        Scheme::Dsh => bytes,
+                        Scheme::Dsh | Scheme::BShare => bytes,
                     };
                     assert!(
                         slack < bytes,
@@ -82,7 +84,7 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
             }
             Op::Depart { port, queue } => {
                 if let Some((bytes, region)) = fifos[port * queues + queue].pop_front() {
-                    let _ = mmu.on_departure(port, queue, bytes, region);
+                    let _ = mmu.on_departure(port, queue, bytes, region, Time::ZERO);
                     buffered -= bytes;
                 }
             }
@@ -111,7 +113,7 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
     for p in 0..ports {
         for q in 0..queues {
             while let Some((bytes, region)) = fifos[p * queues + q].pop_front() {
-                let _ = mmu.on_departure(p, q, bytes, region);
+                let _ = mmu.on_departure(p, q, bytes, region, Time::ZERO);
             }
         }
     }
@@ -149,6 +151,11 @@ proptest! {
         check_trace(Scheme::Dsh, false, &ops);
     }
 
+    #[test]
+    fn bshare_invariants_hold(ops in proptest::collection::vec(op_strategy(3, 2), 1..400)) {
+        check_trace(Scheme::BShare, true, &ops);
+    }
+
     /// A pause-respecting upstream never loses a packet: after a queue
     /// pause, at most η more bytes arrive before the upstream stalls.
     #[test]
@@ -171,7 +178,7 @@ proptest! {
                     break;
                 }
                 let bytes = 1500.min(port_budget[port]);
-                let out = mmu.on_arrival(port, queue, bytes);
+                let out = mmu.on_arrival(port, queue, bytes, Time::ZERO);
                 prop_assert!(out.region.is_some(), "drop for a pause-respecting upstream");
                 fifo[port * 2 + queue].push_back((bytes, out.region.unwrap()));
                 for a in out.actions {
@@ -188,7 +195,7 @@ proptest! {
                 let p = rng.gen_index(3);
                 let q = rng.gen_index(2);
                 if let Some((b, r)) = fifo[p * 2 + q].pop_front() {
-                    for a in mmu.on_departure(p, q, b, r) {
+                    for a in mmu.on_departure(p, q, b, r, Time::ZERO) {
                         if let FcAction::PortResume { port } = a {
                             port_budget[port] = u64::MAX;
                         }

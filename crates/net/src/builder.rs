@@ -23,9 +23,14 @@ pub struct NetParams {
     pub alpha: f64,
     /// Private buffer per queue (`φ`).
     pub private_per_queue: ByteSize,
-    /// Explicit `η` (otherwise derived per switch from its fastest link via
-    /// Eq. 1).
+    /// Explicit `η` (otherwise derived per port from its link via the
+    /// configured [`HeadroomSource`]).
     pub eta_override: Option<ByteSize>,
+    /// Formula used to derive per-port `η` from link parameters when no
+    /// [`NetParams::eta_override`] is set.
+    pub headroom_source: HeadroomSource,
+    /// BShare's target per-packet queueing delay (ignored by SIH/DSH).
+    pub bshare_delay_target: Delta,
     /// MTU (payload bytes per data frame).
     pub mtu: u64,
     /// ECN marking profile.
@@ -68,6 +73,8 @@ impl NetParams {
             alpha: 1.0 / 16.0,
             private_per_queue: ByteSize::kib(3),
             eta_override: None,
+            headroom_source: HeadroomSource::PaperEq1,
+            bshare_delay_target: Delta::from_us(20),
             mtu: 1500,
             ecn: EcnConfig::for_100g(),
             base_rtt: Delta::from_us(16),
@@ -77,6 +84,38 @@ impl NetParams {
             recovery: None,
             seed: 1,
             trace: TraceConfig::off(),
+        }
+    }
+}
+
+/// How a switch derives per-port headroom `η` from link parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeadroomSource {
+    /// The paper's Eq. 1: `η = 2(C·D_prop + MTU) + 3840 B`, where the
+    /// trailing constant folds the PFC frame time and the peer's response
+    /// delay at 100 Gb/s.
+    PaperEq1,
+    /// SONiC's BufferManager formula (`speed × cable length × MTU × peer
+    /// response time`): `η = 2·C·D_cable + 2·MTU + C·t_peer`, with the
+    /// peer response time an explicit operator knob instead of Eq. 1's
+    /// baked-in 3840 B. The two agree exactly when `C·t_peer = 3840 B`
+    /// (307.2 ns at 100 Gb/s) — `theory_validation` pins that equality.
+    Sonic {
+        /// Peer response time `t_peer` (how long the neighbour keeps
+        /// transmitting after the PAUSE frame arrives).
+        peer_response: Delta,
+    },
+}
+
+impl HeadroomSource {
+    /// The headroom for one port's link.
+    #[must_use]
+    pub fn eta(self, capacity: Bandwidth, prop_delay: Delta, mtu_bytes: u64) -> ByteSize {
+        match self {
+            HeadroomSource::PaperEq1 => headroom::eta(capacity, prop_delay, mtu_bytes),
+            HeadroomSource::Sonic { peer_response } => {
+                headroom::sonic_headroom(capacity, prop_delay, mtu_bytes, peer_response)
+            }
         }
     }
 }
@@ -181,6 +220,18 @@ impl NetworkBuilder {
         // switch graph; each switch forwards to any neighbour strictly
         // closer to the ToR (ECMP).
         let tables = compute_route_tables(&is_switch, &adj);
+        // The inline telemetry array budgets every frame's stamp count:
+        // a topology deeper than HOP_CAPACITY must fail here, not panic
+        // mid-simulation in HopList::push.
+        let diameter = crate::routing::max_route_hops(&is_switch, &adj);
+        assert!(
+            diameter <= dsh_transport::HOP_CAPACITY,
+            "longest route crosses {diameter} switches but frames carry only \
+             HOP_CAPACITY ({}) inline telemetry stamps; raise \
+             dsh_transport::HOP_CAPACITY (and recertify the Frame size \
+             contract) for this topology",
+            dsh_transport::HOP_CAPACITY
+        );
 
         // Materialize nodes.
         let mut nodes = Vec::with_capacity(n);
@@ -204,12 +255,20 @@ impl NetworkBuilder {
                         .iter()
                         .map(|p| {
                             self.params.eta_override.unwrap_or_else(|| {
-                                headroom::eta(p.bandwidth, p.prop_delay, self.params.mtu)
+                                self.params.headroom_source.eta(
+                                    p.bandwidth,
+                                    p.prop_delay,
+                                    self.params.mtu,
+                                )
                             })
                         })
                         .collect();
                     let default_eta = port_etas.iter().copied().max().unwrap_or_else(|| {
-                        headroom::eta(Bandwidth::from_gbps(100), Delta::from_us(2), self.params.mtu)
+                        self.params.headroom_source.eta(
+                            Bandwidth::from_gbps(100),
+                            Delta::from_us(2),
+                            self.params.mtu,
+                        )
                     });
                     let mut builder = MmuConfig::builder();
                     builder
@@ -219,7 +278,8 @@ impl NetworkBuilder {
                         .lossless_queues(NUM_DATA_CLASSES)
                         .private_per_queue(self.params.private_per_queue)
                         .eta(default_eta)
-                        .alpha(self.params.alpha);
+                        .alpha(self.params.alpha)
+                        .bshare_delay_target(self.params.bshare_delay_target);
                     if !port_etas.is_empty() {
                         builder.port_etas(port_etas);
                     }
@@ -304,6 +364,20 @@ impl NetParams {
         self
     }
 
+    /// Returns a copy with a different per-port headroom formula.
+    #[must_use]
+    pub fn with_headroom_source(mut self, source: HeadroomSource) -> Self {
+        self.headroom_source = source;
+        self
+    }
+
+    /// Returns a copy with a different BShare queueing-delay target.
+    #[must_use]
+    pub fn with_bshare_delay_target(mut self, d: Delta) -> Self {
+        self.bshare_delay_target = d;
+        self
+    }
+
     /// The [`TraceKey`] a network built from these parameters registers
     /// under in a [`dsh_simcore::trace::capture`] session: the seed
     /// separates sweep points, the scheme tag separates the SIH/DSH pair
@@ -315,6 +389,7 @@ impl NetParams {
             tag: match self.scheme {
                 Scheme::Sih => 0,
                 Scheme::Dsh => 1,
+                Scheme::BShare => 2,
             },
         }
     }

@@ -69,7 +69,7 @@ mod routing;
 mod switch;
 pub mod topology;
 
-pub use builder::{NetParams, NetworkBuilder};
+pub use builder::{HeadroomSource, NetParams, NetworkBuilder};
 pub use ecn::EcnConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkCorruption};
 pub use frame::{AckFrame, DataFrame, Frame, FrameKind, PfcFrame, PfcScope};

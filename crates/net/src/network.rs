@@ -696,7 +696,7 @@ impl Network {
             // admitted to) and collect PFC actions.
             if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
                 let sw = self.switch_mut(node);
-                fc = sw.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
+                fc = sw.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region, now);
                 sw.occupancy.sub(now, qf.frame.bytes);
             }
             // Stamp INT telemetry (switch egress only).
@@ -826,7 +826,7 @@ impl Network {
             let sw = self.switch_mut(node);
             if frame.is_data() {
                 let q = frame.class as usize;
-                let outcome = sw.mmu.on_arrival(in_port, q, frame.bytes);
+                let outcome = sw.mmu.on_arrival(in_port, q, frame.bytes, now);
                 fc = outcome.actions;
                 match outcome.region {
                     Some(region) => {
@@ -1433,7 +1433,7 @@ impl Network {
         for qf in drained {
             if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
                 let Node::Switch(s) = &mut self.nodes[node.0] else { unreachable!() };
-                let actions = s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
+                let actions = s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region, now);
                 s.occupancy.sub(now, qf.frame.bytes);
                 fc.extend(actions);
             }
@@ -1493,6 +1493,16 @@ impl Network {
             }
         }
         let tables = crate::routing::compute_route_tables(&is_switch, &adj);
+        // Fault detours can lengthen routes past the build-time diameter;
+        // re-validate the stamp budget on every recompute so an overlong
+        // detour fails at reroute time, not mid-flight in HopList::push.
+        let diameter = crate::routing::max_route_hops(&is_switch, &adj);
+        assert!(
+            diameter <= dsh_transport::HOP_CAPACITY,
+            "post-fault reroute produced a {diameter}-switch path but frames \
+             carry only HOP_CAPACITY ({}) inline telemetry stamps",
+            dsh_transport::HOP_CAPACITY
+        );
         for (node, table) in self.nodes.iter_mut().zip(tables) {
             if let Node::Switch(s) = node {
                 s.routes = table;
@@ -1595,7 +1605,7 @@ impl Network {
                         if let Some(IngressTag { in_port, in_queue, region }) = qf.ingress {
                             let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
                             let actions =
-                                s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region);
+                                s.mmu.on_departure(in_port, in_queue, qf.frame.bytes, region, now);
                             s.occupancy.sub(now, qf.frame.bytes);
                             fc.extend(actions);
                         }
@@ -1751,8 +1761,10 @@ impl std::fmt::Debug for ClassMask {
 // constantly, so the large frame payload must stay behind a pointer.
 dsh_simcore::const_assert_size!(NetEvent, 24);
 dsh_simcore::const_assert_size!(QueuedFrame, 40);
-// The boxed frame itself carries the inline HopList; keep it cache-friendly.
-dsh_simcore::const_assert_size!(Frame, 256);
+// The boxed frame itself carries the inline HopList (HOP_CAPACITY × 32-byte
+// TelemetryHop stamps); keep it cache-friendly. Raising HOP_CAPACITY moves
+// this — recertify deliberately, don't just bump the number.
+dsh_simcore::const_assert_size!(Frame, 352);
 
 impl Model for Network {
     type Event = NetEvent;
@@ -1857,6 +1869,31 @@ mod tests {
         b.link(h0, s, Bandwidth::from_gbps(100), Delta::from_us(2));
         b.link(h1, s, Bandwidth::from_gbps(100), Delta::from_us(2));
         (b.build(), h0, h1)
+    }
+
+    /// A linear chain of `depth` switches between two hosts.
+    fn switch_chain(depth: usize) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new(NetParams::tomahawk(Scheme::Dsh).without_ecn());
+        let h0 = b.host();
+        let h1 = b.host();
+        let switches: Vec<NodeId> = (0..depth).map(|_| b.switch()).collect();
+        b.link(h0, switches[0], Bandwidth::from_gbps(100), Delta::from_us(2));
+        for w in switches.windows(2) {
+            b.link(w[0], w[1], Bandwidth::from_gbps(100), Delta::from_us(2));
+        }
+        b.link(switches[depth - 1], h1, Bandwidth::from_gbps(100), Delta::from_us(2));
+        b
+    }
+
+    #[test]
+    fn build_accepts_a_path_at_the_hop_capacity() {
+        let _ = switch_chain(dsh_transport::HOP_CAPACITY).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "HOP_CAPACITY")]
+    fn build_rejects_a_path_deeper_than_the_hop_capacity() {
+        let _ = switch_chain(dsh_transport::HOP_CAPACITY + 1).build();
     }
 
     #[test]

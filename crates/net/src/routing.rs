@@ -125,6 +125,47 @@ pub fn compute_route_tables(is_switch: &[bool], adj: &[Vec<(usize, usize)>]) -> 
     tables
 }
 
+/// Longest route the given live topology can produce, measured in switch
+/// egress stamps (the unit [`dsh_transport::HOP_CAPACITY`] budgets): a
+/// frame from a host behind ToR `t_src` to a host behind ToR `t_dst`
+/// crosses `dist(t_src, t_dst) + 1` switches, and every one stamps the
+/// frame once at dequeue. Returns 0 when no host pair is mutually
+/// reachable.
+///
+/// Shared by `NetworkBuilder::build` and the runtime fault handler so a
+/// topology (or a post-fault detour) whose diameter exceeds the inline
+/// telemetry capacity fails loudly at (re)route time instead of panicking
+/// mid-flight in `HopList::push`.
+#[must_use]
+pub fn max_route_hops(is_switch: &[bool], adj: &[Vec<(usize, usize)>]) -> usize {
+    let n = is_switch.len();
+    let switch_adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| {
+            if !is_switch[u] {
+                return Vec::new();
+            }
+            adj[u].iter().filter(|&&(v, _)| is_switch[v]).map(|&(v, _)| v).collect()
+        })
+        .collect();
+    // Only ToRs (switches with a live host behind them) terminate routes.
+    let mut tors: Vec<usize> = (0..n)
+        .filter(|&h| !is_switch[h])
+        .filter_map(|h| adj[h].iter().find(|&&(v, _)| is_switch[v]).map(|&(t, _)| t))
+        .collect();
+    tors.sort_unstable();
+    tors.dedup();
+    let mut worst = 0;
+    for &t in &tors {
+        let dist = bfs_distances(&switch_adj, t);
+        for &t2 in &tors {
+            if dist[t2] != usize::MAX {
+                worst = worst.max(dist[t2] + 1);
+            }
+        }
+    }
+    worst
+}
+
 /// Deterministic ECMP hash (SplitMix64 finalizer over flow ⊕ node).
 #[must_use]
 pub fn ecmp_hash(flow: u64, node: u64) -> u64 {
@@ -247,6 +288,38 @@ mod tests {
         // Spine 4 lost its only edge toward ToR 2, so it reaches h0 by
         // the leaf bounce through ToR 3 (then spine 5, then ToR 2).
         assert_eq!(tables[4].candidates(0), &[1]);
+    }
+
+    #[test]
+    fn max_route_hops_counts_switch_stamps() {
+        let (is_switch, adj) = leaf_spine_adj();
+        // h0 -> ToR 2 -> spine -> ToR 3 -> h1: three egress stamps.
+        assert_eq!(max_route_hops(&is_switch, &adj), 3);
+    }
+
+    #[test]
+    fn max_route_hops_grows_on_reroute_lengthened_path() {
+        // Hosts 0/1 behind ToRs 2/3; the ToRs are joined directly and via
+        // a three-switch detour (4-5-6): a ring in miniature.
+        let is_switch = vec![false, false, true, true, true, true, true];
+        let mut adj = vec![
+            vec![(2, 0)],                 // h0 -> ToR 2
+            vec![(3, 0)],                 // h1 -> ToR 3
+            vec![(0, 0), (3, 1), (4, 2)], // ToR 2
+            vec![(1, 0), (2, 1), (6, 2)], // ToR 3
+            vec![(2, 0), (5, 1)],         // detour
+            vec![(4, 0), (6, 1)],
+            vec![(5, 0), (3, 1)],
+        ];
+        // Direct ToR-ToR link up: two stamps.
+        assert_eq!(max_route_hops(&is_switch, &adj), 2);
+        // Kill the direct link; the reroute goes 2-4-5-6-3: five stamps,
+        // still within the inline HopList capacity.
+        adj[2].retain(|&(v, _)| v != 3);
+        adj[3].retain(|&(v, _)| v != 2);
+        let lengthened = max_route_hops(&is_switch, &adj);
+        assert_eq!(lengthened, 5);
+        assert!(lengthened <= dsh_transport::HOP_CAPACITY);
     }
 
     #[test]

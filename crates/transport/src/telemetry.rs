@@ -34,14 +34,19 @@ impl TelemetryHop {
 /// Maximum number of switch hops a packet can traverse, and therefore the
 /// inline capacity of a [`HopList`].
 ///
-/// The largest supported fabrics bound the data-path diameter at 5 egress
+/// The nominal data-path diameter of the supported fabrics is 5 egress
 /// stamps: a k-ary fat-tree crosses edge→agg→core→agg→edge, and the
 /// failure-rerouted leaf–spine paths of the CBD experiment (fig. 12) cross
-/// leaf→spine→leaf→spine→leaf. Every frame carries this array inline, so
-/// the constant is also a memcpy budget — keep it at the real diameter.
-/// Anything deeper must raise it (a [`HopList::push`] past capacity panics
-/// rather than silently dropping telemetry).
-pub const HOP_CAPACITY: usize = 5;
+/// leaf→spine→leaf→spine→leaf. Fault reroutes can lengthen a path past the
+/// nominal diameter (a recomputed fat-tree route may detour through an
+/// extra agg/core pair), so the capacity carries 3 hops of slack above it.
+/// Every frame carries this array inline, so the constant is also a memcpy
+/// budget — the `Frame` size contract (`const_assert_size!` in
+/// `dsh-net::network`) recertifies the frame footprint whenever it moves.
+/// `NetworkBuilder::build` checks the longest computed route against this
+/// capacity at build time, and [`HopList::push`] past capacity panics
+/// rather than silently dropping telemetry.
+pub const HOP_CAPACITY: usize = 8;
 
 const ZERO_HOP: TelemetryHop = TelemetryHop {
     qlen_bytes: 0,
