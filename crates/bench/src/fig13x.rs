@@ -48,6 +48,10 @@ pub struct FlapExperiment {
     /// buffer pushes the post-outage fan-in over the PFC thresholds, so
     /// traced runs exercise the pause/resume machinery.
     pub buffer: Option<ByteSize>,
+    /// Intra-run partition workers: 1 runs the serial calendar, ≥ 2 the
+    /// link-partitioned engine (profiled runs always stay serial — the
+    /// engine profiler hooks the serial dispatch loop).
+    pub workers: usize,
 }
 
 impl FlapExperiment {
@@ -67,6 +71,7 @@ impl FlapExperiment {
             run_until: Delta::from_ms(6),
             seed: 1,
             buffer: None,
+            workers: 1,
         }
     }
 }
@@ -114,7 +119,46 @@ pub fn run_flap_profiled(exp: &FlapExperiment) -> (FlapResult, EngineProfile) {
     (result, profile)
 }
 
+/// Runs one flap experiment on the partitioned engine — even at one
+/// worker — and returns the result plus the run's full telemetry report
+/// as a JSON string. Determinism regressions compare this document
+/// across worker counts byte for byte; the engine is held fixed because
+/// the partitioned per-partition RNG streams legitimately differ from
+/// the serial calendar's when ECN marking draws random numbers.
+///
+/// # Panics
+///
+/// Same contract as [`run_flap`].
+#[must_use]
+pub fn run_flap_report(exp: &FlapExperiment, workers: usize) -> (FlapResult, String) {
+    let net = build_flap(exp);
+    let registered = net.flow_count();
+    let deadline = Time::ZERO + exp.run_until;
+    let (net, events) = crate::fabric::run_net_partitioned(net, deadline, workers);
+    let report = net.telemetry_report(deadline).to_json().to_string();
+    (summarize(&net, events, registered), report)
+}
+
 fn run_flap_inner(exp: &FlapExperiment, profile: Option<&mut EngineProfile>) -> FlapResult {
+    let net = build_flap(exp);
+    let registered = net.flow_count();
+    let deadline = Time::ZERO + exp.run_until;
+    let (net, events) = match profile {
+        Some(p) => {
+            // The profiler hooks the serial dispatch loop, so profiled
+            // runs ignore `workers`.
+            let mut sim = net.into_sim();
+            sim.run_until_profiled(deadline, p);
+            let events = sim.events_processed();
+            (sim.into_model(), events)
+        }
+        None => crate::fabric::run_net(net, deadline, exp.workers),
+    };
+    summarize(&net, events, registered)
+}
+
+/// Builds the loaded 2×2 leaf–spine with the experiment's flap plan.
+fn build_flap(exp: &FlapExperiment) -> dsh_net::Network {
     let mut params = NetParams::tomahawk(exp.scheme).with_seed(exp.seed).with_default_recovery();
     if let Some(buffer) = exp.buffer {
         params = params.with_buffer(buffer);
@@ -162,19 +206,11 @@ fn run_flap_inner(exp: &FlapExperiment, profile: Option<&mut EngineProfile>) -> 
         net.set_fault_plan(plan);
     }
 
-    let registered = net.flow_count();
-    let mut sim = net.into_sim();
-    match profile {
-        Some(p) => {
-            sim.run_until_profiled(Time::ZERO + exp.run_until, p);
-        }
-        None => {
-            sim.run_until(Time::ZERO + exp.run_until);
-        }
-    }
-    let events = sim.events_processed();
-    let net = sim.into_model();
+    net
+}
 
+/// Audits and summarizes a finished flap run.
+fn summarize(net: &dsh_net::Network, events: u64, registered: usize) -> FlapResult {
     assert_eq!(net.data_drops(), 0, "faults must not cause MMU admission drops");
     for (id, audit) in net.audit_all() {
         assert!(audit.is_clean(), "MMU audit dirty at {id} after faults: {:?}", audit.violations);

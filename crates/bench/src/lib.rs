@@ -51,6 +51,11 @@ pub struct Args {
     /// `--threads N`, falling back to `DSH_THREADS`; 0 means "auto"
     /// (available parallelism). Resolve through [`Args::executor`].
     pub threads: usize,
+    /// `--workers N`, falling back to `DSH_WORKERS`: intra-run partition
+    /// workers for the conservative parallel engine. 1 (the default) runs
+    /// the plain serial calendar; 0 means "auto" (available parallelism).
+    /// Resolve through [`Args::sim_workers`].
+    pub workers: usize,
     /// `--trace PATH`: record flight-recorder traces for every
     /// simulation of the run and write a Chrome `trace_event` JSON
     /// document to PATH (see [`with_trace`]).
@@ -65,6 +70,8 @@ usage: <figure-binary> [OPTIONS]
   --smoke         CI-sized single-point run with hard assertions
   --seed N        RNG seed (unsigned integer, default 1)
   --threads N     worker pool width (0 = auto; DSH_THREADS fallback)
+  --workers N     intra-run partition workers (1 = serial engine, 0 = auto;
+                  DSH_WORKERS fallback)
   --trace PATH    write a Chrome trace_event JSON document to PATH";
 
 impl Args {
@@ -77,6 +84,7 @@ impl Args {
         let parsed = Args::from_iter(
             std::env::args().skip(1),
             exec::threads_from(std::env::var(exec::THREADS_ENV).ok().as_deref()),
+            exec::workers_from(std::env::var(exec::WORKERS_ENV).ok().as_deref()),
         );
         match parsed {
             Ok(args) => args,
@@ -98,6 +106,7 @@ impl Args {
     fn from_iter<I: IntoIterator<Item = String>>(
         argv: I,
         env_threads: Option<usize>,
+        env_workers: Option<usize>,
     ) -> Result<Args, String> {
         let mut args = Args {
             full: false,
@@ -105,6 +114,7 @@ impl Args {
             smoke: false,
             seed: 1,
             threads: env_threads.unwrap_or(0),
+            workers: env_workers.unwrap_or(1),
             trace: None,
         };
         let mut it = argv.into_iter();
@@ -115,6 +125,7 @@ impl Args {
                 "--smoke" => args.smoke = true,
                 "--seed" => args.seed = parse_value(&tok, it.next())?,
                 "--threads" => args.threads = parse_value(&tok, it.next())?,
+                "--workers" => args.workers = parse_value(&tok, it.next())?,
                 "--trace" => {
                     let path =
                         it.next().ok_or_else(|| "--trace requires a PATH operand".to_string())?;
@@ -134,6 +145,17 @@ impl Args {
     pub fn executor(&self) -> Executor {
         Executor::new(self.threads)
     }
+
+    /// The intra-run worker count for partitioned simulations, resolving
+    /// 0 = auto to the machine's available parallelism.
+    #[must_use]
+    pub fn sim_workers(&self) -> usize {
+        if self.workers == 0 {
+            exec::default_threads()
+        } else {
+            self.workers
+        }
+    }
 }
 
 /// Parses the operand of a value-taking flag, failing on a missing or
@@ -145,14 +167,19 @@ fn parse_value<T: std::str::FromStr>(flag: &str, operand: Option<String>) -> Res
 
 /// The provenance header embedded in every JSON artifact the harness
 /// emits (Chrome traces, structured dumps, bench metrics): the run's
-/// inputs plus the executor width, stamped with the package version.
-/// Per-scheme artifacts add their own `scheme` field; trace logs carry
-/// the scheme in their [`dsh_simcore::trace::TraceKey`] tag instead.
+/// inputs, the parallelism actually in force (sweep threads *and*
+/// intra-run partition workers, not just what the host could offer),
+/// and the host's available parallelism for context, stamped with the
+/// package version. Per-scheme artifacts add their own `scheme` field;
+/// trace logs carry the scheme in their
+/// [`dsh_simcore::trace::TraceKey`] tag instead.
 #[must_use]
 pub fn provenance(args: &Args) -> Json {
     Json::object()
         .with("seed", args.seed)
-        .with("threads", args.executor().threads())
+        .with("threads", args.executor().threads() as u64)
+        .with("workers", args.sim_workers() as u64)
+        .with("available_parallelism", exec::default_threads() as u64)
         .with("version", env!("CARGO_PKG_VERSION"))
 }
 
@@ -189,10 +216,18 @@ mod tests {
 
     #[test]
     fn defaults_when_no_flags() {
-        let a = Args::from_iter(argv(&[]), None).unwrap();
+        let a = Args::from_iter(argv(&[]), None, None).unwrap();
         assert_eq!(
             a,
-            Args { full: false, json: false, smoke: false, seed: 1, threads: 0, trace: None }
+            Args {
+                full: false,
+                json: false,
+                smoke: false,
+                seed: 1,
+                threads: 0,
+                workers: 1,
+                trace: None,
+            }
         );
     }
 
@@ -207,9 +242,12 @@ mod tests {
                 "--smoke",
                 "--threads",
                 "3",
+                "--workers",
+                "2",
                 "--trace",
                 "t.json",
             ]),
+            None,
             None,
         )
         .unwrap();
@@ -221,6 +259,7 @@ mod tests {
                 smoke: true,
                 seed: 9,
                 threads: 3,
+                workers: 2,
                 trace: Some("t.json".to_string()),
             }
         );
@@ -228,47 +267,59 @@ mod tests {
 
     #[test]
     fn threads_flag_overrides_env_fallback() {
-        assert_eq!(Args::from_iter(argv(&[]), Some(2)).unwrap().threads, 2);
-        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2)).unwrap().threads, 5);
+        assert_eq!(Args::from_iter(argv(&[]), Some(2), None).unwrap().threads, 2);
+        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2), None).unwrap().threads, 5);
+    }
+
+    #[test]
+    fn workers_flag_overrides_env_fallback_and_defaults_serial() {
+        assert_eq!(Args::from_iter(argv(&[]), None, None).unwrap().workers, 1);
+        assert_eq!(Args::from_iter(argv(&[]), None, Some(4)).unwrap().workers, 4);
+        assert_eq!(Args::from_iter(argv(&["--workers", "3"]), None, Some(4)).unwrap().workers, 3);
+        // 0 = auto resolves to at least one worker.
+        let auto = Args::from_iter(argv(&["--workers", "0"]), None, None).unwrap();
+        assert!(auto.sim_workers() >= 1);
+        let serial = Args::from_iter(argv(&[]), None, None).unwrap();
+        assert_eq!(serial.sim_workers(), 1);
     }
 
     #[test]
     fn typod_flags_are_rejected() {
-        let e = Args::from_iter(argv(&["--sed", "9"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--sed", "9"]), None, None).unwrap_err();
         assert!(e.contains("unknown argument '--sed'"), "{e}");
-        let e = Args::from_iter(argv(&["--bogus"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--bogus"]), None, None).unwrap_err();
         assert!(e.contains("--bogus"), "{e}");
         // Bare operands are unknown tokens too.
-        let e = Args::from_iter(argv(&["full"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["full"]), None, None).unwrap_err();
         assert!(e.contains("unknown argument 'full'"), "{e}");
     }
 
     #[test]
     fn malformed_values_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed", "abc"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed", "abc"]), None, None).unwrap_err();
         assert!(e.contains("invalid value for --seed: 'abc'"), "{e}");
-        let e = Args::from_iter(argv(&["--threads", "-1"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads", "-1"]), None, None).unwrap_err();
         assert!(e.contains("invalid value for --threads"), "{e}");
     }
 
     #[test]
     fn missing_operands_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed"]), None, None).unwrap_err();
         assert!(e.contains("--seed requires a value"), "{e}");
-        let e = Args::from_iter(argv(&["--threads"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads"]), None, None).unwrap_err();
         assert!(e.contains("--threads requires a value"), "{e}");
         // The original bug: `--trace` as the last token silently produced
         // an untraced run.
-        let e = Args::from_iter(argv(&["--trace"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace"]), None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
         // A following flag is not a PATH either.
-        let e = Args::from_iter(argv(&["--trace", "--json"]), None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace", "--json"]), None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
     }
 
     #[test]
     fn usage_names_every_flag() {
-        for flag in ["--full", "--json", "--smoke", "--seed", "--threads", "--trace"] {
+        for flag in ["--full", "--json", "--smoke", "--seed", "--threads", "--workers", "--trace"] {
             assert!(USAGE.contains(flag), "usage must list {flag}");
         }
     }

@@ -64,6 +64,7 @@ mod host;
 mod ids;
 mod monitor;
 mod network;
+pub mod par;
 mod port;
 mod routing;
 mod switch;
@@ -79,5 +80,6 @@ pub use monitor::{
     PortPauseTelemetry, SwitchTelemetry, TelemetryReport, ThroughputSample,
 };
 pub use network::{BlockedPort, ClassMask, FlowSpec, NetEvent, Network};
+pub use par::{partition, ParallelSim, PartitionError, PartitionPlan, MAX_PARTITIONS};
 pub use port::{EgressPort, IngressTag, QueuedFrame, DWRR_QUANTUM};
 pub use routing::{ecmp_hash, RouteTable};

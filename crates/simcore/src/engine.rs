@@ -14,6 +14,10 @@ use crate::time::{Delta, Time};
 pub struct Scheduler<'a, E> {
     now: Time,
     queue: &'a mut EventQueue<E>,
+    /// Events the model pulled out of the calendar itself via
+    /// [`Scheduler::take_next_if`]; folded into the run loop's processed
+    /// count so `events_processed` still counts every handled event.
+    fused: u64,
 }
 
 impl<E> Scheduler<'_, E> {
@@ -46,6 +50,23 @@ impl<E> Scheduler<'_, E> {
     #[inline]
     pub fn immediately(&mut self, event: E) {
         self.queue.push(self.now, event);
+    }
+
+    /// Takes the calendar's next event if it fires at exactly the current
+    /// instant and satisfies `pred` — the fused-dispatch primitive.
+    ///
+    /// The event returned is precisely the one the run loop would have
+    /// popped next (full `(time, seq)` order), so handling it inline is
+    /// observationally identical to returning to the loop; it merely
+    /// skips one dispatch round-trip. Fused events still count toward
+    /// [`Simulation::events_processed`].
+    #[inline]
+    pub fn take_next_if(&mut self, pred: impl FnOnce(&E) -> bool) -> Option<E> {
+        let taken = self.queue.pop_current_if(self.now, pred);
+        if taken.is_some() {
+            self.fused += 1;
+        }
+        taken
     }
 }
 
@@ -123,12 +144,50 @@ impl<M: Model> Simulation<M> {
         while let Some((t, event)) = self.queue.pop_before(deadline) {
             debug_assert!(t >= self.now, "event calendar went backwards");
             self.now = t;
-            let mut sched = Scheduler { now: t, queue: &mut self.queue };
+            let mut sched = Scheduler { now: t, queue: &mut self.queue, fused: 0 };
             self.model.handle(event, &mut sched);
-            n += 1;
+            n += 1 + sched.fused;
         }
         self.processed += n;
         n
+    }
+
+    /// Runs until the calendar is empty or the next event is at or after
+    /// `bound` (a half-open window `[now, bound)` — the conservative
+    /// parallel-DES lookahead primitive). Returns the number of events
+    /// processed during this call.
+    pub fn run_before(&mut self, bound: Time) -> u64 {
+        let mut n = 0;
+        while let Some((t, event)) = self.queue.pop_strictly_before(bound) {
+            debug_assert!(t >= self.now, "event calendar went backwards");
+            self.now = t;
+            let mut sched = Scheduler { now: t, queue: &mut self.queue, fused: 0 };
+            self.model.handle(event, &mut sched);
+            n += 1 + sched.fused;
+        }
+        self.processed += n;
+        n
+    }
+
+    /// Runs `f` with the model and a scheduler positioned at `at`,
+    /// advancing the clock there — the injection point for events that
+    /// live outside this calendar (a parallel driver's global flow-start,
+    /// fault, and sample instants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time.
+    pub fn with_model_at<R>(
+        &mut self,
+        at: Time,
+        f: impl FnOnce(&mut M, &mut Scheduler<'_, M::Event>) -> R,
+    ) -> R {
+        assert!(at >= self.now, "cannot rewind the clock ({at:?} < {:?})", self.now);
+        self.now = at;
+        let mut sched = Scheduler { now: at, queue: &mut self.queue, fused: 0 };
+        let r = f(&mut self.model, &mut sched);
+        self.processed += sched.fused;
+        r
     }
 
     /// Like [`Simulation::run_until`], but classifies every dispatched
@@ -151,14 +210,16 @@ impl<M: Model> Simulation<M> {
             let class = event.class();
             #[cfg(feature = "profile")]
             let started = std::time::Instant::now();
-            let mut sched = Scheduler { now: t, queue: &mut self.queue };
+            let mut sched = Scheduler { now: t, queue: &mut self.queue, fused: 0 };
             self.model.handle(event, &mut sched);
             #[cfg(feature = "profile")]
             let spent = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             #[cfg(not(feature = "profile"))]
             let spent = 0;
+            // A fused follow-up is attributed to the class that absorbed
+            // it: the profile shows where dispatch time is actually spent.
             profile.record(class, spent);
-            n += 1;
+            n += 1 + sched.fused;
         }
         self.processed += n;
         n
@@ -280,6 +341,63 @@ mod tests {
         // 99 was scheduled while handling 1, but 2 was already queued for
         // t=0 and must run first (FIFO among simultaneous events).
         assert_eq!(sim.model().log, vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn run_before_is_exclusive_and_resumable() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 100 });
+        sim.schedule(Time::ZERO, 0);
+        let n = sim.run_before(Time::from_ns(30));
+        assert_eq!(n, 3); // events at 0, 10, 20 — 30 stays pending
+        assert_eq!(sim.now(), Time::from_ns(20));
+        assert_eq!(sim.pending(), 1);
+        sim.run_before(Time::from_ns(31));
+        assert_eq!(sim.now(), Time::from_ns(30));
+    }
+
+    #[test]
+    fn take_next_if_fuses_only_the_adjacent_same_instant_event() {
+        struct Fuser {
+            log: Vec<u32>,
+        }
+        impl Model for Fuser {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.log.push(ev);
+                // Fuse an even follow-up at the same instant, if adjacent.
+                while let Some(next) = sched.take_next_if(|&e| e % 2 == 0) {
+                    self.log.push(next);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Fuser { log: vec![] });
+        sim.schedule(Time::from_ns(5), 1);
+        sim.schedule(Time::from_ns(5), 2);
+        sim.schedule(Time::from_ns(5), 3);
+        sim.schedule(Time::from_ns(5), 4);
+        sim.schedule(Time::from_ns(9), 6);
+        sim.run();
+        // 1 fuses 2, stops at odd 3; 3 fuses 4; 6 is at a later instant
+        // and dispatches on its own.
+        assert_eq!(sim.model().log, vec![1, 2, 3, 4, 6]);
+        assert_eq!(sim.events_processed(), 5, "fused events still count");
+    }
+
+    #[test]
+    fn with_model_at_injects_at_a_future_instant() {
+        let mut sim = Simulation::new(Recorder { log: vec![], chain: 0 });
+        sim.schedule(Time::from_ns(10), 1);
+        sim.run();
+        sim.with_model_at(Time::from_ns(40), |m, sched| {
+            m.log.push((sched.now(), 99));
+            sched.after(Delta::from_ns(5), 7);
+        });
+        assert_eq!(sim.now(), Time::from_ns(40));
+        sim.run();
+        assert_eq!(
+            sim.model().log,
+            vec![(Time::from_ns(10), 1), (Time::from_ns(40), 99), (Time::from_ns(45), 7)]
+        );
     }
 
     #[test]

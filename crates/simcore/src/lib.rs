@@ -50,6 +50,7 @@ mod rng;
 mod time;
 pub mod trace;
 mod units;
+pub mod window;
 
 pub use engine::{Model, Scheduler, Simulation};
 pub use exec::Executor;
@@ -61,3 +62,4 @@ pub use rng::{split_seed, SimRng};
 pub use time::{Delta, Time};
 pub use trace::{FlightGuard, TraceConfig, TraceKey, TraceLog, TraceMask, Tracer};
 pub use units::{Bandwidth, ByteSize};
+pub use window::Lockstep;

@@ -159,6 +159,56 @@ impl<E> EventQueue<E> {
         Some((t, event))
     }
 
+    /// Removes and returns the earliest event if it fires strictly before
+    /// `bound`; leaves the calendar untouched otherwise.
+    ///
+    /// This is the conservative-window primitive: a lookahead window
+    /// `[start, stop)` is half-open, so the partition driver drains
+    /// events with `pop_strictly_before(stop)` and leaves everything at
+    /// `stop` itself for the next window (after cross-partition inboxes
+    /// for that instant have been merged).
+    #[inline]
+    pub fn pop_strictly_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        let (t, event) = if self.lane_first() {
+            if self.lane_time >= bound {
+                return None;
+            }
+            let (_, event) = self.lane.pop_front().expect("lane_first implies non-empty lane");
+            (self.lane_time, event)
+        } else {
+            if self.heap.peek().is_none_or(|top| top.time >= bound) {
+                return None;
+            }
+            let e = self.heap.pop().expect("heap top vanished");
+            (e.time, e.event)
+        };
+        self.now = t;
+        Some((t, event))
+    }
+
+    /// Removes and returns the earliest event only if it fires at exactly
+    /// `now` and satisfies `pred`; leaves the calendar untouched
+    /// otherwise.
+    ///
+    /// This honors the full `(time, seq)` order — it pops the event that
+    /// an ordinary [`EventQueue::pop`] would pop next, never one behind
+    /// it — so a dispatcher can fuse an adjacent same-instant pair
+    /// without perturbing the event order.
+    #[inline]
+    pub fn pop_current_if(&mut self, now: Time, pred: impl FnOnce(&E) -> bool) -> Option<E> {
+        if self.lane_first() {
+            if self.lane_time != now || !pred(&self.lane.front()?.1) {
+                return None;
+            }
+            self.lane.pop_front().map(|(_, e)| e)
+        } else {
+            if self.heap.peek().is_none_or(|top| top.time != now || !pred(&top.event)) {
+                return None;
+            }
+            self.heap.pop().map(|e| e.event)
+        }
+    }
+
     /// Returns the firing time of the earliest pending event.
     #[must_use]
     #[inline]
@@ -308,6 +358,40 @@ mod tests {
         assert_eq!(q.pop_before(Time::from_ns(9)), None);
         assert_eq!(q.pop_before(Time::from_ns(10)), Some((Time::from_ns(10), 2)));
         assert_eq!(q.pop_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn pop_strictly_before_is_exclusive_for_both_structures() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 1);
+        assert_eq!(q.pop_strictly_before(Time::from_ns(10)), None);
+        assert_eq!(q.pop_strictly_before(Time::from_ns(11)), Some((Time::from_ns(10), 1)));
+        // Lane entry at now=10 vs an exclusive bound at/after it.
+        q.push(Time::from_ns(10), 2);
+        assert!(!q.lane.is_empty());
+        assert_eq!(q.pop_strictly_before(Time::from_ns(10)), None);
+        assert_eq!(q.pop_strictly_before(Time::from_ns(11)), Some((Time::from_ns(10), 2)));
+        assert_eq!(q.pop_strictly_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn pop_current_if_only_takes_the_true_next_event() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), 1);
+        q.push(Time::from_ns(10), 2);
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
+        // Next is 2 (heap); a predicate rejecting it must not skip ahead.
+        assert_eq!(q.pop_current_if(Time::from_ns(10), |&e| e == 3), None);
+        assert_eq!(q.pop_current_if(Time::from_ns(10), |&e| e == 2), Some(2));
+        // Lane path: same-instant push after the pops above.
+        q.push(Time::from_ns(10), 4);
+        assert!(!q.lane.is_empty());
+        assert_eq!(q.pop_current_if(Time::from_ns(9), |_| true), None, "wrong instant");
+        assert_eq!(q.pop_current_if(Time::from_ns(10), |&e| e == 4), Some(4));
+        // Future events never match the current instant.
+        q.push(Time::from_ns(20), 5);
+        assert_eq!(q.pop_current_if(Time::from_ns(10), |_| true), None);
+        assert_eq!(q.pop(), Some((Time::from_ns(20), 5)));
     }
 
     proptest! {

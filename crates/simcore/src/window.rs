@@ -1,0 +1,133 @@
+//! Lockstep coordination for conservative parallel DES workers.
+//!
+//! A partitioned simulation advances in lookahead-sized windows: every
+//! worker runs its partitions' calendars up to a shared stop time, then
+//! all of them rendezvous while a single coordinator merges the
+//! cross-partition inboxes and executes global events, and the next
+//! window opens. [`Lockstep`] is that rendezvous: a two-phase barrier
+//! over `workers + 1` threads carrying the window command (run up to a
+//! stop time, or exit) from the coordinator to the workers.
+//!
+//! The protocol is strict and symmetric, so neither side can race ahead:
+//!
+//! ```text
+//! coordinator                       worker (each of N)
+//! open_window(stop)  ── barrier ──  next_window() -> Some(stop)
+//!     (merging idle)                run partitions before `stop`
+//! close_window()     ── barrier ──  window_done()
+//! merge inboxes, run globals        (waiting at next_window)
+//! ...
+//! shut_down()        ── barrier ──  next_window() -> None, exit
+//! ```
+//!
+//! The command cell is only written by the coordinator strictly before
+//! the opening barrier and only read by workers strictly after it, so
+//! the mutex is never contended; the barrier provides the ordering.
+
+use crate::time::Time;
+use std::sync::{Barrier, Mutex};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Command {
+    Run(Time),
+    Exit,
+}
+
+/// A two-phase window barrier between one coordinator and `workers`
+/// worker threads (see the module docs for the protocol).
+#[derive(Debug)]
+pub struct Lockstep {
+    barrier: Barrier,
+    cmd: Mutex<Command>,
+}
+
+impl Lockstep {
+    /// Creates a lockstep for `workers` worker threads plus the
+    /// coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero — a windowed run with no workers
+    /// would deadlock the coordinator at its first barrier.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "lockstep needs at least one worker");
+        Lockstep { barrier: Barrier::new(workers + 1), cmd: Mutex::new(Command::Exit) }
+    }
+
+    /// Coordinator: releases every worker into a run phase bounded by
+    /// `stop` (exclusive). Returns once all workers are running.
+    pub fn open_window(&self, stop: Time) {
+        *self.cmd.lock().expect("lockstep command poisoned") = Command::Run(stop);
+        self.barrier.wait();
+    }
+
+    /// Coordinator: blocks until every worker has called
+    /// [`Lockstep::window_done`]. After this returns the coordinator has
+    /// exclusive use of the partitions until the next
+    /// [`Lockstep::open_window`].
+    pub fn close_window(&self) {
+        self.barrier.wait();
+    }
+
+    /// Coordinator: releases every worker to exit its loop.
+    pub fn shut_down(&self) {
+        *self.cmd.lock().expect("lockstep command poisoned") = Command::Exit;
+        self.barrier.wait();
+    }
+
+    /// Worker: waits for the next phase. `Some(stop)` opens a run window
+    /// bounded by `stop` (exclusive); `None` means exit.
+    pub fn next_window(&self) -> Option<Time> {
+        self.barrier.wait();
+        match *self.cmd.lock().expect("lockstep command poisoned") {
+            Command::Run(stop) => Some(stop),
+            Command::Exit => None,
+        }
+    }
+
+    /// Worker: marks this worker's run phase complete.
+    pub fn window_done(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn windows_run_in_lockstep() {
+        let workers = 3;
+        let ls = Lockstep::new(workers);
+        let ran = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(stop) = ls.next_window() {
+                        ran.fetch_add(stop.as_ps(), Ordering::Relaxed);
+                        ls.window_done();
+                    }
+                });
+            }
+            for w in 1..=5u64 {
+                ls.open_window(Time::from_ns(w));
+                ls.close_window();
+                // All workers contributed to exactly this window before
+                // the coordinator proceeds.
+                assert_eq!(
+                    ran.swap(0, Ordering::Relaxed),
+                    workers as u64 * Time::from_ns(w).as_ps()
+                );
+            }
+            ls.shut_down();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Lockstep::new(0);
+    }
+}

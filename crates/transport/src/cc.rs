@@ -43,7 +43,7 @@ pub struct AckInfo<'a> {
 /// [`Cc::cwnd_bytes`] before each transmission; [`Cc::next_timer`] lets the
 /// NIC schedule the transport's internal timers (DCQCN's α-decay and
 /// rate-increase timers) in the simulator's calendar.
-pub trait Cc: fmt::Debug {
+pub trait Cc: fmt::Debug + Send {
     /// Called when an ACK arrives.
     fn on_ack(&mut self, now: Time, info: &AckInfo<'_>);
 
