@@ -1,0 +1,59 @@
+//! Fig. 16 (extension, not in the paper): MMU scheme parameter
+//! sensitivity — BShare's per-packet queueing-delay target crossed with
+//! the DT `α` the shared pool runs at, under the Fig. 14 traffic mix.
+//!
+//! The paper fixes BShare's target at 20 µs and `α = 1/16` (Tomahawk
+//! defaults); this grid shows how far those choices sit from the FCT
+//! knee on the reproduction fabric.
+
+use crate::fabric::{run_fct, FctExperiment};
+use dsh_core::Scheme;
+use dsh_simcore::{Delta, Executor};
+
+/// One cell of the delay-target × α grid.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig16Point {
+    /// BShare per-packet delay target (µs).
+    pub delay_target_us: u64,
+    /// DT `α`.
+    pub alpha: f64,
+    /// Average FCT over all flows, milliseconds.
+    pub avg_fct_ms: f64,
+    /// 99th-percentile FCT over all flows, milliseconds.
+    pub p99_fct_ms: f64,
+    /// Completed flows.
+    pub completed: usize,
+}
+
+/// Runs one grid cell: BShare with the given delay target and `α`.
+#[must_use]
+pub fn run_point(delay_target_us: u64, alpha: f64, base: &FctExperiment) -> Fig16Point {
+    let exp = FctExperiment {
+        scheme: Scheme::BShare,
+        alpha: Some(alpha),
+        bshare_delay_target: Some(Delta::from_us(delay_target_us)),
+        ..*base
+    };
+    let r = run_fct(&exp);
+    Fig16Point {
+        delay_target_us,
+        alpha,
+        avg_fct_ms: r.all.map(|s| s.avg_secs * 1e3).unwrap_or(f64::NAN),
+        p99_fct_ms: r.all.map(|s| s.p99_secs * 1e3).unwrap_or(f64::NAN),
+        completed: r.completed,
+    }
+}
+
+/// Sweeps the full delay-target × α grid on the pool, row-major in
+/// `delay_targets_us` order.
+#[must_use]
+pub fn sweep(
+    delay_targets_us: &[u64],
+    alphas: &[f64],
+    base: &FctExperiment,
+    ex: &Executor,
+) -> Vec<Fig16Point> {
+    let grid: Vec<(u64, f64)> =
+        delay_targets_us.iter().flat_map(|&d| alphas.iter().map(move |&a| (d, a))).collect();
+    ex.par_map(grid, |(d, a)| run_point(d, a, base))
+}

@@ -16,6 +16,7 @@
 //! | [`fig13x`] | Link-flap robustness (extension, not in the paper) |
 //! | [`fig14`] | FCT vs background load (web search, leaf–spine) |
 //! | [`fig15`] | FCT across workloads and fat-tree |
+//! | [`fig16`] | Scheme-parameter sensitivity (extension, not in the paper) |
 //! | [`theory`] | Theorems 1–2 validation |
 
 #![forbid(unsafe_code)]
@@ -30,14 +31,19 @@ pub mod fig13;
 pub mod fig13x;
 pub mod fig14;
 pub mod fig15;
+pub mod fig16;
 pub mod theory;
 
+use dsh_net::FidelityMode;
 use dsh_simcore::trace::{self, TraceConfig, TraceMask};
 use dsh_simcore::{exec, Executor, Json};
 
+/// Environment fallback for `--fidelity` (same spec grammar).
+pub const FIDELITY_ENV: &str = "DSH_FIDELITY";
+
 /// Command-line options shared by the figure binaries, collected in a
 /// single pass over argv.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Args {
     /// `--full`: run at paper scale instead of the laptop-scale default.
     pub full: bool,
@@ -60,6 +66,11 @@ pub struct Args {
     /// simulation of the run and write a Chrome `trace_event` JSON
     /// document to PATH (see [`with_trace`]).
     pub trace: Option<String>,
+    /// `--fidelity SPEC`, falling back to `DSH_FIDELITY`: engine
+    /// fidelity — `packet` (the default, byte-identical to the
+    /// historical engine), `hybrid`, or
+    /// `hybrid:<util_threshold>[:<quiesce_us>]`.
+    pub fidelity: FidelityMode,
 }
 
 /// Usage text printed (to stderr) when argument parsing fails.
@@ -72,7 +83,10 @@ usage: <figure-binary> [OPTIONS]
   --threads N     worker pool width (0 = auto; DSH_THREADS fallback)
   --workers N     intra-run partition workers (1 = serial engine, 0 = auto;
                   DSH_WORKERS fallback)
-  --trace PATH    write a Chrome trace_event JSON document to PATH";
+  --trace PATH    write a Chrome trace_event JSON document to PATH
+  --fidelity SPEC engine fidelity: packet (default) | hybrid |
+                  hybrid:<util_threshold>[:<quiesce_us>]; DSH_FIDELITY
+                  fallback";
 
 impl Args {
     /// Parses the process argv, with `DSH_THREADS` as the `--threads`
@@ -85,6 +99,7 @@ impl Args {
             std::env::args().skip(1),
             exec::threads_from(std::env::var(exec::THREADS_ENV).ok().as_deref()),
             exec::workers_from(std::env::var(exec::WORKERS_ENV).ok().as_deref()),
+            std::env::var(FIDELITY_ENV).ok().as_deref(),
         );
         match parsed {
             Ok(args) => args,
@@ -107,7 +122,13 @@ impl Args {
         argv: I,
         env_threads: Option<usize>,
         env_workers: Option<usize>,
+        env_fidelity: Option<&str>,
     ) -> Result<Args, String> {
+        let fidelity = match env_fidelity {
+            Some(spec) => FidelityMode::parse(spec)
+                .map_err(|s| format!("invalid {FIDELITY_ENV} spec '{s}'"))?,
+            None => FidelityMode::Packet,
+        };
         let mut args = Args {
             full: false,
             json: false,
@@ -116,6 +137,7 @@ impl Args {
             threads: env_threads.unwrap_or(0),
             workers: env_workers.unwrap_or(1),
             trace: None,
+            fidelity,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -133,6 +155,13 @@ impl Args {
                         return Err(format!("--trace requires a PATH operand, got flag '{path}'"));
                     }
                     args.trace = Some(path);
+                }
+                "--fidelity" => {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| "--fidelity requires a SPEC operand".to_string())?;
+                    args.fidelity = FidelityMode::parse(&spec)
+                        .map_err(|s| format!("invalid value for --fidelity: '{s}'"))?;
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -175,12 +204,19 @@ fn parse_value<T: std::str::FromStr>(flag: &str, operand: Option<String>) -> Res
 /// [`dsh_simcore::trace::TraceKey`] tag instead.
 #[must_use]
 pub fn provenance(args: &Args) -> Json {
-    Json::object()
+    let doc = Json::object()
         .with("seed", args.seed)
         .with("threads", args.executor().threads() as u64)
         .with("workers", args.sim_workers() as u64)
         .with("available_parallelism", exec::default_threads() as u64)
-        .with("version", env!("CARGO_PKG_VERSION"))
+        .with("version", env!("CARGO_PKG_VERSION"));
+    // Only stamped for hybrid runs so historical packet-mode artifacts
+    // (and their content-hash goldens) stay byte-identical.
+    if args.fidelity.is_hybrid() {
+        doc.with("fidelity", args.fidelity.spec())
+    } else {
+        doc
+    }
 }
 
 /// Runs `f` under a flight-recorder capture session when `--trace PATH`
@@ -216,7 +252,7 @@ mod tests {
 
     #[test]
     fn defaults_when_no_flags() {
-        let a = Args::from_iter(argv(&[]), None, None).unwrap();
+        let a = Args::from_iter(argv(&[]), None, None, None).unwrap();
         assert_eq!(
             a,
             Args {
@@ -227,6 +263,7 @@ mod tests {
                 threads: 0,
                 workers: 1,
                 trace: None,
+                fidelity: FidelityMode::Packet,
             }
         );
     }
@@ -246,7 +283,10 @@ mod tests {
                 "2",
                 "--trace",
                 "t.json",
+                "--fidelity",
+                "hybrid",
             ]),
+            None,
             None,
             None,
         )
@@ -261,65 +301,114 @@ mod tests {
                 threads: 3,
                 workers: 2,
                 trace: Some("t.json".to_string()),
+                fidelity: FidelityMode::hybrid_default(),
             }
         );
     }
 
     #[test]
     fn threads_flag_overrides_env_fallback() {
-        assert_eq!(Args::from_iter(argv(&[]), Some(2), None).unwrap().threads, 2);
-        assert_eq!(Args::from_iter(argv(&["--threads", "5"]), Some(2), None).unwrap().threads, 5);
+        assert_eq!(Args::from_iter(argv(&[]), Some(2), None, None).unwrap().threads, 2);
+        assert_eq!(
+            Args::from_iter(argv(&["--threads", "5"]), Some(2), None, None).unwrap().threads,
+            5
+        );
     }
 
     #[test]
     fn workers_flag_overrides_env_fallback_and_defaults_serial() {
-        assert_eq!(Args::from_iter(argv(&[]), None, None).unwrap().workers, 1);
-        assert_eq!(Args::from_iter(argv(&[]), None, Some(4)).unwrap().workers, 4);
-        assert_eq!(Args::from_iter(argv(&["--workers", "3"]), None, Some(4)).unwrap().workers, 3);
+        assert_eq!(Args::from_iter(argv(&[]), None, None, None).unwrap().workers, 1);
+        assert_eq!(Args::from_iter(argv(&[]), None, Some(4), None).unwrap().workers, 4);
+        assert_eq!(
+            Args::from_iter(argv(&["--workers", "3"]), None, Some(4), None).unwrap().workers,
+            3
+        );
         // 0 = auto resolves to at least one worker.
-        let auto = Args::from_iter(argv(&["--workers", "0"]), None, None).unwrap();
+        let auto = Args::from_iter(argv(&["--workers", "0"]), None, None, None).unwrap();
         assert!(auto.sim_workers() >= 1);
-        let serial = Args::from_iter(argv(&[]), None, None).unwrap();
+        let serial = Args::from_iter(argv(&[]), None, None, None).unwrap();
         assert_eq!(serial.sim_workers(), 1);
     }
 
     #[test]
+    fn fidelity_flag_overrides_env_fallback() {
+        let a = Args::from_iter(argv(&[]), None, None, Some("hybrid")).unwrap();
+        assert_eq!(a.fidelity, FidelityMode::hybrid_default());
+        let a =
+            Args::from_iter(argv(&["--fidelity", "packet"]), None, None, Some("hybrid")).unwrap();
+        assert_eq!(a.fidelity, FidelityMode::Packet);
+        let a = Args::from_iter(argv(&["--fidelity", "hybrid:0.5:250"]), None, None, None).unwrap();
+        let FidelityMode::Hybrid { util_threshold, quiesce } = a.fidelity else {
+            panic!("expected hybrid, got {:?}", a.fidelity);
+        };
+        assert!((util_threshold - 0.5).abs() < 1e-12);
+        assert_eq!(quiesce, dsh_simcore::Delta::from_us(250));
+    }
+
+    #[test]
+    fn malformed_fidelity_specs_are_rejected() {
+        let e = Args::from_iter(argv(&["--fidelity", "fluid"]), None, None, None).unwrap_err();
+        assert!(e.contains("invalid value for --fidelity: 'fluid'"), "{e}");
+        let e = Args::from_iter(argv(&["--fidelity"]), None, None, None).unwrap_err();
+        assert!(e.contains("--fidelity requires a SPEC"), "{e}");
+        let e = Args::from_iter(argv(&[]), None, None, Some("bogus")).unwrap_err();
+        assert!(e.contains("invalid DSH_FIDELITY spec 'bogus'"), "{e}");
+    }
+
+    #[test]
+    fn provenance_stamps_fidelity_only_for_hybrid_runs() {
+        let packet = Args::from_iter(argv(&[]), None, None, None).unwrap();
+        assert!(!provenance(&packet).to_string().contains("fidelity"));
+        let hybrid = Args::from_iter(argv(&["--fidelity", "hybrid"]), None, None, None).unwrap();
+        assert!(provenance(&hybrid).to_string().contains("\"fidelity\":\"hybrid:1:100\""));
+    }
+
+    #[test]
     fn typod_flags_are_rejected() {
-        let e = Args::from_iter(argv(&["--sed", "9"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--sed", "9"]), None, None, None).unwrap_err();
         assert!(e.contains("unknown argument '--sed'"), "{e}");
-        let e = Args::from_iter(argv(&["--bogus"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--bogus"]), None, None, None).unwrap_err();
         assert!(e.contains("--bogus"), "{e}");
         // Bare operands are unknown tokens too.
-        let e = Args::from_iter(argv(&["full"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["full"]), None, None, None).unwrap_err();
         assert!(e.contains("unknown argument 'full'"), "{e}");
     }
 
     #[test]
     fn malformed_values_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed", "abc"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed", "abc"]), None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --seed: 'abc'"), "{e}");
-        let e = Args::from_iter(argv(&["--threads", "-1"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads", "-1"]), None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --threads"), "{e}");
     }
 
     #[test]
     fn missing_operands_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed"]), None, None, None).unwrap_err();
         assert!(e.contains("--seed requires a value"), "{e}");
-        let e = Args::from_iter(argv(&["--threads"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads"]), None, None, None).unwrap_err();
         assert!(e.contains("--threads requires a value"), "{e}");
         // The original bug: `--trace` as the last token silently produced
         // an untraced run.
-        let e = Args::from_iter(argv(&["--trace"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace"]), None, None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
         // A following flag is not a PATH either.
-        let e = Args::from_iter(argv(&["--trace", "--json"]), None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace", "--json"]), None, None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
     }
 
     #[test]
     fn usage_names_every_flag() {
-        for flag in ["--full", "--json", "--smoke", "--seed", "--threads", "--workers", "--trace"] {
+        for flag in [
+            "--full",
+            "--json",
+            "--smoke",
+            "--seed",
+            "--threads",
+            "--workers",
+            "--trace",
+            "--fidelity",
+        ] {
             assert!(USAGE.contains(flag), "usage must list {flag}");
         }
     }

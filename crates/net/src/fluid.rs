@@ -1,0 +1,693 @@
+//! Fluid fast path for the hybrid-fidelity engine.
+//!
+//! Links start in **fluid mode**: flows crossing only uncontended links are
+//! advanced analytically by a max-min fair-share rate solver, crediting
+//! bytes to receivers with zero frames allocated and a single
+//! `FluidAdvance` calendar event per rate-change epoch. The moment a
+//! fidelity trigger fires on a link (offered load above the utilization
+//! threshold, an MMU shared/headroom charge, an ECN mark, a PFC pause, a
+//! fault, recovery arming, or a real data frame being enqueued), the link
+//! **escalates** to packet mode: every fluid flow crossing it is
+//! materialized into real pooled frames and handed to the packet engine.
+//! Links de-escalate after a quiescence window with an empty egress queue.
+//!
+//! This module owns the bookkeeping (per-link fidelity state, per-flow
+//! credit accounts, the rate solver, counters); the event hooks and
+//! materialization live in [`crate::network`].
+
+use crate::ids::{FlowId, NodeId};
+use dsh_simcore::{Bandwidth, Delta, Json, Time};
+
+/// Why a link escalated from fluid to packet mode (trace payload codes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum EscalateReason {
+    /// Offered load crossed the utilization threshold at flow admission.
+    Util = 0,
+    /// An MMU shared-pool or headroom charge landed on the link's ingress.
+    MmuCharge = 1,
+    /// An ECN mark on the link's egress queue.
+    Ecn = 2,
+    /// A PFC pause was applied to the link's egress port.
+    Pfc = 3,
+    /// A fault-plan event touched the network.
+    Fault = 4,
+    /// Loss recovery armed (go-back-N retransmission).
+    Recovery = 5,
+    /// A real data frame was enqueued on the link.
+    Enqueue = 6,
+    /// The link was dragged along while materializing a fluid flow whose
+    /// path crosses an escalating link.
+    Cascade = 7,
+}
+
+/// Counters describing how much work the fluid fast path absorbed; exported
+/// in the telemetry report's `fidelity` section.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FidelityStats {
+    /// Fluid→packet link transitions.
+    pub escalations: u64,
+    /// Packet→fluid link transitions (after a quiescence window).
+    pub deescalations: u64,
+    /// Bytes credited to receivers analytically (never serialized as
+    /// frames).
+    pub fluid_bytes: u64,
+    /// Flows admitted to the fluid fast path.
+    pub fluid_flows: u64,
+    /// Fluid flows that ran to completion without ever materializing.
+    pub fluid_completions: u64,
+    /// Fluid flows handed off to the packet engine mid-flight.
+    pub materializations: u64,
+}
+
+impl FidelityStats {
+    /// Adds another partition's counters into this one (partition merge).
+    pub(crate) fn merge(&mut self, o: &FidelityStats) {
+        self.escalations += o.escalations;
+        self.deescalations += o.deescalations;
+        self.fluid_bytes += o.fluid_bytes;
+        self.fluid_flows += o.fluid_flows;
+        self.fluid_completions += o.fluid_completions;
+        self.materializations += o.materializations;
+    }
+
+    /// JSON form, used by the telemetry report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("escalations", self.escalations)
+            .with("deescalations", self.deescalations)
+            .with("fluid_bytes", self.fluid_bytes)
+            .with("fluid_flows", self.fluid_flows)
+            .with("fluid_completions", self.fluid_completions)
+            .with("materializations", self.materializations)
+    }
+}
+
+/// Credit account of one flow on the fluid fast path.
+///
+/// Byte credits are integer-exact: `credited(t) = credited +
+/// rate.bytes_in(t - basis)` capped at `size`, where `basis` is the
+/// receiver-clock instant at which `credited` was last *folded*. Credits
+/// fold only when the flow's rate actually changes (or the account
+/// retires), so a flow whose share never moves accrues bytes over one long
+/// interval with a single floor — no drift from repeated settling. The
+/// first byte reaches the receiver `pipe_delay` after `start` (propagation
+/// plus store-and-forward serialization on every hop after the first), so
+/// with a constant rate the completion time matches the packet engine's
+/// hand-calculable FCT on an idle path.
+#[derive(Clone, Debug)]
+pub struct FluidFlowAccount {
+    /// The flow.
+    pub flow: FlowId,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Sender's first transmission opportunity.
+    pub start: Time,
+    /// Receiver-clock instant the first byte lands (`start + pipe_delay`).
+    pub credit_start: Time,
+    /// Path latency: Σ propagation + Σ last-segment serialization on every
+    /// hop after the first.
+    pub pipe_delay: Delta,
+    /// Bytes credited to the receiver so far.
+    pub credited: u64,
+    /// Current max-min fair share.
+    pub rate: Bandwidth,
+    /// Receiver-clock instant at which `credited` was current.
+    pub basis: Time,
+    /// Source NIC line rate (the flow's demand on every path link), bps.
+    pub line_rate_bps: u64,
+    /// Directed-link ids of the flow's path (source uplink first).
+    pub(crate) links: Vec<u32>,
+    /// Retired (completed or materialized).
+    pub done: bool,
+}
+
+impl FluidFlowAccount {
+    /// Completion time under the current rate: when the last byte is
+    /// credited to the receiver.
+    #[must_use]
+    pub fn completion(&self) -> Time {
+        self.basis + self.rate.tx_delay(self.size - self.credited)
+    }
+
+    /// Bytes credited to the receiver at `now` (read-only peek; nothing is
+    /// folded).
+    #[must_use]
+    pub fn credited_at(&self, now: Time) -> u64 {
+        let from = if self.basis > self.credit_start { self.basis } else { self.credit_start };
+        if now <= from {
+            return self.credited;
+        }
+        (self.credited + self.rate.bytes_in(now.saturating_since(from))).min(self.size)
+    }
+
+    /// Bytes in the pipe (sent but not yet credited) at `now` —
+    /// what escalation must materialize as real frames.
+    #[must_use]
+    pub fn in_flight_at(&self, now: Time) -> u64 {
+        let elapsed = now.saturating_since(self.start);
+        let pipe = if elapsed < self.pipe_delay { elapsed } else { self.pipe_delay };
+        self.rate.bytes_in(pipe).min(self.size - self.credited_at(now))
+    }
+
+    /// Folds credits up to `now`: `credited`/`basis` become current so a
+    /// rate change at `now` starts a fresh accrual interval.
+    fn fold(&mut self, now: Time) {
+        self.credited = self.credited_at(now);
+        self.basis = if now > self.credit_start { now } else { self.credit_start };
+    }
+}
+
+/// Fidelity state of one directed link.
+#[derive(Clone, Debug)]
+pub(crate) struct LinkState {
+    /// Currently on the fluid fast path.
+    pub(crate) fluid: bool,
+    /// Permanently packet-mode (partition cut link) — never de-escalates.
+    pub(crate) pinned: bool,
+    /// Last fidelity trigger seen (gates the quiescence window).
+    pub(crate) last_trigger: Time,
+    /// Link capacity in bps.
+    pub(crate) capacity_bps: u64,
+    /// Sum of line rates of fluid flows crossing the link, bps.
+    pub(crate) demand_bps: u64,
+    /// Fluid flows crossing the link.
+    pub(crate) nflows: u32,
+    /// Solver scratch: unallocated capacity.
+    rem: u64,
+    /// Solver scratch: unassigned flows.
+    cnt: u32,
+}
+
+/// Sentinel for "flow has no fluid account".
+const NO_ACCOUNT: u32 = u32::MAX;
+
+/// Per-network fluid-engine state (present only under
+/// [`crate::FidelityMode::Hybrid`]).
+#[derive(Clone, Debug)]
+pub(crate) struct FluidState {
+    /// Escalate a link when `demand > util_threshold × capacity`.
+    pub(crate) util_threshold: f64,
+    /// Packet-mode links may return to fluid after this long without a
+    /// trigger (and with an empty egress queue).
+    pub(crate) quiesce: Delta,
+    /// `port_base[node] + port` maps a directed link to its id.
+    pub(crate) port_base: Vec<u32>,
+    /// Running total behind `port_base` construction.
+    next_port_base: u32,
+    /// Directed-link id of the link *feeding* ingress `(node, port)`, or
+    /// [`NO_ACCOUNT`] if none (same index space as `links`).
+    pub(crate) ingress_of: Vec<u32>,
+    links: Vec<LinkState>,
+    /// Credit accounts in admission order (retired entries stay, marked
+    /// `done`, so indices are stable within an epoch).
+    pub(crate) flows: Vec<FluidFlowAccount>,
+    /// Flow id → account index ([`NO_ACCOUNT`] when not fluid).
+    index: Vec<u32>,
+    /// Epoch generation; a queued `FluidAdvance` with a stale generation
+    /// is ignored.
+    pub(crate) gen: u32,
+    /// Aggregate counters for telemetry.
+    pub(crate) stats: FidelityStats,
+}
+
+impl FluidState {
+    /// Fresh state: every link fluid, no flows.
+    pub(crate) fn new(util_threshold: f64, quiesce: Delta, nflows: usize) -> Self {
+        FluidState {
+            util_threshold,
+            quiesce,
+            port_base: Vec::new(),
+            next_port_base: 0,
+            ingress_of: Vec::new(),
+            links: Vec::new(),
+            flows: Vec::new(),
+            index: vec![NO_ACCOUNT; nflows],
+            gen: 0,
+            stats: FidelityStats::default(),
+        }
+    }
+
+    /// Registers the next node's port count while building `port_base`;
+    /// call once per node in id order, then [`push_link`](Self::push_link)
+    /// once per port in the same order.
+    pub(crate) fn push_node(&mut self, ports: usize) {
+        self.port_base.push(self.next_port_base);
+        self.next_port_base += u32::try_from(ports).expect("port count fits u32");
+    }
+
+    /// Appends one directed link (must follow the `push_node` order).
+    pub(crate) fn push_link(&mut self, capacity_bps: u64) {
+        self.links.push(LinkState {
+            fluid: true,
+            pinned: false,
+            last_trigger: Time::ZERO,
+            capacity_bps,
+            demand_bps: 0,
+            nflows: 0,
+            rem: 0,
+            cnt: 0,
+        });
+        self.ingress_of.push(NO_ACCOUNT);
+    }
+
+    /// Records that ingress `(node, port)` — given as its directed-link id
+    /// `ingress_lid` — is fed by directed link `feeding_lid`.
+    pub(crate) fn set_ingress(&mut self, ingress_lid: usize, feeding_lid: usize) {
+        self.ingress_of[ingress_lid] = u32::try_from(feeding_lid).expect("link id");
+    }
+
+    /// The directed link feeding ingress `(node, port)` (given as that
+    /// port's own directed-link id), if the feeder is locally tracked.
+    pub(crate) fn ingress_link(&self, ingress_lid: usize) -> Option<usize> {
+        let v = self.ingress_of[ingress_lid];
+        (v != NO_ACCOUNT).then_some(v as usize)
+    }
+
+    /// Directed-link id of `(node, port)`.
+    #[inline]
+    pub(crate) fn lid(&self, node: NodeId, port: usize) -> usize {
+        self.port_base[node.0] as usize + port
+    }
+
+    /// Number of directed links tracked.
+    pub(crate) fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the link is currently on the fluid fast path.
+    #[inline]
+    #[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))] // debug MMU audit + tests
+    pub(crate) fn is_fluid(&self, lid: usize) -> bool {
+        self.links[lid].fluid
+    }
+
+    /// Pins a link to packet mode forever (partition cut links).
+    pub(crate) fn pin(&mut self, lid: usize) {
+        self.links[lid].pinned = true;
+        self.links[lid].fluid = false;
+    }
+
+    /// Whether the link is pinned packet-mode.
+    pub(crate) fn is_pinned(&self, lid: usize) -> bool {
+        self.links[lid].pinned
+    }
+
+    /// Records a fidelity trigger on a link (refreshes the quiescence
+    /// clock); returns `true` if the link was fluid and is now packet-mode
+    /// (counted as an escalation — the caller must materialize its flows).
+    pub(crate) fn mark_packet(&mut self, lid: usize, now: Time) -> bool {
+        let l = &mut self.links[lid];
+        l.last_trigger = now;
+        if l.fluid {
+            l.fluid = false;
+            self.stats.escalations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a packet-mode link's quiescence window has elapsed (the
+    /// caller still owns the egress-queue/link-up checks).
+    pub(crate) fn deescalation_ready(&self, lid: usize, now: Time) -> bool {
+        let l = &self.links[lid];
+        !l.fluid && !l.pinned && now.saturating_since(l.last_trigger) >= self.quiesce
+    }
+
+    /// Maps a directed-link id back to `(node, port)` for trace points.
+    pub(crate) fn link_endpoint(&self, lid: usize) -> (u32, u16) {
+        // Nodes with zero ports (Absent) repeat the same base; the last
+        // node whose base is ≤ lid owns the link.
+        let node = self.port_base.partition_point(|&b| b as usize <= lid) - 1;
+        let port = lid - self.port_base[node] as usize;
+        (u32::try_from(node).expect("node id"), u16::try_from(port).expect("port id"))
+    }
+
+    /// Attempts de-escalation: flips a packet-mode link back to fluid if
+    /// it is not pinned and its quiescence window has elapsed. The caller
+    /// is responsible for the link-level checks (egress queue empty, link
+    /// up) before calling.
+    pub(crate) fn try_deescalate(&mut self, lid: usize, now: Time) -> bool {
+        let quiesce = self.quiesce;
+        let l = &mut self.links[lid];
+        if l.fluid || l.pinned || now.saturating_since(l.last_trigger) < quiesce {
+            return false;
+        }
+        l.fluid = true;
+        self.stats.deescalations += 1;
+        true
+    }
+
+    /// First path link that refuses fluid admission: not fluid, pinned, or
+    /// would exceed `util_threshold × capacity` with this flow's demand
+    /// added. Returns `(lid, over_threshold)`.
+    pub(crate) fn admission_blocker(
+        &self,
+        path: &[u32],
+        line_rate_bps: u64,
+    ) -> Option<(usize, bool)> {
+        for &lid in path {
+            let l = &self.links[lid as usize];
+            if !l.fluid || l.pinned {
+                return Some((lid as usize, false));
+            }
+            let offered = (l.demand_bps + line_rate_bps) as f64;
+            if offered > self.util_threshold * l.capacity_bps as f64 {
+                return Some((lid as usize, true));
+            }
+        }
+        None
+    }
+
+    /// Admits a flow to the fluid path (the caller has already checked
+    /// [`admission_blocker`](Self::admission_blocker)). Bumps the epoch.
+    pub(crate) fn admit(&mut self, acct: FluidFlowAccount) {
+        for &lid in &acct.links {
+            let l = &mut self.links[lid as usize];
+            l.demand_bps += acct.line_rate_bps;
+            l.nflows += 1;
+        }
+        self.index[acct.flow.0] = u32::try_from(self.flows.len()).expect("flow count");
+        self.stats.fluid_flows += 1;
+        self.flows.push(acct);
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// The account of a fluid flow, if it has one.
+    #[cfg_attr(not(test), allow(dead_code))] // test seam for invariant checks
+    pub(crate) fn account(&self, flow: FlowId) -> Option<&FluidFlowAccount> {
+        let i = *self.index.get(flow.0)?;
+        if i == NO_ACCOUNT {
+            None
+        } else {
+            Some(&self.flows[i as usize])
+        }
+    }
+
+    /// Retires a flow (completed or materialized): folds its credits up to
+    /// `now`, releases its demand, and detaches its account. Returns the
+    /// final credited byte count (also added to `stats.fluid_bytes`).
+    /// Bumps the epoch.
+    pub(crate) fn retire(&mut self, idx: usize, now: Time) -> u64 {
+        let (links, line_rate, credited) = {
+            let a = &mut self.flows[idx];
+            debug_assert!(!a.done, "double retire of flow {:?}", a.flow);
+            a.fold(now);
+            a.done = true;
+            self.index[a.flow.0] = NO_ACCOUNT;
+            (std::mem::take(&mut a.links), a.line_rate_bps, a.credited)
+        };
+        for lid in links {
+            let l = &mut self.links[lid as usize];
+            l.demand_bps -= line_rate;
+            l.nflows -= 1;
+        }
+        self.stats.fluid_bytes += credited;
+        self.gen = self.gen.wrapping_add(1);
+        credited
+    }
+
+    /// Active account indices whose path crosses `lid` (admission order).
+    pub(crate) fn flows_on_link(&self, lid: usize) -> Vec<usize> {
+        let lid = u32::try_from(lid).expect("link id");
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.done && a.links.contains(&lid))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Recomputes every active flow's max-min fair share (integer bps,
+    /// water-filling with per-flow line-rate caps) and folds credits at
+    /// `now` for any flow whose rate changes. Deterministic: iteration is
+    /// in admission order, links in id order.
+    pub(crate) fn solve(&mut self, now: Time) {
+        let mut unassigned: Vec<usize> =
+            self.flows.iter().enumerate().filter(|(_, a)| !a.done).map(|(i, _)| i).collect();
+        if unassigned.is_empty() {
+            return;
+        }
+        for l in &mut self.links {
+            l.rem = l.capacity_bps;
+            l.cnt = 0;
+        }
+        for &i in &unassigned {
+            for &lid in &self.flows[i].links {
+                self.links[lid as usize].cnt += 1;
+            }
+        }
+        while !unassigned.is_empty() {
+            // Tightest fair share among links still carrying unassigned
+            // flows (clamped ≥ 1 bps so every flow makes progress).
+            let mut share = u64::MAX;
+            for &i in &unassigned {
+                for &lid in &self.flows[i].links {
+                    let l = &self.links[lid as usize];
+                    share = share.min((l.rem / u64::from(l.cnt)).max(1));
+                }
+            }
+            // Flows capped below the bottleneck share saturate at their
+            // line rate; otherwise the bottleneck link's flows take the
+            // fair share.
+            let capped: Vec<usize> = unassigned
+                .iter()
+                .copied()
+                .filter(|&i| self.flows[i].line_rate_bps <= share)
+                .collect();
+            type RateOf = fn(&FluidFlowAccount, u64) -> u64;
+            let (assigned, rate_of): (Vec<usize>, RateOf) = if capped.is_empty() {
+                let bottlenecked: Vec<usize> = unassigned
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        self.flows[i].links.iter().any(|&lid| {
+                            let l = &self.links[lid as usize];
+                            (l.rem / u64::from(l.cnt)).max(1) == share
+                        })
+                    })
+                    .collect();
+                (bottlenecked, |_, s| s)
+            } else {
+                (capped, |a, _| a.line_rate_bps)
+            };
+            debug_assert!(!assigned.is_empty(), "water-filling must progress");
+            for &i in &assigned {
+                let r = rate_of(&self.flows[i], share);
+                let a = &mut self.flows[i];
+                if a.rate.as_bps() != r {
+                    a.fold(now);
+                    a.rate = Bandwidth::from_bps(r);
+                }
+                for &lid in &self.flows[i].links {
+                    let l = &mut self.links[lid as usize];
+                    l.rem = l.rem.saturating_sub(r);
+                    l.cnt -= 1;
+                }
+            }
+            unassigned.retain(|i| !assigned.contains(i));
+        }
+    }
+
+    /// Earliest completion time among active accounts (the next
+    /// `FluidAdvance` instant), if any flow is active.
+    pub(crate) fn next_completion(&self) -> Option<Time> {
+        self.flows.iter().filter(|a| !a.done).map(FluidFlowAccount::completion).min()
+    }
+
+    /// Whether any flow is currently on the fluid path.
+    pub(crate) fn any_active(&self) -> bool {
+        self.flows.iter().any(|a| !a.done)
+    }
+
+    /// Trims retired accounts from the tail so long runs do not accumulate
+    /// unbounded history (indices of live accounts are never after a
+    /// retired tail because retirement is monotone within an epoch; a full
+    /// compaction would invalidate `index`, so only the tail is dropped).
+    pub(crate) fn compact(&mut self) {
+        while self.flows.last().is_some_and(|a| a.done) {
+            self.flows.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct(flow: usize, size: u64, links: Vec<u32>, line_gbps: u64) -> FluidFlowAccount {
+        FluidFlowAccount {
+            flow: FlowId(flow),
+            size,
+            start: Time::ZERO,
+            credit_start: Time::from_ns(100),
+            pipe_delay: Delta::from_ns(100),
+            credited: 0,
+            rate: Bandwidth::from_gbps(0),
+            basis: Time::from_ns(100),
+            line_rate_bps: Bandwidth::from_gbps(line_gbps).as_bps(),
+            links,
+            done: false,
+        }
+    }
+
+    fn state_with_links(n: usize, gbps: u64) -> FluidState {
+        let mut st = FluidState::new(1.0, Delta::from_us(100), 16);
+        st.push_node(n);
+        for _ in 0..n {
+            st.push_link(Bandwidth::from_gbps(gbps).as_bps());
+        }
+        st
+    }
+
+    #[test]
+    fn solo_flow_runs_at_line_rate() {
+        let mut st = state_with_links(3, 100);
+        st.admit(acct(0, 1_000_000, vec![0, 1, 2], 100));
+        st.solve(Time::ZERO);
+        assert_eq!(st.flows[0].rate, Bandwidth::from_gbps(100));
+    }
+
+    #[test]
+    fn shared_bottleneck_splits_max_min() {
+        // Links 0,1 are private uplinks; link 2 is shared by both flows.
+        let mut st = FluidState::new(8.0, Delta::from_us(100), 16);
+        st.push_node(3);
+        for _ in 0..3 {
+            st.push_link(Bandwidth::from_gbps(100).as_bps());
+        }
+        st.admit(acct(0, 1_000_000, vec![0, 2], 100));
+        st.admit(acct(1, 1_000_000, vec![1, 2], 100));
+        st.solve(Time::ZERO);
+        assert_eq!(st.flows[0].rate, Bandwidth::from_gbps(50));
+        assert_eq!(st.flows[1].rate, Bandwidth::from_gbps(50));
+    }
+
+    #[test]
+    fn line_rate_capped_flow_leaves_headroom_for_others() {
+        // Flow 0 is capped at 20G by its NIC; flow 1 takes the rest of the
+        // shared 100G link (max-min: 20 + 80, not 50 + 50).
+        let mut st = FluidState::new(8.0, Delta::from_us(100), 16);
+        st.push_node(3);
+        for _ in 0..3 {
+            st.push_link(Bandwidth::from_gbps(100).as_bps());
+        }
+        st.admit(acct(0, 1_000_000, vec![0, 2], 20));
+        st.admit(acct(1, 1_000_000, vec![1, 2], 100));
+        st.solve(Time::ZERO);
+        assert_eq!(st.flows[0].rate, Bandwidth::from_gbps(20));
+        assert_eq!(st.flows[1].rate, Bandwidth::from_gbps(80));
+    }
+
+    #[test]
+    fn credit_peek_is_integer_exact_and_capped() {
+        let mut st = state_with_links(1, 100);
+        let mut a = acct(0, 12_500, vec![0], 100);
+        a.rate = Bandwidth::from_gbps(100); // 12.5 GB/s
+        st.admit(a);
+        // Before the first byte lands: nothing credited.
+        assert_eq!(st.flows[0].credited_at(Time::from_ns(50)), 0);
+        // 500 ns after credit_start: 100 Gb/s × 500 ns = 6250 B.
+        assert_eq!(st.flows[0].credited_at(Time::from_ns(600)), 6250);
+        // Peeking never mutates the account.
+        assert_eq!(st.flows[0].credited, 0);
+        // Way past completion: capped at size.
+        assert_eq!(st.flows[0].credited_at(Time::from_us(100)), 12_500);
+        // Retiring folds and records the analytic bytes.
+        assert_eq!(st.retire(0, Time::from_us(100)), 12_500);
+        assert_eq!(st.stats.fluid_bytes, 12_500);
+    }
+
+    #[test]
+    fn rate_change_folds_credits_without_drift() {
+        // Two flows share link 2; when flow 1 retires, flow 0's share
+        // changes 50 G → 100 G and its credits fold exactly at that point.
+        let mut st = FluidState::new(8.0, Delta::from_us(100), 16);
+        st.push_node(3);
+        for _ in 0..3 {
+            st.push_link(Bandwidth::from_gbps(100).as_bps());
+        }
+        st.admit(acct(0, 1_000_000, vec![0, 2], 100));
+        st.admit(acct(1, 1_000, vec![1, 2], 100));
+        st.solve(Time::ZERO);
+        assert_eq!(st.flows[0].rate, Bandwidth::from_gbps(50));
+        let t1 = Time::from_ns(1100);
+        st.retire(1, t1);
+        st.solve(t1);
+        assert_eq!(st.flows[0].rate, Bandwidth::from_gbps(100));
+        // 1000 ns at 50 Gb/s since credit_start (100 ns): 6.25 B/ns.
+        assert_eq!(st.flows[0].credited, 6250);
+        assert_eq!(st.flows[0].basis, t1);
+        // Another 1 µs at full rate: 12 500 more bytes.
+        assert_eq!(st.flows[0].credited_at(Time::from_ns(2100)), 6250 + 12_500);
+    }
+
+    #[test]
+    fn completion_matches_rate_and_residual() {
+        let mut st = state_with_links(1, 100);
+        let mut a = acct(0, 12_500, vec![0], 100);
+        a.rate = Bandwidth::from_gbps(100);
+        st.admit(a);
+        // 12.5 kB at 100 Gb/s = 1 µs after credit_start (100 ns).
+        assert_eq!(st.next_completion(), Some(Time::from_ns(1100)));
+    }
+
+    #[test]
+    fn admission_blocker_enforces_threshold_and_mode() {
+        let mut st = state_with_links(2, 100);
+        let line = Bandwidth::from_gbps(60).as_bps();
+        assert_eq!(st.admission_blocker(&[0, 1], line), None);
+        st.admit(acct(0, 1_000, vec![0, 1], 60));
+        // Second 60G flow would offer 120G > 1.0 × 100G on link 0.
+        assert_eq!(st.admission_blocker(&[0, 1], line), Some((0, true)));
+        // Packet-mode links refuse admission outright.
+        assert!(st.mark_packet(1, Time::from_us(1)));
+        assert_eq!(st.admission_blocker(&[1], 1), Some((1, false)));
+        assert_eq!(st.stats.escalations, 1);
+    }
+
+    #[test]
+    fn deescalation_waits_for_quiescence_and_respects_pins() {
+        let mut st = state_with_links(2, 100);
+        st.pin(0);
+        assert!(st.mark_packet(1, Time::from_us(10)));
+        assert!(!st.try_deescalate(1, Time::from_us(50)), "quiesce window not elapsed");
+        assert!(st.try_deescalate(1, Time::from_us(110)));
+        assert!(st.is_fluid(1));
+        assert!(!st.try_deescalate(0, Time::from_ms(10)), "pinned links never de-escalate");
+        assert!(!st.is_fluid(0));
+        assert_eq!(st.stats.deescalations, 1);
+    }
+
+    #[test]
+    fn retire_releases_demand_and_epoch_advances() {
+        let mut st = state_with_links(2, 100);
+        st.admit(acct(3, 1_000, vec![0, 1], 40));
+        let g = st.gen;
+        assert_eq!(st.flows_on_link(0), vec![0]);
+        st.retire(0, Time::ZERO);
+        assert_ne!(st.gen, g);
+        assert!(st.account(FlowId(3)).is_none());
+        assert!(st.flows_on_link(0).is_empty());
+        assert!(!st.any_active());
+        st.compact();
+        assert!(st.flows.is_empty());
+    }
+
+    #[test]
+    fn in_flight_is_bounded_by_pipe_and_residual() {
+        let mut a = acct(0, 10_000, vec![0], 100);
+        a.rate = Bandwidth::from_gbps(100);
+        // Mid-pipe: 50 ns of a 100 ns pipe at 12.5 B/ns = 625 B.
+        assert_eq!(a.in_flight_at(Time::from_ns(50)), 625);
+        // Past the pipe fill, mid-flow: a full pipe's worth.
+        assert_eq!(a.in_flight_at(Time::from_ns(500)), 1250);
+        // Nearly done: bounded by residual bytes (fold the account to
+        // 9 500 credited as of t = 1 µs, so 500 B remain un-credited).
+        a.credited = 9_500;
+        a.basis = Time::from_us(1);
+        assert_eq!(a.in_flight_at(Time::from_us(1)), 500);
+    }
+}

@@ -59,6 +59,7 @@
 mod builder;
 mod ecn;
 mod fault;
+mod fluid;
 mod frame;
 mod host;
 mod ids;
@@ -70,9 +71,10 @@ mod routing;
 mod switch;
 pub mod topology;
 
-pub use builder::{HeadroomSource, NetParams, NetworkBuilder};
+pub use builder::{FidelityMode, HeadroomSource, NetParams, NetworkBuilder};
 pub use ecn::EcnConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkCorruption};
+pub use fluid::{FidelityStats, FluidFlowAccount};
 pub use frame::{AckFrame, DataFrame, Frame, FrameKind, PfcFrame, PfcScope};
 pub use ids::{FlowId, NodeId, CONTROL_CLASS, NUM_CLASSES, NUM_DATA_CLASSES};
 pub use monitor::{

@@ -372,6 +372,10 @@ pub struct TelemetryReport {
     /// Engine dispatch profile, if the harness ran the simulation through
     /// [`dsh_simcore::Simulation::run_until_profiled`] and attached it.
     pub engine_profile: Option<EngineProfile>,
+    /// Fidelity section (mode, thresholds, fluid statistics); present only
+    /// for hybrid-fidelity runs so packet-mode reports stay byte-identical
+    /// to pre-hybrid goldens.
+    pub fidelity: Option<Json>,
 }
 
 impl TelemetryReport {
@@ -420,8 +424,12 @@ impl TelemetryReport {
                 Json::Arr(self.switches.iter().map(SwitchTelemetry::to_json).collect()),
             )
             .with("ports", Json::Arr(self.ports.iter().map(PortPauseTelemetry::to_json).collect()));
-        match &self.engine_profile {
+        let doc = match &self.engine_profile {
             Some(p) => doc.with("engine_profile", p.to_json()),
+            None => doc,
+        };
+        match &self.fidelity {
+            Some(f) => doc.with("fidelity", f.clone()),
             None => doc,
         }
     }
@@ -518,6 +526,7 @@ mod tests {
             ports: vec![],
             provenance: Json::object().with("seed", 1u64),
             engine_profile: None,
+            fidelity: None,
         };
         let v = report.lossless_violations();
         assert_eq!(v.len(), 2);

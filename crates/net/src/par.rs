@@ -15,14 +15,20 @@
 //! The run advances in half-open windows `[floor, stop)` with
 //! `stop = min(floor + lookahead, next fault instant, deadline)`:
 //!
-//! 1. every worker runs its partitions' calendars strictly before `stop`
+//! 1. every worker first drains its partitions' staged inboxes into
+//!    their calendars, then runs the calendars strictly before `stop`
 //!    (behind a [`Lockstep`] barrier),
-//! 2. the coordinator merges cross-partition outboxes — iterating
-//!    partitions in id order and each outbox in push order, so inbox
-//!    sequence numbers are a pure function of the partition layout,
-//!    never of worker count or thread timing,
+//! 2. the coordinator *stages* cross-partition outboxes into the
+//!    destination partitions' inboxes — iterating partitions in id order
+//!    and each outbox in push order, so staging sequence is a pure
+//!    function of the partition layout, never of worker count or thread
+//!    timing. Staging is an `append`, one lock per destination: the
+//!    O(log n) calendar insertions are deferred to the owning workers at
+//!    the next window open, off the coordinator's critical path,
 //! 3. link faults scheduled exactly at `stop` execute on the owning
-//!    partitions, followed by a global route recompute,
+//!    partitions (after a coordinator-side inbox drain, so fault handlers
+//!    see the same calendar a serial run would), followed by a global
+//!    route recompute,
 //! 4. `floor = stop`.
 //!
 //! A final inclusive pass per partition handles events at exactly the
@@ -225,7 +231,23 @@ pub struct ParallelSim {
     #[allow(clippy::vec_box)] // boxes are the recycled resource (see Pool::lend)
     #[allow(clippy::vec_box)] // boxes are the recycled resource (see Pool::lend)
     frame_scratch: Vec<Box<Frame>>,
-    cross_counts: Vec<usize>,
+    inbox_scratch: Vec<Vec<(Time, NetEvent)>>,
+}
+
+/// Moves a partition's staged cross-partition arrivals into its calendar,
+/// preserving the coordinator's (source partition id, push order) staging
+/// order. Runs on the owning worker at window open — and on the
+/// coordinator at fault barriers and the inclusive tail, where the
+/// calendar must be current before partition code executes.
+fn drain_inbox(sim: &mut Simulation<Network>) {
+    if sim.model().inbox.is_empty() {
+        return;
+    }
+    let mut staged = std::mem::take(&mut sim.model_mut().inbox);
+    for (t, ev) in staged.drain(..) {
+        sim.schedule(t, ev);
+    }
+    sim.model_mut().inbox = staged; // keep the buffer's capacity
 }
 
 impl ParallelSim {
@@ -291,7 +313,7 @@ impl ParallelSim {
             next_fault: 0,
             scratch: Vec::new(),
             frame_scratch: Vec::new(),
-            cross_counts: vec![0; parts_n],
+            inbox_scratch: vec![Vec::new(); parts_n],
         }
     }
 
@@ -340,7 +362,7 @@ impl ParallelSim {
             next_fault,
             scratch,
             frame_scratch,
-            cross_counts,
+            inbox_scratch,
         } = self;
         let parts: &[Mutex<Simulation<Network>>] = parts;
         let ls = Lockstep::new(*workers);
@@ -361,7 +383,10 @@ impl ParallelSim {
                             let ran = catch_unwind(AssertUnwindSafe(|| {
                                 let mut i = w;
                                 while i < parts.len() {
-                                    lock(&parts[i]).run_before(stop);
+                                    let mut sim = lock(&parts[i]);
+                                    drain_inbox(&mut sim);
+                                    sim.run_before(stop);
+                                    drop(sim);
                                     i += workers_n;
                                 }
                             }));
@@ -384,7 +409,7 @@ impl ParallelSim {
                 next_fault,
                 scratch,
                 frame_scratch,
-                cross_counts,
+                inbox_scratch,
                 worker_panic: &worker_panic,
             };
             let out = catch_unwind(AssertUnwindSafe(|| f(&mut run)));
@@ -411,8 +436,10 @@ impl ParallelSim {
             .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner).into_model());
         let mut merged = nets.next().expect("at least one partition");
         merged.outbox.clear();
+        merged.inbox.clear();
         for mut other in nets {
             other.outbox.clear();
+            other.inbox.clear();
             merged.absorb(other);
         }
         merged.finish_merge();
@@ -433,7 +460,7 @@ pub struct ParallelRun<'a> {
     #[allow(clippy::vec_box)] // boxes are the recycled resource (see Pool::lend)
     #[allow(clippy::vec_box)] // boxes are the recycled resource (see Pool::lend)
     frame_scratch: &'a mut Vec<Box<Frame>>,
-    cross_counts: &'a mut Vec<usize>,
+    inbox_scratch: &'a mut Vec<Vec<(Time, NetEvent)>>,
     worker_panic: &'a Mutex<Option<PanicPayload>>,
 }
 
@@ -477,6 +504,9 @@ impl ParallelRun<'_> {
             self.ls.close_window();
             self.check_workers();
             self.deliver(stop);
+            if self.faults.get(*self.next_fault).is_some_and(|&(t, _)| t == stop) {
+                self.drain_all_inboxes();
+            }
             while let Some(&(t, kind)) = self.faults.get(*self.next_fault) {
                 if t != stop {
                     break;
@@ -491,8 +521,12 @@ impl ParallelRun<'_> {
         // Inclusive tail: events at exactly the deadline are partition-
         // local by the lookahead argument (their cross effects land
         // strictly later and stay in the outboxes for the next phase).
+        // Staged inbox entries may sit exactly at the deadline, so the
+        // calendar is brought current first.
         for p in self.parts {
-            lock(p).run_until(deadline);
+            let mut sim = lock(p);
+            drain_inbox(&mut sim);
+            sim.run_until(deadline);
         }
         self.check_workers();
     }
@@ -503,10 +537,16 @@ impl ParallelRun<'_> {
         assert!(lock(self.worker_panic).is_none(), "a partition worker panicked");
     }
 
-    /// Drains every partition's outbox into the owning partitions'
-    /// calendars, in (partition id, push order) — the deterministic merge
+    /// Stages every partition's outbox into the owning partitions'
+    /// inboxes, in (partition id, push order) — the deterministic merge
     /// the whole scheme rests on. All messages must land at or beyond
     /// `bound` (the lookahead guarantee).
+    ///
+    /// Staging is a bulk `append` (one destination lock per source
+    /// partition): the per-event calendar insertions happen on the owning
+    /// workers at the next window open (see [`drain_inbox`]), overlapping
+    /// them with every other partition's insertions instead of
+    /// serializing the whole merge on the coordinator.
     fn deliver(&mut self, bound: Time) {
         for src in 0..self.parts.len() {
             std::mem::swap(&mut lock(&self.parts[src]).model_mut().outbox, self.scratch);
@@ -517,24 +557,40 @@ impl ParallelRun<'_> {
                 };
                 let dst = self.plan.owner[*node as usize] as usize;
                 debug_assert_ne!(dst, src, "outbox entry for a locally-owned node");
-                lock(&self.parts[dst]).schedule(t, ev);
-                self.cross_counts[dst] += 1;
+                self.inbox_scratch[dst].push((t, ev));
             }
-            // Every frame above carried its box into `dst`; counter-migrate
-            // the same number of free boxes back, or a partition whose
-            // hosts net-export frames drains its pool and allocates on the
-            // hot path forever (a dry destination pool skips the refund —
-            // it owes nothing, its own frees will restock it).
             for dst in 0..self.parts.len() {
-                let owed = std::mem::take(&mut self.cross_counts[dst]);
-                if owed == 0 || dst == src {
+                let staged = &mut self.inbox_scratch[dst];
+                if staged.is_empty() {
                     continue;
                 }
-                lock(&self.parts[dst]).model_mut().lend_free_frames(owed, self.frame_scratch);
+                // Every staged frame carried its box into `dst`;
+                // counter-migrate the same number of free boxes back, or a
+                // partition whose hosts net-export frames drains its pool
+                // and allocates on the hot path forever (a dry destination
+                // pool skips the refund — it owes nothing, its own frees
+                // will restock it).
+                let owed = staged.len();
+                {
+                    let mut sim = lock(&self.parts[dst]);
+                    let m = sim.model_mut();
+                    m.inbox.append(staged);
+                    m.lend_free_frames(owed, self.frame_scratch);
+                }
                 if !self.frame_scratch.is_empty() {
                     lock(&self.parts[src]).model_mut().adopt_free_frames(self.frame_scratch);
                 }
             }
+        }
+    }
+
+    /// Coordinator-side inbox drain for the points where partition code
+    /// runs outside a worker window (fault barriers, the inclusive tail):
+    /// the calendar must be current first, e.g. a `LinkDown` sweeping
+    /// in-flight frames must see staged cross-partition arrivals.
+    fn drain_all_inboxes(&self) {
+        for p in self.parts {
+            drain_inbox(&mut lock(p));
         }
     }
 
@@ -706,6 +762,90 @@ mod tests {
             run.run_until(deadline);
         });
         assert_eq!(fct_key(&par.into_network()), whole);
+    }
+
+    /// Hybrid fidelity composed with partitioning: intra-partition flows
+    /// ride the fluid fast path, cut-crossing flows stay packet (their
+    /// links are pinned), and the result is bit-identical to the serial
+    /// hybrid engine at any worker count — because `prepare()` pins the
+    /// same canonical plan's cut links the split pins.
+    #[test]
+    fn hybrid_parallel_matches_serial_hybrid() {
+        use crate::builder::FidelityMode;
+        fn hybrid_chain() -> Network {
+            let mut b = NetworkBuilder::new(
+                NetParams::tomahawk(Scheme::Dsh)
+                    .without_ecn()
+                    .with_fidelity(FidelityMode::hybrid_default()),
+            );
+            let s0 = b.switch();
+            let s1 = b.switch();
+            let hosts: Vec<_> = (0..4).map(|_| b.host()).collect();
+            let bw = Bandwidth::from_gbps(100);
+            b.link(hosts[0], s0, bw, Delta::from_us(1));
+            b.link(hosts[1], s0, bw, Delta::from_us(1));
+            b.link(hosts[2], s1, bw, Delta::from_us(1));
+            b.link(hosts[3], s1, bw, Delta::from_us(1));
+            b.link(s0, s1, bw, Delta::from_us(2));
+            let mut net = b.build();
+            // Two partition-local flows (fluid) and two cut-crossing flows
+            // (packet: the s0–s1 link is pinned), staggered starts.
+            let pairs = [
+                (hosts[0], hosts[1]),
+                (hosts[2], hosts[3]),
+                (hosts[1], hosts[3]),
+                (hosts[3], hosts[1]),
+            ];
+            for (i, &(src, dst)) in pairs.iter().enumerate() {
+                net.add_flow(FlowSpec {
+                    src,
+                    dst,
+                    size: 150_000 + 30_000 * i as u64,
+                    class: 0,
+                    start: Time::from_us(5 * i as u64),
+                    cc: CcKind::Uncontrolled,
+                });
+            }
+            net
+        }
+        let deadline = Time::from_ms(2);
+        // The serial calendar keeps every link fluid-eligible (no pinned
+        // cuts); the partitioned engine pins the s0–s1 cut. Like the
+        // packet engine under ECN, serial-vs-partitioned is not
+        // byte-identical — worker-count invariance is the contract, so
+        // the exact comparison runs partitioned-vs-partitioned.
+        let serial = {
+            let mut sim = hybrid_chain().into_sim();
+            sim.run_until(deadline);
+            sim.into_model()
+        };
+        assert_eq!(serial.fct_records().len(), 4);
+        let serial_stats = serial.fidelity_stats().expect("hybrid serial run has fluid state");
+        assert!(
+            serial_stats.fluid_flows >= 2,
+            "unpinned serial run must admit at least the two local flows: {serial_stats:?}"
+        );
+
+        let baseline = {
+            let mut par = ParallelSim::new(hybrid_chain(), 1).expect("partitionable");
+            par.run_until(deadline);
+            par.into_network()
+        };
+        assert_eq!(baseline.fct_records().len(), 4);
+        let baseline_stats = baseline.fidelity_stats().expect("merged fluid stats");
+        assert_eq!(baseline_stats.fluid_flows, 2, "the two local flows must go fluid");
+        // Flow 0 completes analytically; flow 1 is materialized when the
+        // first cut-crossing flow's frames reach its egress at s1.
+        assert_eq!(baseline_stats.fluid_completions, 1);
+        assert_eq!(baseline_stats.materializations, 1);
+        for workers in [2, 4] {
+            let mut par = ParallelSim::new(hybrid_chain(), workers).expect("partitionable");
+            par.run_until(deadline);
+            let merged = par.into_network();
+            assert_eq!(fct_key(&merged), fct_key(&baseline), "workers={workers}");
+            let stats = merged.fidelity_stats().expect("merged fluid stats");
+            assert_eq!(stats, baseline_stats, "workers={workers}");
+        }
     }
 
     #[test]

@@ -74,8 +74,11 @@ impl TraceMask {
     /// Fault injection: link death/repair, frame corruption, drained
     /// frames.
     pub const FAULT: TraceMask = TraceMask(1 << 3);
+    /// Hybrid fidelity: fluid-link escalation/de-escalation and fluid
+    /// flow completions.
+    pub const FLUID: TraceMask = TraceMask(1 << 4);
     /// Every category.
-    pub const ALL: TraceMask = TraceMask((1 << 4) - 1);
+    pub const ALL: TraceMask = TraceMask((1 << 5) - 1);
 
     /// True when no category is enabled.
     #[must_use]
@@ -118,6 +121,7 @@ impl TraceMask {
                 "flow" => Self::FLOW,
                 "mmu" => Self::MMU,
                 "fault" => Self::FAULT,
+                "fluid" => Self::FLUID,
                 "all" => Self::ALL,
                 _ => Self::NONE,
             });
@@ -184,6 +188,19 @@ pub enum TraceEvent {
     FrameCorrupt = 50,
     /// Frames drained by a dying link; `payload` = how many.
     LinkDrain = 51,
+
+    /// A fluid link escalated to packet mode; `node`/`port` name the
+    /// directed link's egress side, `payload` = the trigger reason code
+    /// (see `dsh_net::fluid::EscalateReason`).
+    FluidEscalate = 64,
+    /// A packet link de-escalated back to fluid mode after its
+    /// quiescence window.
+    FluidDeescalate = 65,
+    /// A flow was admitted to the fluid fast path; `payload` = its size.
+    FluidFlowStart = 66,
+    /// A fluid flow completed analytically; `payload` = its FCT in
+    /// nanoseconds.
+    FluidFlowComplete = 67,
 }
 
 impl TraceEvent {
@@ -191,6 +208,7 @@ impl TraceEvent {
     #[must_use]
     pub const fn mask(self) -> TraceMask {
         match self as u8 {
+            64..=79 => TraceMask::FLUID,
             1..=15 => TraceMask::PFC,
             16..=31 => TraceMask::MMU,
             32..=47 => TraceMask::FLOW,
@@ -225,6 +243,10 @@ impl TraceEvent {
             TraceEvent::LinkUp => "link_up",
             TraceEvent::FrameCorrupt => "frame_corrupt",
             TraceEvent::LinkDrain => "link_drain",
+            TraceEvent::FluidEscalate => "fluid_escalate",
+            TraceEvent::FluidDeescalate => "fluid_deescalate",
+            TraceEvent::FluidFlowStart => "fluid_flow_start",
+            TraceEvent::FluidFlowComplete => "fluid_flow_complete",
         }
     }
 
@@ -255,6 +277,10 @@ impl TraceEvent {
             49 => TraceEvent::LinkUp,
             50 => TraceEvent::FrameCorrupt,
             51 => TraceEvent::LinkDrain,
+            64 => TraceEvent::FluidEscalate,
+            65 => TraceEvent::FluidDeescalate,
+            66 => TraceEvent::FluidFlowStart,
+            67 => TraceEvent::FluidFlowComplete,
             _ => return None,
         })
     }
@@ -769,6 +795,7 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
     let mut names: BTreeMap<(u64, u64), String> = BTreeMap::new();
     let mut end_ts = 0.0f64;
     let mut dropped_total = 0u64;
+    let mut any_fluid = false;
 
     let ev = |name: &str, ph: &str, ts: f64, pid: u64, tid: u64| {
         Json::object()
@@ -891,6 +918,21 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
                         Json::object().with("node", node).with("payload", rec.payload),
                     ));
                 }
+                TraceEvent::FluidEscalate
+                | TraceEvent::FluidDeescalate
+                | TraceEvent::FluidFlowStart
+                | TraceEvent::FluidFlowComplete => {
+                    any_fluid = true;
+                    events.push(
+                        ev(kind.name(), "i", ts, 6, node).with("s", "t").with(
+                            "args",
+                            Json::object()
+                                .with("node", node)
+                                .with("port", u64::from(rec.port))
+                                .with("payload", rec.payload),
+                        ),
+                    );
+                }
             }
         }
     }
@@ -903,9 +945,14 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
     }
 
     // Name the tracks (metadata events may appear anywhere in the array).
-    for (pid, pname) in
-        [(1u64, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults")]
-    {
+    // The fluid track appears only when fluid records exist, so
+    // packet-mode exports stay byte-identical to pre-hybrid goldens.
+    let pids: &[(u64, &str)] = if any_fluid {
+        &[(1, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults"), (6, "fluid")]
+    } else {
+        &[(1, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults")]
+    };
+    for &(pid, pname) in pids {
         events.push(
             Json::object()
                 .with("name", "process_name")
@@ -944,7 +991,12 @@ mod tests {
         assert_eq!(TraceMask::parse("all"), TraceMask::ALL);
         assert_eq!(TraceMask::parse("pfc,flow"), TraceMask::PFC.union(TraceMask::FLOW));
         assert_eq!(TraceMask::parse(" mmu , nope "), TraceMask::MMU);
-        assert_eq!(TraceMask::parse("15"), TraceMask::ALL);
+        assert_eq!(TraceMask::parse("31"), TraceMask::ALL);
+        assert_eq!(
+            TraceMask::parse("15"),
+            TraceMask::PFC.union(TraceMask::FLOW).union(TraceMask::MMU).union(TraceMask::FAULT)
+        );
+        assert_eq!(TraceMask::parse("fluid"), TraceMask::FLUID);
         assert_eq!(TraceMask::parse(""), TraceMask::NONE);
     }
 
