@@ -15,8 +15,8 @@ use dsh_bench::fig14;
 use dsh_core::Scheme;
 use dsh_net::topology::fat_tree;
 use dsh_net::{FlowSpec, NetParams, Network, NetworkBuilder, ParallelSim};
-use dsh_simcore::{Bandwidth, Delta, EventQueue, Executor, Simulation, Time};
-use dsh_transport::CcKind;
+use dsh_simcore::{Bandwidth, ByteSize, Delta, EventQueue, Executor, Simulation, Time};
+use dsh_transport::{CcKind, RecoveryConfig};
 
 /// Counting allocator: every `alloc`/`realloc` bumps a relaxed counter on
 /// its way to the system allocator. Lives in the bench target (the library
@@ -224,6 +224,91 @@ fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
     net.into_sim()
 }
 
+/// The lossy-mode selective-repeat fixture: an 8-to-1 incast into a
+/// deliberately starved shared pool, so drop-tail sheds load continuously
+/// and the whole NACK → gap-repair → reassembly machinery stays hot for
+/// the entire measurement window.
+fn lossy_sr_incast_sim(flow_bytes: u64) -> Simulation<Network> {
+    let base = NetParams::tomahawk(Scheme::Lossy).without_ecn();
+    let recovery = RecoveryConfig::for_rtt(base.base_rtt).selective_repeat();
+    let params = base.with_buffer(ByteSize::kib(600)).with_recovery(recovery);
+    let mut bld = NetworkBuilder::new(params);
+    let hosts: Vec<_> = (0..9).map(|_| bld.host()).collect();
+    let sw = bld.switch();
+    for &h in &hosts {
+        bld.link(h, sw, Bandwidth::from_gbps(100), Delta::from_us(2));
+    }
+    let mut net = bld.build();
+    assert!(
+        !net.tracer().wants(dsh_simcore::trace::TraceMask::ALL),
+        "packet-path benches must run with tracing masked off (unset DSH_TRACE_MASK)"
+    );
+    for &src in &hosts[..8] {
+        net.add_flow(FlowSpec {
+            src,
+            dst: hosts[8],
+            size: flow_bytes,
+            class: 0,
+            start: Time::ZERO,
+            cc: CcKind::Uncontrolled,
+        });
+    }
+    net.into_sim()
+}
+
+/// Like [`packet_path_probe`] but for the lossy selective-repeat fixture:
+/// drop-tail drops are the point (not asserted zero), and the window must
+/// actually exercise the recovery machinery — NACKs and gap repairs — or
+/// the zero-allocation claim would be vacuous.
+fn sr_path_probe(label: &str, mut sim: Simulation<Network>) {
+    let warmup_end = Time::from_us(100);
+    let window_end = Time::from_us(400);
+    if std::env::var("DSH_ALLOC_TRACE").is_ok() {
+        sim.run_until(warmup_end);
+        #[cfg(feature = "alloc-count")]
+        alloc_count::TRAP.store(true, std::sync::atomic::Ordering::Relaxed);
+        sim.run_until(window_end);
+        #[cfg(feature = "alloc-count")]
+        alloc_count::TRAP.store(false, std::sync::atomic::Ordering::Relaxed);
+        println!("{label} traced");
+        return;
+    }
+    sim.run_until(warmup_end);
+    let allocs0 = allocations();
+    let events0 = sim.events_processed();
+    let packets0 = sim.model().packets_delivered();
+    let nacks0 = sim.model().nacks_sent();
+    let repairs0 = sim.model().sr_retransmitted_bytes();
+    let wall = std::time::Instant::now();
+    sim.run_until(window_end);
+    let wall = wall.elapsed();
+    let allocs1 = allocations(); // Read before anything below allocates.
+    assert!(sim.model().data_drops() > 0, "{label}: the starved pool never dropped");
+    let nacks = sim.model().nacks_sent() - nacks0;
+    let repairs = sim.model().sr_retransmitted_bytes() - repairs0;
+    assert!(nacks > 0, "{label}: window saw no NACKs — SR path idle");
+    assert!(repairs > 0, "{label}: window sent no gap repairs — SR path idle");
+    let events = sim.events_processed() - events0;
+    let packets = sim.model().packets_delivered() - packets0;
+    assert!(packets > 0, "{label}: measurement window saw no deliveries");
+    criterion::record_metric(
+        &format!("{label}/events_per_sec"),
+        events as f64 / wall.as_secs_f64(),
+    );
+    criterion::record_metric(&format!("{label}/packets"), packets as f64);
+    criterion::record_metric(&format!("{label}/nacks"), nacks as f64);
+    if let (Some(a0), Some(a1)) = (allocs0, allocs1) {
+        let allocs = a1 - a0;
+        let per_packet = allocs as f64 / packets as f64;
+        criterion::record_metric(&format!("{label}/allocs_per_packet"), per_packet);
+        assert_eq!(
+            allocs, 0,
+            "{label}: {allocs} heap allocations in the steady-state window \
+             ({per_packet:.4}/packet) — the selective-repeat hot path must not allocate"
+        );
+    }
+}
+
 /// A 5-switch linear chain (the nominal fat-tree diameter) with PowerTCP,
 /// so every data packet is INT-stamped at five hops and every ACK echoes a
 /// near-full inline `HopList` back through the reverse path.
@@ -325,6 +410,7 @@ fn packet_path(c: &mut Criterion) {
             true,
         );
     }
+    sr_path_probe("packet_path/lossy_sr_incast_8_to_1", lossy_sr_incast_sim(4 * 1024 * 1024));
 }
 
 /// A k-ary fat-tree under steady cross-pod load: every flow leaves its pod

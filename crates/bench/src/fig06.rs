@@ -95,6 +95,9 @@ pub fn run(
         // All ports here are 100G/2us: eta = 56840, 7 lossless queues.
         Scheme::Sih => 7.0 * 56_840.0,
         Scheme::Dsh | Scheme::BShare => 56_840.0,
+        // Lossy mode reserves no headroom at all, so a headroom
+        // utilization figure is meaningless for it.
+        Scheme::Lossy => panic!("fig06 measures headroom utilization; the lossy scheme has none"),
     };
     let mut samples = Vec::new();
     for (node, per_port) in net.take_headroom_peaks() {

@@ -17,6 +17,7 @@
 //! | [`fig14`] | FCT vs background load (web search, leaf–spine) |
 //! | [`fig15`] | FCT across workloads and fat-tree |
 //! | [`fig16`] | Scheme-parameter sensitivity (extension, not in the paper) |
+//! | [`fig17`] | Lossless-vs-lossy trade-off (extension, not in the paper) |
 //! | [`theory`] | Theorems 1–2 validation |
 
 #![forbid(unsafe_code)]
@@ -32,11 +33,13 @@ pub mod fig13x;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod fig17;
 pub mod theory;
 
 use dsh_net::FidelityMode;
 use dsh_simcore::trace::{self, TraceConfig, TraceMask};
 use dsh_simcore::{exec, Executor, Json};
+use dsh_transport::Regime;
 
 /// Environment fallback for `--fidelity` (same spec grammar).
 pub const FIDELITY_ENV: &str = "DSH_FIDELITY";
@@ -71,6 +74,13 @@ pub struct Args {
     /// historical engine), `hybrid`, or
     /// `hybrid:<util_threshold>[:<quiesce_us>]`.
     pub fidelity: FidelityMode,
+    /// `--regime gbn|sr`: loss-recovery regime for figures that exercise
+    /// recovery (fig17). `None` = flag not given, figure defaults apply.
+    pub regime: Option<Regime>,
+    /// `--no-recovery`: run without loss recovery where the figure allows
+    /// it (lossy cells always need recovery; combining with `--regime`
+    /// is a usage error — the regime would silently have no effect).
+    pub no_recovery: bool,
 }
 
 /// Usage text printed (to stderr) when argument parsing fails.
@@ -86,7 +96,11 @@ usage: <figure-binary> [OPTIONS]
   --trace PATH    write a Chrome trace_event JSON document to PATH
   --fidelity SPEC engine fidelity: packet (default) | hybrid |
                   hybrid:<util_threshold>[:<quiesce_us>]; DSH_FIDELITY
-                  fallback";
+                  fallback
+  --regime R      loss-recovery regime where a figure exercises recovery:
+                  gbn (go-back-N) | sr (selective repeat)
+  --no-recovery   disable loss recovery where the figure allows it
+                  (rejected together with --regime)";
 
 impl Args {
     /// Parses the process argv, with `DSH_THREADS` as the `--threads`
@@ -138,6 +152,8 @@ impl Args {
             workers: env_workers.unwrap_or(1),
             trace: None,
             fidelity,
+            regime: None,
+            no_recovery: false,
         };
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
@@ -163,8 +179,26 @@ impl Args {
                     args.fidelity = FidelityMode::parse(&spec)
                         .map_err(|s| format!("invalid value for --fidelity: '{s}'"))?;
                 }
+                "--regime" => {
+                    let r = it.next().ok_or_else(|| "--regime requires a value".to_string())?;
+                    args.regime = Some(match r.as_str() {
+                        "gbn" => Regime::GoBackN,
+                        "sr" => Regime::SelectiveRepeat,
+                        _ => {
+                            return Err(format!(
+                                "invalid value for --regime: '{r}' (expected gbn or sr)"
+                            ))
+                        }
+                    });
+                }
+                "--no-recovery" => args.no_recovery = true,
                 other => return Err(format!("unknown argument '{other}'")),
             }
+        }
+        if args.no_recovery && args.regime.is_some() {
+            return Err("--no-recovery disables loss recovery, so --regime would have no effect; \
+                 drop one of the two"
+                .to_string());
         }
         Ok(args)
     }
@@ -264,6 +298,8 @@ mod tests {
                 workers: 1,
                 trace: None,
                 fidelity: FidelityMode::Packet,
+                regime: None,
+                no_recovery: false,
             }
         );
     }
@@ -285,6 +321,8 @@ mod tests {
                 "t.json",
                 "--fidelity",
                 "hybrid",
+                "--regime",
+                "sr",
             ]),
             None,
             None,
@@ -302,8 +340,30 @@ mod tests {
                 workers: 2,
                 trace: Some("t.json".to_string()),
                 fidelity: FidelityMode::hybrid_default(),
+                regime: Some(Regime::SelectiveRepeat),
+                no_recovery: false,
             }
         );
+    }
+
+    #[test]
+    fn regime_values_parse_and_reject() {
+        let a = Args::from_iter(argv(&["--regime", "gbn"]), None, None, None).unwrap();
+        assert_eq!(a.regime, Some(Regime::GoBackN));
+        let a = Args::from_iter(argv(&["--no-recovery"]), None, None, None).unwrap();
+        assert!(a.no_recovery && a.regime.is_none());
+        let e = Args::from_iter(argv(&["--regime", "tcp"]), None, None, None).unwrap_err();
+        assert!(e.contains("invalid value for --regime: 'tcp'"), "{e}");
+        let e = Args::from_iter(argv(&["--regime"]), None, None, None).unwrap_err();
+        assert!(e.contains("--regime requires a value"), "{e}");
+    }
+
+    #[test]
+    fn no_recovery_with_regime_is_a_usage_error() {
+        let e = Args::from_iter(argv(&["--no-recovery", "--regime", "sr"]), None, None, None)
+            .unwrap_err();
+        assert!(e.contains("--no-recovery"), "{e}");
+        assert!(e.contains("--regime"), "{e}");
     }
 
     #[test]
@@ -408,6 +468,8 @@ mod tests {
             "--workers",
             "--trace",
             "--fidelity",
+            "--regime",
+            "--no-recovery",
         ] {
             assert!(USAGE.contains(flag), "usage must list {flag}");
         }

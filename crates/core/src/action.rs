@@ -49,6 +49,10 @@ pub enum DropReason {
     /// DSH ablation (`dsh_port_fc = false`): the shared pool rejected the
     /// packet and there is no insurance headroom to fall back on.
     InsuranceDisabled,
+    /// Lossy mode: the shared pool (DT threshold or pool cap) rejected the
+    /// packet and a lossy switch drops instead of pausing — this is the
+    /// mode working as designed, not a losslessness violation.
+    DropTail,
 }
 
 impl fmt::Display for DropReason {
@@ -57,6 +61,7 @@ impl fmt::Display for DropReason {
             DropReason::HeadroomFull => "headroom-full",
             DropReason::InsuranceFull => "insurance-full",
             DropReason::InsuranceDisabled => "insurance-disabled",
+            DropReason::DropTail => "drop-tail",
         })
     }
 }

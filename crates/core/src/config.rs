@@ -16,12 +16,28 @@ pub enum Scheme {
     /// additionally capped at `drain_rate × delay_target` so slow-draining
     /// queues pause before they build deep standing queues.
     BShare,
+    /// Lossy (no-PFC) mode — the IRN-style counterfactual: zero bytes
+    /// reserved as headroom, drop-tail admission against the DT-governed
+    /// shared pool, and **no flow-control actions ever** (a frame past
+    /// its threshold is dropped, not paused upstream). Loss recovery is
+    /// the NICs' problem; the MMU only attributes the drops.
+    Lossy,
 }
 
 impl Scheme {
-    /// Every scheme, in sweep order (SIH first, matching the paper's
-    /// baseline-then-contribution presentation).
+    /// Every *lossless* scheme, in sweep order (SIH first, matching the
+    /// paper's baseline-then-contribution presentation). [`Scheme::Lossy`]
+    /// is deliberately excluded: the paper's figure sweeps compare PFC
+    /// headroom schemes, and the lossy counterfactual gets its own figure
+    /// (fig17).
     pub const ALL: [Scheme; 3] = [Scheme::Sih, Scheme::Dsh, Scheme::BShare];
+
+    /// Whether this scheme guarantees losslessness via PFC. `false` only
+    /// for [`Scheme::Lossy`].
+    #[must_use]
+    pub fn is_lossless(self) -> bool {
+        !matches!(self, Scheme::Lossy)
+    }
 }
 
 impl std::fmt::Display for Scheme {
@@ -30,6 +46,7 @@ impl std::fmt::Display for Scheme {
             Scheme::Sih => "SIH",
             Scheme::Dsh => "DSH",
             Scheme::BShare => "BShare",
+            Scheme::Lossy => "Lossy",
         })
     }
 }
@@ -126,6 +143,8 @@ impl MmuConfig {
             Scheme::Sih => ByteSize::bytes(self.queues_per_port as u64 * per_port_sum),
             Scheme::Dsh | Scheme::BShare if self.dsh_port_fc => ByteSize::bytes(per_port_sum),
             Scheme::Dsh | Scheme::BShare => ByteSize::ZERO,
+            // The whole point: a lossy switch holds not one byte hostage.
+            Scheme::Lossy => ByteSize::ZERO,
         }
     }
 
@@ -419,6 +438,17 @@ mod tests {
         assert_eq!(bsh.reserved_headroom(), dsh.reserved_headroom());
         assert_eq!(bsh.shared_size(), dsh.shared_size());
         assert_eq!(bsh.bshare_delay_target, Delta::from_us(20));
+    }
+
+    #[test]
+    fn lossy_reserves_zero_headroom() {
+        let lossy = MmuConfig::tomahawk(Scheme::Lossy);
+        assert_eq!(lossy.reserved_headroom(), ByteSize::ZERO);
+        // Everything that isn't private buffer is shared pool.
+        assert_eq!(lossy.shared_size(), lossy.total_buffer.saturating_sub(lossy.total_private()));
+        assert!(!Scheme::Lossy.is_lossless());
+        assert!(Scheme::ALL.iter().all(|s| s.is_lossless()), "ALL lists PFC schemes only");
+        assert_eq!(Scheme::Lossy.to_string(), "Lossy");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! The MMU is split in two: [`MmuCore`] owns the mechanism (byte counters,
 //! pause flags, statistics, trace emission) and the [`Mmu`] facade drives
-//! it through a pluggable [`crate::MmuScheme`] policy (SIH, DSH or
-//! BShare), dispatched statically via [`crate::SchemeImpl`].
+//! it through a pluggable [`crate::MmuScheme`] policy (SIH, DSH, BShare
+//! or the no-PFC Lossy mode), dispatched statically via
+//! [`crate::SchemeImpl`].
 
 use crate::action::{FcAction, FcActions, Outcome, Region};
 use crate::audit::{AuditReport, AuditViolation};
@@ -97,6 +98,9 @@ pub struct DropAttribution {
     /// DSH ablation: insurance is disabled, so nothing could absorb the
     /// packet after the shared pool rejected it.
     pub insurance_disabled: u64,
+    /// Lossy mode: the shared pool rejected the packet and a lossy switch
+    /// drops instead of pausing (expected loss, not a violation).
+    pub drop_tail: u64,
 }
 
 /// Per-ingress-port drop counters, so network-level reports can name the
@@ -711,8 +715,9 @@ impl Mmu {
     ///   cumulative RESUME counts never exceed PAUSE counts;
     /// * scheme-specific arms via [`crate::MmuScheme::audit`]:
     ///   `dsh-no-static-headroom` / `bshare-no-static-headroom` /
-    ///   `sih-no-insurance` / `sih-no-port-pause` — segments and states a
-    ///   scheme never uses stay empty.
+    ///   `sih-no-insurance` / `sih-no-port-pause` /
+    ///   `lossy-no-headroom` / `lossy-no-insurance` / `lossy-no-pause` —
+    ///   segments and states a scheme never uses stay empty.
     #[must_use]
     pub fn audit(&self) -> AuditReport {
         let core = &self.core;

@@ -1,5 +1,5 @@
 //! Pluggable headroom-allocation policies: the [`MmuScheme`] trait and its
-//! SIH, DSH and BShare implementations.
+//! SIH, DSH, BShare and Lossy (no-PFC drop-tail) implementations.
 //!
 //! The MMU is split into mechanism and policy. The mechanism —
 //! [`MmuCore`]: byte counters per region, pause-flag flips, statistics,
@@ -425,6 +425,122 @@ impl MmuScheme for BShareScheme {
     }
 }
 
+// ---- Lossy (no-PFC) -----------------------------------------------------
+
+/// Lossy (drop-tail) mode: the IRN-style counterfactual to PFC.
+///
+/// Admission is DT against the shared pool exactly like SIH's shared
+/// stage — private → shared gated on the per-queue threshold `T(t)` and
+/// the pool cap — but past the threshold the packet is **dropped**, not
+/// absorbed into headroom, and no PAUSE frame is ever emitted. Zero bytes
+/// are reserved as headroom ([`MmuConfig::reserved_headroom`] returns 0),
+/// so the whole chip minus private buffer serves the shared pool. ECN
+/// marking (applied at egress by the network layer) is the only
+/// congestion signal; loss recovery is the transport's job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LossyScheme;
+
+impl MmuScheme for LossyScheme {
+    fn on_arrival(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        _now: Time,
+    ) -> Outcome {
+        let idx = core.qidx(port, queue);
+        let phi = core.cfg.private_per_queue.as_u64();
+        let t = core.threshold();
+
+        let region = {
+            let q = &core.queues[idx];
+            if q.private + bytes <= phi {
+                Some(Region::Private)
+            } else if q.shared + bytes <= t && core.total_shared + bytes <= core.dt.shared_size() {
+                Some(Region::Shared)
+            } else {
+                None
+            }
+        };
+
+        let mut drop_reason = None;
+        match region {
+            Some(Region::Private) => core.charge_private(idx, bytes),
+            Some(Region::Shared) => core.charge_shared(idx, port, bytes),
+            Some(_) => unreachable!("lossy mode only uses private and shared"),
+            None => {
+                // Attribute the drop to every rule that rejected it.
+                let q = &core.queues[idx];
+                core.attribution.private_full += 1;
+                if q.shared + bytes > t {
+                    core.attribution.dt_threshold += 1;
+                }
+                if core.total_shared + bytes > core.dt.shared_size() {
+                    core.attribution.shared_cap += 1;
+                }
+                core.attribution.drop_tail += 1;
+                drop_reason = Some(DropReason::DropTail);
+            }
+        }
+
+        // Never any flow-control action: that is the definition of lossy.
+        Outcome { region, drop_reason, actions: FcActions::none() }
+    }
+
+    fn on_departure(
+        &mut self,
+        core: &mut MmuCore,
+        port: usize,
+        queue: usize,
+        bytes: u64,
+        region: Region,
+        _now: Time,
+    ) -> FcActions {
+        core.release(port, queue, bytes, region);
+        FcActions::none()
+    }
+
+    fn audit(&self, core: &MmuCore, violations: &mut Vec<AuditViolation>) {
+        audit_no_static_headroom(core, "lossy-no-headroom", violations);
+        for (port, p) in core.ports.iter().enumerate() {
+            if p.insurance > 0 {
+                violations.push(AuditViolation {
+                    invariant: "lossy-no-insurance",
+                    port: Some(port),
+                    queue: None,
+                    expected: 0,
+                    actual: p.insurance,
+                });
+            }
+            if p.paused {
+                violations.push(AuditViolation {
+                    invariant: "lossy-no-pause",
+                    port: Some(port),
+                    queue: None,
+                    expected: 0,
+                    actual: 1,
+                });
+            }
+        }
+        for (i, q) in core.queues.iter().enumerate() {
+            if q.paused {
+                violations.push(AuditViolation {
+                    invariant: "lossy-no-pause",
+                    port: Some(i / core.cfg.queues_per_port),
+                    queue: Some(i % core.cfg.queues_per_port),
+                    expected: 0,
+                    actual: 1,
+                });
+            }
+        }
+    }
+
+    fn port_headroom_occupancy(&self, _core: &MmuCore, _port: usize) -> u64 {
+        0
+    }
+}
+
 // ---- shared-pool admission (DSH & BShare) -------------------------------
 
 /// The shared-pool arrival state machine DSH and BShare have in common
@@ -549,6 +665,8 @@ pub enum SchemeImpl {
     Dsh(DshScheme),
     /// Queueing-delay-driven sharing.
     BShare(BShareScheme),
+    /// Lossy (no-PFC) drop-tail mode.
+    Lossy(LossyScheme),
 }
 
 impl SchemeImpl {
@@ -559,6 +677,7 @@ impl SchemeImpl {
             Scheme::Sih => SchemeImpl::Sih(SihScheme),
             Scheme::Dsh => SchemeImpl::Dsh(DshScheme),
             Scheme::BShare => SchemeImpl::BShare(BShareScheme::new(cfg)),
+            Scheme::Lossy => SchemeImpl::Lossy(LossyScheme),
         }
     }
 }
@@ -569,6 +688,7 @@ macro_rules! dispatch {
             SchemeImpl::Sih($s) => $body,
             SchemeImpl::Dsh($s) => $body,
             SchemeImpl::BShare($s) => $body,
+            SchemeImpl::Lossy($s) => $body,
         }
     };
 }

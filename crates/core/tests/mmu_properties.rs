@@ -60,6 +60,10 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
                     match scheme {
                         Scheme::Sih => assert_ne!(region, Region::Insurance),
                         Scheme::Dsh | Scheme::BShare => assert_ne!(region, Region::Headroom),
+                        Scheme::Lossy => assert!(
+                            matches!(region, Region::Private | Region::Shared),
+                            "lossy admits only to private/shared, got {region}"
+                        ),
                     }
                     fifos[port * queues + queue].push_back((bytes, region));
                     buffered += bytes;
@@ -72,8 +76,9 @@ fn check_trace(scheme: Scheme, port_fc: bool, ops: &[Op]) {
                             eta - mmu.insurance_occupancy(port)
                         }
                         // Ablated DSH has no last-resort segment; drops are
-                        // expected (that is the ablation's point).
-                        Scheme::Dsh | Scheme::BShare => bytes,
+                        // expected (that is the ablation's point). Lossy
+                        // drops by design once the shared pool rejects.
+                        Scheme::Dsh | Scheme::BShare | Scheme::Lossy => bytes,
                     };
                     assert!(
                         slack < bytes,
@@ -154,6 +159,11 @@ proptest! {
     #[test]
     fn bshare_invariants_hold(ops in proptest::collection::vec(op_strategy(3, 2), 1..400)) {
         check_trace(Scheme::BShare, true, &ops);
+    }
+
+    #[test]
+    fn lossy_invariants_hold(ops in proptest::collection::vec(op_strategy(3, 2), 1..400)) {
+        check_trace(Scheme::Lossy, true, &ops);
     }
 
     /// A pause-respecting upstream never loses a packet: after a queue

@@ -285,6 +285,11 @@ impl NetworkBuilder {
     /// destinations are tolerated until routed to).
     #[must_use]
     pub fn build(self) -> Network {
+        // Fail fast on incoherent parameter combinations (CLI layers
+        // surface the same message as a usage error before getting here).
+        if let Err(e) = self.params.validate() {
+            panic!("invalid network parameters: {e}");
+        }
         // One tracer (and one flight-recorder ring) per network, shared
         // with every switch MMU. The key makes multi-threaded capture
         // sessions sort deterministically: the seed separates sweep
@@ -505,7 +510,36 @@ impl NetParams {
                 Scheme::Sih => 0,
                 Scheme::Dsh => 1,
                 Scheme::BShare => 2,
+                Scheme::Lossy => 3,
             },
         }
+    }
+
+    /// Checks the parameter set for incoherent combinations. Called by
+    /// [`NetworkBuilder::build`] (which panics on `Err`); CLI layers call
+    /// it first and turn the message into a usage error.
+    ///
+    /// # Errors
+    ///
+    /// * the lossy scheme combined with a PFC watchdog (there is no PFC to
+    ///   watch);
+    /// * an invalid [`RecoveryConfig`] (see [`RecoveryConfig::validate`]);
+    /// * the lossy scheme with recovery disabled (every drop would wedge
+    ///   its flow forever).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scheme == Scheme::Lossy && self.pfc_watchdog.is_some() {
+            return Err(
+                "the lossy scheme disables PFC, so a PFC watchdog cannot be armed".to_string()
+            );
+        }
+        if let Some(r) = &self.recovery {
+            r.validate()?;
+        }
+        if self.scheme == Scheme::Lossy && self.recovery.is_none() {
+            return Err("the lossy scheme drops under congestion and requires loss recovery \
+                 (set NetParams::recovery)"
+                .to_string());
+        }
+        Ok(())
     }
 }

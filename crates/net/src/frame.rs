@@ -1,4 +1,4 @@
-//! Wire frames: data packets, ACKs, CNPs and PFC control frames.
+//! Wire frames: data packets, ACKs, NACKs, CNPs and PFC control frames.
 
 use crate::ids::{FlowId, NodeId, CONTROL_CLASS};
 use dsh_transport::HopList;
@@ -45,6 +45,29 @@ pub struct AckFrame {
     pub hops: HopList,
 }
 
+/// A selective-repeat NACK: the receiver's cumulative in-order mark plus
+/// its out-of-order delivery bitmap, sent on every out-of-order data
+/// arrival when the recovery regime is
+/// [`SelectiveRepeat`](dsh_transport::Regime::SelectiveRepeat).
+///
+/// Bit `k` of `bitmap` set ⇔ the segment starting at
+/// `expected + (k+1)·mtu` is already buffered at the receiver; the
+/// segment at `expected` itself is missing by definition. The sender's
+/// [`SackState`](dsh_transport::SackState) consumes the bitmap verbatim.
+#[derive(Clone, Copy, Debug)]
+pub struct NackFrame {
+    /// The flow with a sequence gap.
+    pub flow: FlowId,
+    /// Destination of the NACK (the flow's source host).
+    pub dst: NodeId,
+    /// The receiver's cumulative in-order byte mark (doubles as an ACK).
+    pub expected: u64,
+    /// Out-of-order delivery bitmap over MTU-strided segments.
+    pub bitmap: u64,
+    /// Echo of the triggering data packet's ECN mark.
+    pub ecn_echo: bool,
+}
+
 /// Scope of a PFC pause/resume.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PfcScope {
@@ -71,6 +94,9 @@ pub enum FrameKind {
     Data(DataFrame),
     /// Acknowledgment.
     Ack(AckFrame),
+    /// Selective-repeat NACK (out-of-order arrival report), addressed to
+    /// the flow's source.
+    Nack(NackFrame),
     /// Congestion Notification Packet (DCQCN), addressed to the flow's
     /// source.
     Cnp {
@@ -107,6 +133,13 @@ impl Frame {
         Frame { bytes: CONTROL_FRAME_BYTES, class: CONTROL_CLASS, kind: FrameKind::Ack(a) }
     }
 
+    /// Builds a NACK control frame (rides the control class like ACKs, so
+    /// it is never blocked by data-class PFC).
+    #[must_use]
+    pub fn nack(n: NackFrame) -> Frame {
+        Frame { bytes: CONTROL_FRAME_BYTES, class: CONTROL_CLASS, kind: FrameKind::Nack(n) }
+    }
+
     /// Builds a CNP control frame.
     #[must_use]
     pub fn cnp(flow: FlowId, dst: NodeId) -> Frame {
@@ -134,6 +167,7 @@ impl Frame {
         match &self.kind {
             FrameKind::Data(d) => Some(d.dst),
             FrameKind::Ack(a) => Some(a.dst),
+            FrameKind::Nack(n) => Some(n.dst),
             FrameKind::Cnp { dst, .. } => Some(*dst),
             FrameKind::Pfc(_) => None,
         }
@@ -183,5 +217,17 @@ mod tests {
         let p = Frame::pfc(PfcScope::Port, true);
         assert_eq!(p.dst(), None);
         assert!(!p.is_data());
+
+        let n = Frame::nack(NackFrame {
+            flow: FlowId(1),
+            dst: NodeId(0),
+            expected: 3000,
+            bitmap: 0b101,
+            ecn_echo: false,
+        });
+        assert_eq!(n.bytes, CONTROL_FRAME_BYTES);
+        assert_eq!(n.class, CONTROL_CLASS);
+        assert_eq!(n.dst(), Some(NodeId(0)));
+        assert!(!n.is_data());
     }
 }

@@ -4,7 +4,7 @@
 use crate::ids::{FlowId, NodeId};
 use crate::port::EgressPort;
 use dsh_simcore::Time;
-use dsh_transport::{Cc, CnpPolicy, GoBackN};
+use dsh_transport::{Cc, CnpPolicy, GoBackN, SackBuffer, SackState};
 
 /// Sender-side state of one flow (an RDMA queue pair).
 pub struct SenderFlow {
@@ -40,6 +40,14 @@ pub struct SenderFlow {
     /// High-water mark of `sent` (never rewound); bytes re-sent below it
     /// are counted as retransmitted.
     pub max_sent: u64,
+    /// Selective-repeat sender state (idle unless the recovery regime is
+    /// [`SelectiveRepeat`](dsh_transport::Regime::SelectiveRepeat)).
+    pub sack: SackState,
+    /// RTT probe: `Some((target_acked, sent_at))` while one fresh segment
+    /// is being timed; sampled when the cumulative ACK reaches the target,
+    /// cleared on any retransmission (Karn's rule — a retransmitted
+    /// segment's ACK is ambiguous).
+    pub rtt_probe: Option<(u64, Time)>,
 }
 
 impl std::fmt::Debug for SenderFlow {
@@ -76,13 +84,21 @@ pub struct ReceiverFlow {
     pub cnp: CnpPolicy,
     /// Completion already recorded.
     pub completed: bool,
+    /// Selective-repeat out-of-order delivery window (stays empty under
+    /// go-back-N, whose receiver discards everything past a gap).
+    pub sack: SackBuffer,
 }
 
 impl ReceiverFlow {
     /// Fresh receiver state.
     #[must_use]
     pub fn new() -> Self {
-        ReceiverFlow { received: 0, cnp: CnpPolicy::standard(), completed: false }
+        ReceiverFlow {
+            received: 0,
+            cnp: CnpPolicy::standard(),
+            completed: false,
+            sack: SackBuffer::new(),
+        }
     }
 }
 
@@ -208,6 +224,8 @@ mod tests {
             rto_deadline: Time::MAX,
             rto_armed: false,
             max_sent: 0,
+            sack: SackState::new(),
+            rtt_probe: None,
         }
     }
 

@@ -75,7 +75,7 @@ pub use builder::{FidelityMode, HeadroomSource, NetParams, NetworkBuilder};
 pub use ecn::EcnConfig;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, LinkCorruption};
 pub use fluid::{FidelityStats, FluidFlowAccount};
-pub use frame::{AckFrame, DataFrame, Frame, FrameKind, PfcFrame, PfcScope};
+pub use frame::{AckFrame, DataFrame, Frame, FrameKind, NackFrame, PfcFrame, PfcScope};
 pub use ids::{FlowId, NodeId, CONTROL_CLASS, NUM_CLASSES, NUM_DATA_CLASSES};
 pub use monitor::{
     DeadlockReport, DurationHistogram, FctRecord, OccupancyPoint, OccupancySeries, PauseLedger,

@@ -339,7 +339,8 @@ impl SwitchTelemetry {
                     .with("port_paused", self.attribution.port_paused)
                     .with("headroom_full", self.attribution.headroom_full)
                     .with("insurance_full", self.attribution.insurance_full)
-                    .with("insurance_disabled", self.attribution.insurance_disabled),
+                    .with("insurance_disabled", self.attribution.insurance_disabled)
+                    .with("drop_tail", self.attribution.drop_tail),
             )
             .with("port_drops", Json::Arr(drops))
             .with("occupancy", Json::Arr(occupancy))
@@ -359,8 +360,17 @@ pub struct TelemetryReport {
     /// Frames lost to injected link faults (drained on `LinkDown`, cut in
     /// flight, or corrupted) — disjoint from `data_drops`.
     pub link_drops: u64,
-    /// Go-back-N timeout retransmissions across all flows.
+    /// Timeout retransmission episodes across all flows (both regimes).
     pub retransmissions: u64,
+    /// Selective-repeat NACK frames sent by receivers.
+    pub nacks_sent: u64,
+    /// Bytes retransmitted by selective-repeat gap repairs (disjoint from
+    /// go-back-N rewind bytes; both count into `retransmitted_bytes`).
+    pub sr_retransmitted_bytes: u64,
+    /// Recovery episodes attributed to an RTO expiry.
+    pub recovery_timeouts: u64,
+    /// Recovery episodes attributed to a NACK (selective repeat only).
+    pub recovery_nacks: u64,
     /// Per-switch MMU telemetry.
     pub switches: Vec<SwitchTelemetry>,
     /// Per-egress-port pause telemetry (every node, hosts included).
@@ -419,6 +429,10 @@ impl TelemetryReport {
             .with("watchdog_drops", self.watchdog_drops)
             .with("link_drops", self.link_drops)
             .with("retransmissions", self.retransmissions)
+            .with("nacks_sent", self.nacks_sent)
+            .with("sr_retransmitted_bytes", self.sr_retransmitted_bytes)
+            .with("recovery_timeouts", self.recovery_timeouts)
+            .with("recovery_nacks", self.recovery_nacks)
             .with(
                 "switches",
                 Json::Arr(self.switches.iter().map(SwitchTelemetry::to_json).collect()),
@@ -505,6 +519,10 @@ mod tests {
             watchdog_drops: 0,
             link_drops: 0,
             retransmissions: 0,
+            nacks_sent: 0,
+            sr_retransmitted_bytes: 0,
+            recovery_timeouts: 0,
+            recovery_nacks: 0,
             switches: vec![SwitchTelemetry {
                 node: NodeId(4),
                 audit: AuditReport {

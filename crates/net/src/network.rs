@@ -4,7 +4,7 @@
 use crate::builder::{FidelityMode, NetParams};
 use crate::fault::{fault_trace, FaultKind, FaultPlan};
 use crate::fluid::{EscalateReason, FidelityStats, FluidFlowAccount, FluidState};
-use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, PfcScope};
+use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, NackFrame, PfcScope};
 use crate::host::{HostNode, ReceiverFlow, SenderFlow};
 use crate::ids::{FlowId, NodeId, NUM_DATA_CLASSES};
 use crate::monitor::{
@@ -21,7 +21,8 @@ use dsh_simcore::{
     Simulation, Time,
 };
 use dsh_transport::{
-    new_cc, AckInfo, CcKind, GoBackN, HopList, RecoveryConfig, RtoOutcome, TelemetryHop,
+    new_cc, AckInfo, CcKind, GoBackN, HopList, RecoveryConfig, Regime, RtoOutcome, SackBuffer,
+    SackState, TelemetryHop,
 };
 
 /// Specification of one flow.
@@ -218,6 +219,15 @@ pub struct Network {
     retransmissions: u64,
     /// Bytes re-sent below a flow's high-water mark.
     retransmitted_bytes: u64,
+    /// Selective-repeat NACK frames sent by receivers.
+    nacks_sent: u64,
+    /// Bytes re-sent by selective-repeat gap repairs (a subset of
+    /// `retransmitted_bytes`; go-back-N rewind bytes are the rest).
+    sr_retransmitted_bytes: u64,
+    /// Recovery episodes triggered by an RTO expiry (either regime).
+    recovery_timeouts: u64,
+    /// Loss episodes triggered by a NACK (selective repeat only).
+    recovery_nacks: u64,
     /// Flows whose recovery hit the retry cap and gave up.
     failed_flows: u64,
     /// Flight recorder (shared with every switch MMU); the disabled
@@ -285,6 +295,10 @@ impl Network {
             link_drops: 0,
             retransmissions: 0,
             retransmitted_bytes: 0,
+            nacks_sent: 0,
+            sr_retransmitted_bytes: 0,
+            recovery_timeouts: 0,
+            recovery_nacks: 0,
             failed_flows: 0,
             tracer,
             owner: Vec::new(),
@@ -601,6 +615,10 @@ impl Network {
         self.link_drops += other.link_drops;
         self.retransmissions += other.retransmissions;
         self.retransmitted_bytes += other.retransmitted_bytes;
+        self.nacks_sent += other.nacks_sent;
+        self.sr_retransmitted_bytes += other.sr_retransmitted_bytes;
+        self.recovery_timeouts += other.recovery_timeouts;
+        self.recovery_nacks += other.recovery_nacks;
         self.failed_flows += other.failed_flows;
         self.packet_rx_bytes += other.packet_rx_bytes;
         if let (Some(mine), Some(theirs)) = (self.fluid.as_mut(), other.fluid.as_ref()) {
@@ -758,6 +776,31 @@ impl Network {
         self.retransmitted_bytes
     }
 
+    /// Selective-repeat NACK frames sent by receivers.
+    #[must_use]
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    /// Bytes re-sent by selective-repeat gap repairs (a subset of
+    /// [`Network::retransmitted_bytes`]).
+    #[must_use]
+    pub fn sr_retransmitted_bytes(&self) -> u64 {
+        self.sr_retransmitted_bytes
+    }
+
+    /// Recovery episodes attributed to an RTO expiry.
+    #[must_use]
+    pub fn recovery_timeouts(&self) -> u64 {
+        self.recovery_timeouts
+    }
+
+    /// Loss episodes attributed to a NACK (selective repeat only).
+    #[must_use]
+    pub fn recovery_nacks(&self) -> u64 {
+        self.recovery_nacks
+    }
+
     /// Flows whose loss recovery hit the retry cap and gave up.
     #[must_use]
     pub fn failed_flow_count(&self) -> u64 {
@@ -805,6 +848,20 @@ impl Network {
             queue_level: (0..NUM_DATA_CLASSES).map(|c| port.class_pause_total(c as u8, now)).sum(),
             port_level: port.port_pause_total(now),
         })
+    }
+
+    /// Total buffer statically reserved as headroom across every switch
+    /// (SIH: `Σ N_q·η`; DSH/BShare: insurance `Σ η`; Lossy: exactly 0 —
+    /// fig17's "buffer held hostage" axis).
+    #[must_use]
+    pub fn reserved_headroom_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Switch(s) => Some(s.mmu.config().reserved_headroom().as_u64()),
+                _ => None,
+            })
+            .sum()
     }
 
     /// Drains per-port headroom-occupancy local maxima from every switch
@@ -869,6 +926,10 @@ impl Network {
             watchdog_drops: self.watchdog_drops,
             link_drops: self.link_drops,
             retransmissions: self.retransmissions,
+            nacks_sent: self.nacks_sent,
+            sr_retransmitted_bytes: self.sr_retransmitted_bytes,
+            recovery_timeouts: self.recovery_timeouts,
+            recovery_nacks: self.recovery_nacks,
             switches,
             ports,
             provenance: self.provenance(),
@@ -1168,6 +1229,7 @@ impl Network {
         let flow = match &frame.kind {
             FrameKind::Data(d) => d.flow,
             FrameKind::Ack(a) => a.flow,
+            FrameKind::Nack(n) => n.flow,
             FrameKind::Cnp { flow, .. } => *flow,
             FrameKind::Pfc(_) => unreachable!(),
         };
@@ -1207,7 +1269,9 @@ impl Network {
         };
         let Some(tag) = admitted else {
             // Congestion loss. Lossless configurations must never reach
-            // this (tests assert on the counter).
+            // this (tests assert on the counter); the lossy scheme reaches
+            // it by design once the shared pool rejects (drop-tail), and
+            // loss recovery repairs the gap end to end.
             self.data_drops += 1;
             self.pool.put(frame);
             self.drain_fc(node, fc, None, sched);
@@ -1287,6 +1351,7 @@ impl Network {
             FrameKind::Ack(a) => {
                 let flow = a.flow;
                 let recovery_on = self.params.recovery.is_some();
+                let mtu = self.params.mtu;
                 {
                     let host = self.host_mut(node);
                     if let Some(f) = host.sender_mut(flow) {
@@ -1297,10 +1362,25 @@ impl Network {
                         let delta = new_acked - f.acked;
                         if delta > 0 {
                             f.acked = new_acked;
+                            // A stale ACK can land after a timeout rewound
+                            // the cursor; the receiver holding these bytes
+                            // proves they were sent, so pull the cursor
+                            // back up rather than leave `sent < acked`.
+                            f.sent = f.sent.max(f.acked);
                             let info =
                                 AckInfo { acked_bytes: delta, ecn_echo: a.ecn_echo, hops: &a.hops };
                             f.cc.on_ack(now, &info);
                             if recovery_on {
+                                // RTT probe: only fresh, never-retransmitted
+                                // segments are timed (Karn's rule), and the
+                                // sample feeds the adaptive RTO estimator.
+                                if let Some((target, at)) = f.rtt_probe {
+                                    if f.acked >= target {
+                                        f.recovery.on_rtt_sample(now.saturating_since(at));
+                                        f.rtt_probe = None;
+                                    }
+                                }
+                                f.sack.on_cum_advance(delta, new_acked, mtu);
                                 f.recovery.on_progress();
                                 if f.acked >= f.size || f.in_flight() == 0 {
                                     // Nothing outstanding: invalidate any
@@ -1320,6 +1400,61 @@ impl Network {
                 self.pool.put(frame);
                 self.arm_cc_timer(node, flow, sched);
                 // Window space may have opened.
+                self.host_try_send(node, sched);
+            }
+            FrameKind::Nack(n) => {
+                let (flow, expected, bitmap, ecn_echo) = (n.flow, n.expected, n.bitmap, n.ecn_echo);
+                let mtu = self.params.mtu;
+                let hops = HopList::new();
+                let mut episode = false;
+                {
+                    let host = self.host_mut(node);
+                    let mut reactivate = false;
+                    if let Some(f) = host.sender_mut(flow) {
+                        // The NACK's cumulative mark doubles as an ACK:
+                        // count any progress first (NACKs carry no INT
+                        // telemetry, so the echo is an empty hop list).
+                        let new_acked = expected.min(f.size).max(f.acked);
+                        let delta = new_acked - f.acked;
+                        if delta > 0 {
+                            f.acked = new_acked;
+                            // Same stale-ACK rewind guard as the ACK arm.
+                            f.sent = f.sent.max(f.acked);
+                            let info = AckInfo { acked_bytes: delta, ecn_echo, hops: &hops };
+                            f.cc.on_ack(now, &info);
+                            f.sack.on_cum_advance(delta, new_acked, mtu);
+                        }
+                        episode = f.sack.on_nack(f.acked, bitmap, mtu, f.max_sent);
+                        if episode {
+                            // One window cut per loss episode
+                            // (NewReno-style), not per NACK.
+                            f.cc.on_loss(now);
+                        }
+                        // A NACK proves the path is alive: reset the
+                        // timeout ladder and push the lazy deadline out
+                        // past the repair round-trip.
+                        f.recovery.on_progress();
+                        f.rto_deadline = f.recovery.deadline(now);
+                        // The repair retransmits, so the in-flight probe
+                        // segment turns ambiguous (Karn's rule).
+                        f.rtt_probe = None;
+                        reactivate = f.sack.repair_pending() || !f.fully_sent();
+                    }
+                    // A fully-sent flow left the active list; pending gap
+                    // repairs put it back so the NIC scan finds it.
+                    if reactivate {
+                        if let Some(slot) = host.sender_slot(flow) {
+                            if !host.active.contains(&slot) {
+                                host.active.push(slot);
+                            }
+                        }
+                    }
+                }
+                if episode {
+                    self.recovery_nacks += 1;
+                }
+                self.pool.put(frame);
+                self.arm_cc_timer(node, flow, sched);
                 self.host_try_send(node, sched);
             }
             FrameKind::Cnp { flow, .. } => {
@@ -1350,8 +1485,10 @@ impl Network {
         let now = sched.now();
         let meta_size = self.flows[flow.0].spec.size;
         let meta_start = self.flows[flow.0].spec.start;
+        let sr = self.params.recovery.is_some_and(|r| r.regime == Regime::SelectiveRepeat);
+        let mtu = self.params.mtu;
 
-        let (send_cnp, completed, cum_acked) = {
+        let (send_cnp, completed, cum_acked, nack, bitmap) = {
             let rx = &mut self.rx_flows[flow.0];
             // Go-back-N receiver: only the next in-order segment advances
             // the stream; duplicates (replays below the mark) and gaps
@@ -1359,17 +1496,35 @@ impl Network {
             // ACK below tells the sender where to resume. Segment
             // boundaries re-derive identically after a rewind, so a
             // partial overlap cannot occur.
-            let advanced = seq == rx.received;
-            if advanced {
+            //
+            // Selective-repeat receiver: an out-of-order segment is kept
+            // in the MTU-strided SACK window instead of discarded, and
+            // each such arrival triggers a NACK carrying the cumulative
+            // mark plus the window bitmap.
+            let before = rx.received;
+            let mut nack = false;
+            if seq == rx.received {
                 rx.received += payload;
-                self.packet_rx_bytes += payload;
+                if sr {
+                    // The in-order arrival may bridge to buffered
+                    // segments: drain everything now contiguous. All
+                    // segments except a flow's last are exactly one MTU.
+                    while rx.sack.take_ready() {
+                        rx.received += mtu.min(meta_size - rx.received);
+                    }
+                }
+            } else if sr && seq > rx.received {
+                let gap = (seq - rx.received) / mtu;
+                let _ = rx.sack.offer(gap);
+                nack = true;
             }
+            self.packet_rx_bytes += rx.received - before;
             let send_cnp = rx.cnp.on_data(now, ecn);
             let completed = !rx.completed && rx.received >= meta_size;
             if completed {
                 rx.completed = true;
             }
-            (send_cnp, completed, rx.received)
+            (send_cnp, completed, rx.received, nack, rx.sack.bitmap())
         };
 
         // Goodput counts new in-order bytes only; FCT ends at the last
@@ -1385,10 +1540,22 @@ impl Network {
             });
         }
 
-        // Reply path: ACK (always) + CNP (DCQCN NP policy). The data
-        // frame's box is rewritten in place as the ACK — the telemetry
-        // echo is an inline copy, not a heap clone.
-        *frame = Frame::ack(AckFrame { flow, dst: src, acked: cum_acked, ecn_echo: ecn, hops });
+        // Reply path: ACK (or NACK on an out-of-order arrival under
+        // selective repeat) + CNP (DCQCN NP policy). The data frame's box
+        // is rewritten in place — the telemetry echo is an inline copy,
+        // not a heap clone.
+        if nack {
+            *frame = Frame::nack(NackFrame {
+                flow,
+                dst: src,
+                expected: cum_acked,
+                bitmap,
+                ecn_echo: ecn,
+            });
+            self.nacks_sent += 1;
+        } else {
+            *frame = Frame::ack(AckFrame { flow, dst: src, acked: cum_acked, ecn_echo: ecn, hops });
+        }
         self.host_mut(node).uplink_mut().enqueue(QueuedFrame { frame, ingress: None });
         if send_cnp {
             let cnp = self.pool.get(|| Frame::cnp(flow, src));
@@ -1433,6 +1600,8 @@ impl Network {
             rto_deadline: Time::MAX,
             rto_armed: false,
             max_sent: 0,
+            sack: SackState::new(),
+            rtt_probe: None,
         });
         self.host_try_send(spec.src, sched);
     }
@@ -1447,6 +1616,7 @@ impl Network {
         let now = sched.now();
         let mtu = self.params.mtu;
         let recovery_on = self.params.recovery.is_some();
+        let sr = self.params.recovery.is_some_and(|r| r.regime == Regime::SelectiveRepeat);
         loop {
             let host = self.host_mut(node);
             let n = host.active.len();
@@ -1460,15 +1630,36 @@ impl Network {
                 break;
             }
             let mut chosen = None;
+            let mut stale = None;
             for k in 0..n {
                 let slot = (host.rr_cursor + k) % n;
                 let i = host.active[slot];
                 let f = &host.tx_flows[i];
-                debug_assert!(!f.fully_sent(), "completed flow left on active list");
+                let repair = sr && f.sack.repair_pending();
+                if !repair && f.fully_sent() {
+                    // Fully sent with no repairs pending: a cumulative ACK
+                    // can clear the repair window after a NACK reactivated
+                    // the flow (selective repeat), or a stale ACK can pull
+                    // a timeout-rewound cursor back past the end (either
+                    // regime). Retire the stale entry and rescan.
+                    stale = Some(slot);
+                    break;
+                }
                 if f.next_send > now {
                     continue;
                 }
-                let seg = mtu.min(f.size - f.sent);
+                // IRN-style BDP flow control: fresh data may run at most
+                // the receiver's out-of-order window ahead of the
+                // cumulative ACK. Past it, arrivals behind a hole cannot
+                // be buffered and the discarded tail would come back one
+                // RTO at a time. Repairs land inside the window and pass.
+                if sr
+                    && !repair
+                    && f.sent.saturating_sub(f.acked) >= SackBuffer::WINDOW_SEGMENTS * mtu
+                {
+                    continue;
+                }
+                let seg = if repair { mtu } else { mtu.min(f.size - f.sent) };
                 let port = host.uplink();
                 if !port.class_sendable(f.class) {
                     continue;
@@ -1478,35 +1669,86 @@ impl Network {
                 if port.queue_bytes(f.class) >= 2 * mtu {
                     continue;
                 }
+                // Repairs fill holes the window already covered once, so
+                // they bypass the cwnd gate (the post-loss window cut
+                // would otherwise deadlock a fully-sent flow).
                 let cwnd = f.cc.cwnd_bytes();
-                if f.in_flight() + seg > cwnd.max(seg) {
+                if !repair && f.in_flight() + seg > cwnd.max(seg) {
                     continue;
                 }
                 chosen = Some(slot);
                 break;
             }
+            if let Some(slot) = stale {
+                host.active.swap_remove(slot);
+                if host.rr_cursor >= host.active.len() {
+                    host.rr_cursor = 0;
+                }
+                continue;
+            }
             let Some(slot) = chosen else { break };
             let i = host.active[slot];
             let f = &mut host.tx_flows[i];
-            let seg = mtu.min(f.size - f.sent);
+            // Gap repairs take priority over fresh data: a hole at the
+            // receiver stalls the cumulative mark, while fresh data only
+            // extends the out-of-order tail.
+            let repair_off =
+                if sr && f.sack.repair_pending() { f.sack.next_repair(f.acked, mtu) } else { None };
+            let (seq, seg, is_retx, is_repair) = match repair_off {
+                Some(off) => (off, mtu.min(f.size - off), true, true),
+                None => {
+                    if f.fully_sent() {
+                        // Every outstanding gap turned out to be SACKed:
+                        // nothing to repair, nothing fresh — retire from
+                        // the scan and let ACKs finish the flow.
+                        host.active.swap_remove(slot);
+                        if host.rr_cursor >= host.active.len() {
+                            host.rr_cursor = 0;
+                        }
+                        continue;
+                    }
+                    if sr && f.sent.saturating_sub(f.acked) >= SackBuffer::WINDOW_SEGMENTS * mtu {
+                        // Selected for a repair that the scan then found
+                        // fully SACKed; fresh data is still window-blocked
+                        // (the scan consumed `repair_pending`, so the
+                        // rescan below cannot pick this flow again).
+                        continue;
+                    }
+                    // Anything re-sent below the high-water mark is a
+                    // retransmission (a go-back-N rewind replays from
+                    // `acked`).
+                    (f.sent, mtu.min(f.size - f.sent), f.sent < f.max_sent, false)
+                }
+            };
             let df = DataFrame {
                 flow: f.id,
                 src: node,
                 dst: f.dst,
-                seq: f.sent,
+                seq,
                 payload: seg,
                 ecn: false,
                 hops: HopList::new(),
             };
             let class = f.class;
-            // Anything re-sent below the high-water mark is a
-            // retransmission (a go-back-N rewind replays from `acked`).
-            let is_retx = f.sent < f.max_sent;
-            f.sent += seg;
-            f.max_sent = f.max_sent.max(f.sent);
+            if !is_repair {
+                // Repairs re-cover old offsets; only fresh data (or a
+                // GBN replay) moves the stream cursor.
+                f.sent += seg;
+                f.max_sent = f.max_sent.max(f.sent);
+            }
             f.cc.on_sent(now, seg);
             let rate = f.cc.rate();
             f.next_send = now + rate.tx_delay(seg);
+            // RTT probe for the adaptive RTO: time one fresh segment at a
+            // time; any retransmission poisons an outstanding probe
+            // (Karn's rule).
+            if recovery_on {
+                if is_retx {
+                    f.rtt_probe = None;
+                } else if f.rtt_probe.is_none() {
+                    f.rtt_probe = Some((f.sent, now));
+                }
+            }
             let flow_id = f.id;
             // Every send pushes the lazy RTO deadline; only the
             // unarmed→armed transition touches the calendar.
@@ -1519,7 +1761,7 @@ impl Network {
                     arm = Some((f.rto_deadline, f.rto_gen));
                 }
             }
-            let done_sending = f.fully_sent();
+            let done_sending = f.fully_sent() && !(sr && f.sack.repair_pending());
             if done_sending {
                 host.active.swap_remove(slot);
                 if host.rr_cursor >= host.active.len() {
@@ -1530,6 +1772,9 @@ impl Network {
             }
             if is_retx {
                 self.retransmitted_bytes += seg;
+                if is_repair {
+                    self.sr_retransmitted_bytes += seg;
+                }
             }
             if let Some((deadline, gen)) = arm {
                 sched.at(
@@ -1622,6 +1867,7 @@ impl Network {
             Reschedule(Time),
             Failed,
             Retransmit,
+            SrRepair,
         }
         let now = sched.now();
         let outcome = {
@@ -1646,7 +1892,13 @@ impl Network {
                         f.timer_gen += 1; // park CC timers too
                         Outcome::Failed
                     }
-                    RtoOutcome::Retransmit => Outcome::Retransmit,
+                    RtoOutcome::Retransmit => {
+                        if f.recovery.regime() == Regime::SelectiveRepeat {
+                            Outcome::SrRepair
+                        } else {
+                            Outcome::Retransmit
+                        }
+                    }
                 }
             }
         };
@@ -1657,6 +1909,7 @@ impl Network {
             }
             Outcome::Failed => self.fail_flow(node, flow),
             Outcome::Retransmit => self.retransmit(node, flow, sched),
+            Outcome::SrRepair => self.sr_timeout_repair(node, flow, sched),
         }
     }
 
@@ -1690,6 +1943,7 @@ impl Network {
     fn retransmit(&mut self, node: NodeId, flow: FlowId, sched: &mut Scheduler<'_, NetEvent>) {
         let now = sched.now();
         self.retransmissions += 1;
+        self.recovery_timeouts += 1;
         let (deadline, gen, rto_word) = {
             let host = self.host_mut(node);
             let slot = host.sender_slot(flow).expect("RTO for unregistered flow");
@@ -1703,6 +1957,7 @@ impl Network {
             f.cc.on_loss(now);
             f.sent = f.acked;
             f.next_send = now;
+            f.rtt_probe = None;
             // (Recovery escalation below keeps the rewinding sender's
             // uplink at packet fidelity for the whole backoff window.)
             // (The uplink is dragged to packet fidelity below via
@@ -1718,6 +1973,59 @@ impl Network {
                 host.active.push(slot);
             }
             pair
+        };
+        if self.fluid.is_some() {
+            let lid = self.fluid.as_ref().expect("checked").lid(node, 0);
+            self.escalate_link(lid, EscalateReason::Recovery, sched);
+        }
+        trace_event!(self.tracer, TraceEvent::Retransmit, {
+            flow: flow.0 as u32,
+            node: node.0 as u32,
+            payload: rto_word,
+        });
+        sched.at(deadline, NetEvent::RtoTimer { host: node.0 as u32, flow: flow.0 as u32, gen });
+        self.host_try_send(node, sched);
+    }
+
+    /// Selective-repeat timeout: no rewind of `sent` — instead the repair
+    /// cursor is re-armed at the cumulative ACK mark, so only the missing
+    /// segment (plus any un-SACKed holes above it) goes out again. Covers
+    /// NACK loss and tail loss, where no out-of-order arrival exists to
+    /// trigger a NACK.
+    fn sr_timeout_repair(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        sched: &mut Scheduler<'_, NetEvent>,
+    ) {
+        let now = sched.now();
+        let mtu = self.params.mtu;
+        self.retransmissions += 1;
+        self.recovery_timeouts += 1;
+        let (deadline, gen, rto_word) = {
+            let host = self.host_mut(node);
+            let slot = host.sender_slot(flow).expect("RTO for unregistered flow");
+            let f = &mut host.tx_flows[slot];
+            fault_trace!(
+                "[fault] t={now:?} flow {flow:?} RTO: selective repeat from seq {} (retry {}, rto {:?})",
+                f.acked,
+                f.recovery.retries(),
+                f.recovery.rto()
+            );
+            f.cc.on_loss(now);
+            f.sack.rearm_on_timeout(f.acked, mtu);
+            f.next_send = now;
+            f.rtt_probe = None;
+            // Still armed: the same generation carries the next event,
+            // scheduled at the backed-off deadline.
+            f.rto_deadline = f.recovery.deadline(now);
+            let triple = (f.rto_deadline, f.rto_gen, f.recovery.trace_payload());
+            // A fully-sent flow left the active list; the repair cursor
+            // has work again.
+            if !host.active.contains(&slot) {
+                host.active.push(slot);
+            }
+            triple
         };
         if self.fluid.is_some() {
             let lid = self.fluid.as_ref().expect("checked").lid(node, 0);
@@ -2375,6 +2683,8 @@ impl Network {
             rto_deadline: Time::MAX,
             rto_armed: false,
             max_sent: end,
+            sack: SackState::new(),
+            rtt_probe: None,
         });
         if end >= spec.size {
             // Everything is already on the wire: off the active list (the

@@ -42,8 +42,8 @@ mod telemetry;
 pub use cc::{AckInfo, Cc, CcKind, Uncontrolled};
 pub use dcqcn::{Dcqcn, DcqcnConfig};
 pub use powertcp::{PowerTcp, PowerTcpConfig};
-pub use receiver::CnpPolicy;
-pub use recovery::{GoBackN, RecoveryConfig, RtoOutcome};
+pub use receiver::{CnpPolicy, SackBuffer};
+pub use recovery::{GoBackN, RecoveryConfig, Regime, RtoOutcome, RttEstimator, SackState};
 pub use telemetry::{HopList, TelemetryHop, HOP_CAPACITY};
 
 use dsh_simcore::{Bandwidth, Delta};

@@ -1,4 +1,5 @@
-//! Receiver-side (notification point) logic: CNP generation for DCQCN.
+//! Receiver-side logic: CNP generation for DCQCN and the selective-repeat
+//! out-of-order delivery buffer.
 
 use dsh_simcore::{Delta, Time};
 
@@ -52,9 +53,107 @@ impl CnpPolicy {
     }
 }
 
+/// Selective-repeat receiver state: which segments beyond the cumulative
+/// delivery mark have already arrived.
+///
+/// The window is one `u64` of MTU-strided segments: bit `k` set ⇔ the
+/// segment starting at `received + (k+1)·mtu` is buffered. Arrivals more
+/// than 64 segments ahead are *not* buffered (the bound keeps the state
+/// `Copy` and allocation-free); they are simply dropped from the window
+/// and repaired by a later retransmission, which only costs bandwidth,
+/// never correctness. The same bitmap rides NACK frames verbatim, so the
+/// sender's [`SackState`](crate::SackState) shares the convention.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SackBuffer {
+    bitmap: u64,
+}
+
+impl SackBuffer {
+    /// Window width in segments. Senders must not run more than this far
+    /// ahead of the cumulative ACK (IRN's BDP-style flow control): an
+    /// arrival past the window cannot be buffered, and a receiver forced
+    /// to discard megabytes of out-of-order tail recovers it one RTO at
+    /// a time — a rate-collapse death spiral, not a repair.
+    pub const WINDOW_SEGMENTS: u64 = 64;
+
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        SackBuffer::default()
+    }
+
+    /// Whether nothing is buffered out of order.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bitmap == 0
+    }
+
+    /// The delivery bitmap as carried by NACK frames.
+    #[must_use]
+    pub fn bitmap(&self) -> u64 {
+        self.bitmap
+    }
+
+    /// Buffers an out-of-order arrival `gap_segments ≥ 1` whole segments
+    /// ahead of the cumulative mark. Returns `false` if it fell outside
+    /// the 64-segment window (not buffered; a retransmission will cover
+    /// it).
+    pub fn offer(&mut self, gap_segments: u64) -> bool {
+        debug_assert!(gap_segments >= 1, "in-order arrivals never enter the sack buffer");
+        if gap_segments > Self::WINDOW_SEGMENTS {
+            return false;
+        }
+        self.bitmap |= 1 << (gap_segments - 1);
+        true
+    }
+
+    /// The cumulative mark advanced one segment (an in-order arrival):
+    /// slide the window down.
+    pub fn advance_one(&mut self) {
+        self.bitmap >>= 1;
+    }
+
+    /// If the segment right after the cumulative mark is buffered,
+    /// consume it (the caller advances its mark) and return `true`.
+    pub fn take_ready(&mut self) -> bool {
+        if self.bitmap & 1 == 1 {
+            self.bitmap >>= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sack_buffer_reassembles_out_of_order_arrivals() {
+        let mut b = SackBuffer::new();
+        assert!(b.is_empty());
+        // Segments 2 and 3 arrive ahead of segment 1.
+        assert!(b.offer(2));
+        assert!(b.offer(3));
+        assert_eq!(b.bitmap(), 0b110);
+        assert!(!b.take_ready(), "segment 1 still missing");
+        // Segment 1 arrives in order: the window slides, then both
+        // buffered segments drain.
+        b.advance_one();
+        assert!(b.take_ready());
+        assert!(b.take_ready());
+        assert!(!b.take_ready());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sack_buffer_bounds_its_window() {
+        let mut b = SackBuffer::new();
+        assert!(b.offer(64), "edge of the window is buffered");
+        assert!(!b.offer(65), "beyond the window is dropped, not buffered");
+        assert_eq!(b.bitmap(), 1 << 63);
+    }
 
     #[test]
     fn unmarked_packets_never_trigger() {

@@ -72,3 +72,27 @@ pub fn assert_lossless(net: &Network, now: Time) {
         net.link_drops()
     );
 }
+
+/// The lossy-mode sibling of [`assert_lossless`]: drop-tail admission
+/// drops are expected congestion signal (bounded by `max_data_drops`),
+/// but the switch must never have paused — a lossy switch sends no PFC —
+/// and every MMU audit must still be clean (no headroom or insurance
+/// charges, no pause ledger residue).
+pub fn assert_bounded_loss(net: &Network, now: Time, max_data_drops: u64) {
+    assert!(
+        net.data_drops() <= max_data_drops,
+        "lossy run exceeded its drop budget: {} > {max_data_drops} drops",
+        net.data_drops()
+    );
+    let paused_ns: u64 =
+        net.pause_ledgers(now).map(|l| l.queue_level.as_ns() + l.port_level.as_ns()).sum();
+    assert_eq!(paused_ns, 0, "a lossy run paused for {paused_ns} ns — PFC leaked into no-PFC mode");
+    for (id, audit) in net.audit_all() {
+        assert!(audit.is_clean(), "dirty audit at {id} in a lossy run: {:?}", audit.violations);
+    }
+    assert!(
+        net.fault_plan_active() || net.link_drops() == 0,
+        "{} link drops without an installed fault plan",
+        net.link_drops()
+    );
+}
