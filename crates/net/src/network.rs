@@ -1412,8 +1412,11 @@ impl Network {
                     let mut reactivate = false;
                     if let Some(f) = host.sender_mut(flow) {
                         // The NACK's cumulative mark doubles as an ACK:
-                        // count any progress first (NACKs carry no INT
-                        // telemetry, so the echo is an empty hop list).
+                        // count any progress first. NACKs carry no INT
+                        // telemetry, so the echo is an empty hop list —
+                        // INT-driven CCs treat that as "no information"
+                        // (PowerTcp::on_ack returns early), not as an
+                        // uncongested path.
                         let new_acked = expected.min(f.size).max(f.acked);
                         let delta = new_acked - f.acked;
                         if delta > 0 {
@@ -1507,9 +1510,12 @@ impl Network {
                 rx.received += payload;
                 if sr {
                     // The in-order arrival may bridge to buffered
-                    // segments: drain everything now contiguous. All
-                    // segments except a flow's last are exactly one MTU.
-                    while rx.sack.take_ready() {
+                    // segments: slide the window (once per segment the
+                    // mark advances, holes or not — the bitmap must stay
+                    // aligned for the next NACK) and drain everything
+                    // now contiguous. All segments except a flow's last
+                    // are exactly one MTU.
+                    for _ in 0..rx.sack.on_in_order_arrival() {
                         rx.received += mtu.min(meta_size - rx.received);
                     }
                 }

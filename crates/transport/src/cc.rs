@@ -34,6 +34,11 @@ pub struct AckInfo<'a> {
     /// Whether the acked data packet carried an ECN CE mark (echoed).
     pub ecn_echo: bool,
     /// Per-hop INT telemetry collected by the data packet (PowerTCP).
+    /// Empty when the feedback carried no telemetry — NACK-borne
+    /// cumulative progress, for one. INT-driven transports must treat an
+    /// empty list as *no path information*, never as an uncongested
+    /// path: NACKs cluster in exactly the congested episodes where
+    /// mistaking "no INT" for "idle fabric" would open the window.
     pub hops: &'a [TelemetryHop],
 }
 

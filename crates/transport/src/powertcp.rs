@@ -300,6 +300,28 @@ mod tests {
         assert_eq!(cc.cwnd_bytes(), w0);
     }
 
+    /// NACK-borne cumulative progress arrives as `AckInfo` with an empty
+    /// hop list (NACKs carry no INT telemetry). An INT-driven window must
+    /// read that as *no information* — not as an uncongested path — and
+    /// must not disturb its hop memory, or the repair traffic of a loss
+    /// episode would grow the window during the episode itself.
+    #[test]
+    fn hop_free_ack_info_is_ignored() {
+        let mut cc = mk();
+        cc.on_ack(Time::from_us(20), &ack(&[hop(500_000, 1_000_000, 10)]));
+        let w0 = cc.cwnd_bytes();
+        let p0 = cc.power();
+        for i in 0..50u64 {
+            cc.on_ack(Time::from_us(40 + i), &ack(&[]));
+        }
+        assert_eq!(cc.cwnd_bytes(), w0, "zero-hop AckInfo moved the window");
+        assert_eq!(cc.power(), p0, "zero-hop AckInfo disturbed the power estimate");
+        // The hop memory must be intact: the next real INT sample still
+        // forms a gradient against the pre-NACK observation.
+        cc.on_ack(Time::from_us(200), &ack(&[hop(1_000_000, 1_500_000, 190)]));
+        assert_ne!(cc.cwnd_bytes(), w0, "INT gradient lost across hop-free ACKs");
+    }
+
     #[test]
     fn hop_count_change_reprimes() {
         let mut cc = mk();

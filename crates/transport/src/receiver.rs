@@ -108,20 +108,28 @@ impl SackBuffer {
     }
 
     /// The cumulative mark advanced one segment (an in-order arrival):
-    /// slide the window down.
-    pub fn advance_one(&mut self) {
-        self.bitmap >>= 1;
-    }
-
-    /// If the segment right after the cumulative mark is buffered,
-    /// consume it (the caller advances its mark) and return `true`.
-    pub fn take_ready(&mut self) -> bool {
-        if self.bitmap & 1 == 1 {
-            self.bitmap >>= 1;
-            true
-        } else {
-            false
-        }
+    /// slide the window down and drain the run of buffered segments now
+    /// contiguous with the mark. Returns how many buffered segments were
+    /// consumed; the caller advances its cumulative mark one segment per
+    /// consumed segment, *on top of* the in-order arrival itself.
+    ///
+    /// The slide happens unconditionally — once per segment the mark
+    /// moves — so the stored bitmap always satisfies the
+    /// `received + (k+1)·mtu` convention even while holes remain. (A
+    /// drain that only shifted while bit 0 was set would leave the map
+    /// misaligned one position too high after repairing the lower of two
+    /// holes, stranding already-buffered segments and NACKing the wrong
+    /// ones.)
+    pub fn on_in_order_arrival(&mut self) -> u64 {
+        // With the mark one segment further on, old bit k describes
+        // `received + k·mtu`: bit 0 is the segment *at* the mark, and a
+        // contiguous run of low set bits is exactly the deliverable
+        // prefix. Consume the run, then slide once more for the in-order
+        // segment itself (that bit is clear — it ended the run) to
+        // restore the `(k+1)` convention.
+        let drained = self.bitmap.trailing_ones();
+        self.bitmap = self.bitmap.checked_shr(drained + 1).unwrap_or(0);
+        u64::from(drained)
     }
 }
 
@@ -133,17 +141,48 @@ mod tests {
     fn sack_buffer_reassembles_out_of_order_arrivals() {
         let mut b = SackBuffer::new();
         assert!(b.is_empty());
-        // Segments 2 and 3 arrive ahead of segment 1.
+        // The segments at `r+mtu` and `r+2·mtu` arrive ahead of the one
+        // at the mark `r` (gaps 1 and 2).
+        assert!(b.offer(1));
+        assert!(b.offer(2));
+        assert_eq!(b.bitmap(), 0b11);
+        // The segment at the mark arrives in order: the window slides
+        // and both buffered segments drain in the same step.
+        assert_eq!(b.on_in_order_arrival(), 2);
+        assert!(b.is_empty());
+    }
+
+    /// Regression: two holes (segments at `r` and `r+mtu` lost, `r+2·mtu`
+    /// and `r+3·mtu` buffered) where the lower hole's repair arrives
+    /// first. The window must slide on that repair even though nothing is
+    /// contiguous yet; a drain that only shifts while bit 0 is set leaves
+    /// the bitmap misaligned one position too high and the buffered
+    /// segments stranded.
+    #[test]
+    fn two_holes_drain_after_the_second_repair() {
+        let mut b = SackBuffer::new();
         assert!(b.offer(2));
         assert!(b.offer(3));
         assert_eq!(b.bitmap(), 0b110);
-        assert!(!b.take_ready(), "segment 1 still missing");
-        // Segment 1 arrives in order: the window slides, then both
-        // buffered segments drain.
-        b.advance_one();
-        assert!(b.take_ready());
-        assert!(b.take_ready());
-        assert!(!b.take_ready());
+        // Repair of the lower hole: no buffered segment is reachable
+        // yet, but the window slides one position.
+        assert_eq!(b.on_in_order_arrival(), 0);
+        assert_eq!(b.bitmap(), 0b11, "window must slide past a remaining hole");
+        // Repair of the second hole bridges to both buffered segments.
+        assert_eq!(b.on_in_order_arrival(), 2);
+        assert!(b.is_empty());
+    }
+
+    /// A saturated window (all 64 bits set) drains completely in one
+    /// in-order arrival without the 65-position shift overflowing.
+    #[test]
+    fn full_window_drains_in_one_step() {
+        let mut b = SackBuffer::new();
+        for gap in 1..=SackBuffer::WINDOW_SEGMENTS {
+            assert!(b.offer(gap));
+        }
+        assert_eq!(b.bitmap(), u64::MAX);
+        assert_eq!(b.on_in_order_arrival(), 64);
         assert!(b.is_empty());
     }
 
