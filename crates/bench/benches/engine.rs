@@ -211,6 +211,11 @@ fn incast_sim(scheme: Scheme, flow_bytes: u64) -> Simulation<Network> {
         !net.tracer().wants(dsh_simcore::trace::TraceMask::ALL),
         "packet-path benches must run with tracing masked off (unset DSH_TRACE_MASK)"
     );
+    assert!(
+        net.metrics_json().is_none(),
+        "packet-path benches must run with the observatory masked off \
+         (the zero-alloc window measures the disabled-observability hot path)"
+    );
     for &src in &hosts[..8] {
         net.add_flow(FlowSpec {
             src,
@@ -242,6 +247,11 @@ fn lossy_sr_incast_sim(flow_bytes: u64) -> Simulation<Network> {
     assert!(
         !net.tracer().wants(dsh_simcore::trace::TraceMask::ALL),
         "packet-path benches must run with tracing masked off (unset DSH_TRACE_MASK)"
+    );
+    assert!(
+        net.metrics_json().is_none(),
+        "packet-path benches must run with the observatory masked off \
+         (the zero-alloc window measures the disabled-observability hot path)"
     );
     for &src in &hosts[..8] {
         net.add_flow(FlowSpec {

@@ -57,4 +57,7 @@ fn run(args: &dsh_bench::Args) {
             .with("points", Json::Arr(docs));
         println!("{doc}");
     }
+    // Representative observe-armed run for the --metrics export (no-op
+    // without --metrics / DSH_METRICS).
+    dsh_bench::fabric::export_fct_metrics(args, &base);
 }

@@ -49,4 +49,7 @@ fn run(args: &dsh_bench::Args) {
     println!();
     println!("paper: DSH cuts fan-in FCT up to 43.3% (DCQCN) / 57.7% (PowerTCP),");
     println!("       background FCT up to 10.1% (DCQCN) / 31.1% (PowerTCP)");
+    // Representative observe-armed run for the --metrics export (no-op
+    // without --metrics / DSH_METRICS).
+    dsh_bench::fabric::export_fct_metrics(args, &base);
 }

@@ -52,4 +52,7 @@ fn run(args: &dsh_bench::Args) {
     }
     println!();
     println!("paper: DSH improves FCT across all four workload/topology panels");
+    // Representative observe-armed run for the --metrics export (no-op
+    // without --metrics / DSH_METRICS).
+    dsh_bench::fabric::export_fct_metrics(args, &base);
 }

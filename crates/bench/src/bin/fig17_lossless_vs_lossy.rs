@@ -103,6 +103,7 @@ fn run(args: &dsh_bench::Args) {
             gbn.retransmitted_bytes
         );
         println!("smoke OK");
+        fig17::export_metrics(args, &base);
         return;
     }
 
@@ -140,4 +141,7 @@ fn run(args: &dsh_bench::Args) {
             .with("points", Json::Arr(docs));
         println!("{doc}");
     }
+    // Representative observe-armed run (the base cell at the base load)
+    // for the --metrics export (no-op without --metrics / DSH_METRICS).
+    fig17::export_metrics(args, &base);
 }

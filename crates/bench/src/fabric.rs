@@ -7,7 +7,7 @@ use dsh_core::Scheme;
 use dsh_net::topology::{fat_tree, leaf_spine, LeafSpineShape};
 use dsh_net::{
     FctRecord, FidelityMode, FidelityStats, FlowId, FlowSpec, NetParams, Network, NodeId,
-    ParallelSim,
+    ObserveConfig, ParallelSim,
 };
 use dsh_simcore::{Bandwidth, ByteSize, Delta, Executor, SimRng, Time};
 use dsh_transport::CcKind;
@@ -79,6 +79,9 @@ pub struct FctExperiment {
     /// BShare per-packet delay-target override (`None` keeps the chip
     /// default; ignored by SIH/DSH).
     pub bshare_delay_target: Option<Delta>,
+    /// Pause-causality / metrics-sampler configuration (`None`, the
+    /// default, keeps the observability hooks masked off).
+    pub observe: Option<ObserveConfig>,
 }
 
 impl FctExperiment {
@@ -101,6 +104,7 @@ impl FctExperiment {
             fidelity: FidelityMode::Packet,
             alpha: None,
             bshare_delay_target: None,
+            observe: None,
         }
     }
 }
@@ -192,6 +196,9 @@ fn build(exp: &FctExperiment) -> (Network, Vec<NodeId>) {
     }
     if let Some(target) = exp.bshare_delay_target {
         params.bshare_delay_target = target;
+    }
+    if let Some(cfg) = exp.observe {
+        params = params.with_observability(cfg);
     }
     match exp.topo {
         Topo::LeafSpine { leaves, spines, hosts_per_leaf } => {
@@ -295,6 +302,20 @@ pub fn run_fct_instrumented(exp: &FctExperiment) -> InstrumentedFct {
         wall,
         fidelity: net.fidelity_stats(),
     }
+}
+
+/// When `--metrics`/`DSH_METRICS` asked for an export, re-runs one
+/// representative experiment of the figure (`base`, exactly as the
+/// figure configured it) with the pause-causality tracker and metrics
+/// sampler armed, and writes the export ([`crate::write_metrics`]).
+/// Without the flag this is a no-op — the sweep itself always runs with
+/// the hooks masked off, so its goldens and timings are untouched.
+pub fn export_fct_metrics(args: &crate::Args, base: &FctExperiment) {
+    let Some(cfg) = crate::observe_config(args) else { return };
+    let exp = FctExperiment { observe: Some(cfg), ..*base };
+    let (net, _fan_ids, _registered) = loaded(&exp);
+    let (net, _events) = run_net(net, Time::ZERO + exp.run_until, exp.workers);
+    crate::write_metrics(args, &net);
 }
 
 /// Builds the fabric and loads the background + fan-in flow mix;

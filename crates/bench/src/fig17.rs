@@ -14,7 +14,7 @@
 use dsh_analysis::fct::FctSummary;
 use dsh_core::Scheme;
 use dsh_net::topology::{leaf_spine, LeafSpineShape};
-use dsh_net::{FidelityMode, FlowSpec, NetParams, Network};
+use dsh_net::{FidelityMode, FlowSpec, NetParams, Network, ObserveConfig};
 use dsh_simcore::{Bandwidth, ByteSize, Delta, Executor, SimRng, Time};
 use dsh_transport::{CcKind, RecoveryConfig, Regime};
 use dsh_workloads::{background_flows, fan_in_bursts, FlowSizeDist, PatternConfig, Workload};
@@ -118,6 +118,11 @@ pub struct Fig17Experiment {
     /// (`--no-recovery`); lossy cells reject this in
     /// [`NetParams::validate`], so it only applies where legal.
     pub no_recovery: bool,
+    /// Arms the pause-causality observatory and metrics sampler for this
+    /// run.  `None` (the default) keeps the observability hooks masked
+    /// off, preserving the sweep's measured hot path; the `--metrics`
+    /// representative run sets it.
+    pub observe: Option<ObserveConfig>,
 }
 
 impl Fig17Experiment {
@@ -140,6 +145,7 @@ impl Fig17Experiment {
             fidelity: FidelityMode::Packet,
             override_regime: None,
             no_recovery: false,
+            observe: None,
         }
     }
 }
@@ -267,6 +273,9 @@ pub fn loaded(exp: &Fig17Experiment) -> (Network, usize) {
         let recovery = exp.cell.recovery(params.base_rtt, exp.override_regime);
         params = params.with_recovery(recovery);
     }
+    if let Some(cfg) = exp.observe {
+        params = params.with_observability(cfg);
+    }
     let ls = leaf_spine(
         params,
         LeafSpineShape {
@@ -359,6 +368,18 @@ pub fn sweep(loads: &[f64], base: &Fig17Experiment, ex: &Executor) -> Vec<Fig17P
             Fig17Point { load, cells: [next(), next(), next(), next()] }
         })
         .collect()
+}
+
+/// Runs one observe-armed representative cell of `base` and writes the
+/// `--metrics` export (a no-op without `--metrics`/`DSH_METRICS`).  The
+/// sweep itself always runs with the hooks masked off; the export is a
+/// dedicated extra run so the time series describes exactly one network.
+pub fn export_metrics(args: &crate::Args, base: &Fig17Experiment) {
+    let Some(cfg) = crate::observe_config(args) else { return };
+    let exp = Fig17Experiment { observe: Some(cfg), ..*base };
+    let (net, _registered) = loaded(&exp);
+    let (net, _events) = crate::fabric::run_net(net, Time::ZERO + exp.run_until, exp.workers);
+    crate::write_metrics(args, &net);
 }
 
 /// Cuts the scale down for smoke/bench runs (CI wall-clock).

@@ -18,6 +18,7 @@
 //! | [`fig15`] | FCT across workloads and fat-tree |
 //! | [`fig16`] | Scheme-parameter sensitivity (extension, not in the paper) |
 //! | [`fig17`] | Lossless-vs-lossy trade-off (extension, not in the paper) |
+//! | [`fig18`] | Cascade anatomy: PFC pause propagation under incast (extension, not in the paper) |
 //! | [`theory`] | Theorems 1–2 validation |
 
 #![forbid(unsafe_code)]
@@ -34,15 +35,30 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod fig18;
 pub mod theory;
 
-use dsh_net::FidelityMode;
+use dsh_net::{FidelityMode, Network, ObserveConfig};
 use dsh_simcore::trace::{self, TraceConfig, TraceMask};
-use dsh_simcore::{exec, Executor, Json};
+use dsh_simcore::{exec, Delta, Executor, Json};
 use dsh_transport::Regime;
 
 /// Environment fallback for `--fidelity` (same spec grammar).
 pub const FIDELITY_ENV: &str = "DSH_FIDELITY";
+
+/// Environment fallback for `--metrics` (an output PATH).
+pub const METRICS_ENV: &str = "DSH_METRICS";
+
+/// Export format for the `--metrics` sampler dump (see [`write_metrics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The versioned `metrics.json` document
+    /// ([`dsh_net::Network::metrics_json`]).
+    Json,
+    /// Prometheus text exposition
+    /// ([`dsh_net::Network::metrics_prometheus`]).
+    Prom,
+}
 
 /// Command-line options shared by the figure binaries, collected in a
 /// single pass over argv.
@@ -81,6 +97,19 @@ pub struct Args {
     /// it (lossy cells always need recovery; combining with `--regime`
     /// is a usage error — the regime would silently have no effect).
     pub no_recovery: bool,
+    /// `--metrics PATH`, falling back to `DSH_METRICS`: arm the
+    /// pause-causality tracker and metrics sampler for the figure's
+    /// representative run and write the export to PATH (see
+    /// [`write_metrics`]). `None` (the default) keeps the observability
+    /// hooks masked off entirely.
+    pub metrics: Option<String>,
+    /// `--metrics-interval NS`: sampling interval in nanoseconds
+    /// (default 10 000 ns = 10 µs). Only meaningful together with
+    /// `--metrics`; rejected without it.
+    pub metrics_interval: Delta,
+    /// `--metrics-format json|prom` (default `json`). Only meaningful
+    /// together with `--metrics`; rejected without it.
+    pub metrics_format: MetricsFormat,
 }
 
 /// Usage text printed (to stderr) when argument parsing fails.
@@ -100,7 +129,17 @@ usage: <figure-binary> [OPTIONS]
   --regime R      loss-recovery regime where a figure exercises recovery:
                   gbn (go-back-N) | sr (selective repeat)
   --no-recovery   disable loss recovery where the figure allows it
-                  (rejected together with --regime)";
+                  (rejected together with --regime)
+  --metrics PATH  arm the pause-causality/metrics sampler for the
+                  figure's representative run and write the export to
+                  PATH (DSH_METRICS fallback)
+  --metrics-interval NS
+                  sampling interval in nanoseconds (default 10000;
+                  must be positive; requires --metrics)
+  --metrics-format F
+                  metrics export format: json (default, versioned
+                  metrics.json) | prom (Prometheus text); requires
+                  --metrics";
 
 impl Args {
     /// Parses the process argv, with `DSH_THREADS` as the `--threads`
@@ -114,6 +153,7 @@ impl Args {
             exec::threads_from(std::env::var(exec::THREADS_ENV).ok().as_deref()),
             exec::workers_from(std::env::var(exec::WORKERS_ENV).ok().as_deref()),
             std::env::var(FIDELITY_ENV).ok().as_deref(),
+            std::env::var(METRICS_ENV).ok().as_deref(),
         );
         match parsed {
             Ok(args) => args,
@@ -137,6 +177,7 @@ impl Args {
         env_threads: Option<usize>,
         env_workers: Option<usize>,
         env_fidelity: Option<&str>,
+        env_metrics: Option<&str>,
     ) -> Result<Args, String> {
         let fidelity = match env_fidelity {
             Some(spec) => FidelityMode::parse(spec)
@@ -154,7 +195,14 @@ impl Args {
             fidelity,
             regime: None,
             no_recovery: false,
+            metrics: env_metrics.map(str::to_string),
+            metrics_interval: Delta::from_ns(10_000),
+            metrics_format: MetricsFormat::Json,
         };
+        // `--metrics-interval`/`--metrics-format` without an export
+        // destination would silently configure nothing; track whether
+        // they were given so the cross-check below can reject that.
+        let (mut interval_given, mut format_given) = (false, false);
         let mut it = argv.into_iter();
         while let Some(tok) = it.next() {
             match tok.as_str() {
@@ -192,8 +240,49 @@ impl Args {
                     });
                 }
                 "--no-recovery" => args.no_recovery = true,
+                "--metrics" => {
+                    let path =
+                        it.next().ok_or_else(|| "--metrics requires a PATH operand".to_string())?;
+                    if path.starts_with("--") {
+                        return Err(format!(
+                            "--metrics requires a PATH operand, got flag '{path}'"
+                        ));
+                    }
+                    args.metrics = Some(path);
+                }
+                "--metrics-interval" => {
+                    let ns: u64 = parse_value(&tok, it.next())?;
+                    if ns == 0 {
+                        return Err(
+                            "invalid value for --metrics-interval: '0' (the sampling interval \
+                             must be positive)"
+                                .to_string(),
+                        );
+                    }
+                    args.metrics_interval = Delta::from_ns(ns);
+                    interval_given = true;
+                }
+                "--metrics-format" => {
+                    let f =
+                        it.next().ok_or_else(|| "--metrics-format requires a value".to_string())?;
+                    args.metrics_format = match f.as_str() {
+                        "json" => MetricsFormat::Json,
+                        "prom" => MetricsFormat::Prom,
+                        _ => {
+                            return Err(format!(
+                                "invalid value for --metrics-format: '{f}' (expected json or prom)"
+                            ))
+                        }
+                    };
+                    format_given = true;
+                }
                 other => return Err(format!("unknown argument '{other}'")),
             }
+        }
+        if args.metrics.is_none() && (interval_given || format_given) {
+            return Err("--metrics-interval/--metrics-format configure the --metrics export; \
+                 pass --metrics PATH (or set DSH_METRICS)"
+                .to_string());
         }
         if args.no_recovery && args.regime.is_some() {
             return Err("--no-recovery disables loss recovery, so --regime would have no effect; \
@@ -276,6 +365,42 @@ pub fn with_trace<R>(args: &Args, f: impl FnOnce() -> R) -> R {
     result
 }
 
+/// The observability configuration a figure's representative run should
+/// arm: `Some` exactly when `--metrics`/`DSH_METRICS` asked for an
+/// export. Every other run keeps the hooks masked off (`params.observe`
+/// stays `None`, one `Option` branch on the pause paths, nothing on the
+/// packet path).
+#[must_use]
+pub fn observe_config(args: &Args) -> Option<ObserveConfig> {
+    args.metrics.as_ref().map(|_| ObserveConfig::default().with_interval(args.metrics_interval))
+}
+
+/// Writes the `--metrics` export for a finished run whose network was
+/// armed with [`observe_config`]. A no-op without `--metrics`. The JSON
+/// document embeds the network's run-intrinsic provenance (seed, scheme,
+/// version — deliberately not thread/worker counts, so the export stays
+/// byte-identical at any parallelism).
+///
+/// Exits non-zero when the run was not armed (a figure wiring bug — the
+/// flag must never silently produce nothing) or the file cannot be
+/// written.
+pub fn write_metrics(args: &Args, net: &Network) {
+    let Some(path) = args.metrics.as_deref() else { return };
+    let rendered = match args.metrics_format {
+        MetricsFormat::Json => net.metrics_json().map(|doc| doc.to_string()),
+        MetricsFormat::Prom => net.metrics_prometheus(),
+    };
+    let Some(rendered) = rendered else {
+        eprintln!("[dsh] --metrics run finished without the sampler armed (figure wiring bug)");
+        std::process::exit(1);
+    };
+    if let Err(e) = std::fs::write(path, &rendered) {
+        eprintln!("[dsh] failed to write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[dsh] wrote metrics export ({} bytes) -> {path}", rendered.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,7 +411,7 @@ mod tests {
 
     #[test]
     fn defaults_when_no_flags() {
-        let a = Args::from_iter(argv(&[]), None, None, None).unwrap();
+        let a = Args::from_iter(argv(&[]), None, None, None, None).unwrap();
         assert_eq!(
             a,
             Args {
@@ -300,6 +425,9 @@ mod tests {
                 fidelity: FidelityMode::Packet,
                 regime: None,
                 no_recovery: false,
+                metrics: None,
+                metrics_interval: Delta::from_ns(10_000),
+                metrics_format: MetricsFormat::Json,
             }
         );
     }
@@ -323,7 +451,14 @@ mod tests {
                 "hybrid",
                 "--regime",
                 "sr",
+                "--metrics",
+                "m.json",
+                "--metrics-interval",
+                "2500",
+                "--metrics-format",
+                "prom",
             ]),
+            None,
             None,
             None,
             None,
@@ -342,25 +477,28 @@ mod tests {
                 fidelity: FidelityMode::hybrid_default(),
                 regime: Some(Regime::SelectiveRepeat),
                 no_recovery: false,
+                metrics: Some("m.json".to_string()),
+                metrics_interval: Delta::from_ns(2_500),
+                metrics_format: MetricsFormat::Prom,
             }
         );
     }
 
     #[test]
     fn regime_values_parse_and_reject() {
-        let a = Args::from_iter(argv(&["--regime", "gbn"]), None, None, None).unwrap();
+        let a = Args::from_iter(argv(&["--regime", "gbn"]), None, None, None, None).unwrap();
         assert_eq!(a.regime, Some(Regime::GoBackN));
-        let a = Args::from_iter(argv(&["--no-recovery"]), None, None, None).unwrap();
+        let a = Args::from_iter(argv(&["--no-recovery"]), None, None, None, None).unwrap();
         assert!(a.no_recovery && a.regime.is_none());
-        let e = Args::from_iter(argv(&["--regime", "tcp"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--regime", "tcp"]), None, None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --regime: 'tcp'"), "{e}");
-        let e = Args::from_iter(argv(&["--regime"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--regime"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--regime requires a value"), "{e}");
     }
 
     #[test]
     fn no_recovery_with_regime_is_a_usage_error() {
-        let e = Args::from_iter(argv(&["--no-recovery", "--regime", "sr"]), None, None, None)
+        let e = Args::from_iter(argv(&["--no-recovery", "--regime", "sr"]), None, None, None, None)
             .unwrap_err();
         assert!(e.contains("--no-recovery"), "{e}");
         assert!(e.contains("--regime"), "{e}");
@@ -368,36 +506,37 @@ mod tests {
 
     #[test]
     fn threads_flag_overrides_env_fallback() {
-        assert_eq!(Args::from_iter(argv(&[]), Some(2), None, None).unwrap().threads, 2);
+        assert_eq!(Args::from_iter(argv(&[]), Some(2), None, None, None).unwrap().threads, 2);
         assert_eq!(
-            Args::from_iter(argv(&["--threads", "5"]), Some(2), None, None).unwrap().threads,
+            Args::from_iter(argv(&["--threads", "5"]), Some(2), None, None, None).unwrap().threads,
             5
         );
     }
 
     #[test]
     fn workers_flag_overrides_env_fallback_and_defaults_serial() {
-        assert_eq!(Args::from_iter(argv(&[]), None, None, None).unwrap().workers, 1);
-        assert_eq!(Args::from_iter(argv(&[]), None, Some(4), None).unwrap().workers, 4);
+        assert_eq!(Args::from_iter(argv(&[]), None, None, None, None).unwrap().workers, 1);
+        assert_eq!(Args::from_iter(argv(&[]), None, Some(4), None, None).unwrap().workers, 4);
         assert_eq!(
-            Args::from_iter(argv(&["--workers", "3"]), None, Some(4), None).unwrap().workers,
+            Args::from_iter(argv(&["--workers", "3"]), None, Some(4), None, None).unwrap().workers,
             3
         );
         // 0 = auto resolves to at least one worker.
-        let auto = Args::from_iter(argv(&["--workers", "0"]), None, None, None).unwrap();
+        let auto = Args::from_iter(argv(&["--workers", "0"]), None, None, None, None).unwrap();
         assert!(auto.sim_workers() >= 1);
-        let serial = Args::from_iter(argv(&[]), None, None, None).unwrap();
+        let serial = Args::from_iter(argv(&[]), None, None, None, None).unwrap();
         assert_eq!(serial.sim_workers(), 1);
     }
 
     #[test]
     fn fidelity_flag_overrides_env_fallback() {
-        let a = Args::from_iter(argv(&[]), None, None, Some("hybrid")).unwrap();
+        let a = Args::from_iter(argv(&[]), None, None, Some("hybrid"), None).unwrap();
         assert_eq!(a.fidelity, FidelityMode::hybrid_default());
-        let a =
-            Args::from_iter(argv(&["--fidelity", "packet"]), None, None, Some("hybrid")).unwrap();
+        let a = Args::from_iter(argv(&["--fidelity", "packet"]), None, None, Some("hybrid"), None)
+            .unwrap();
         assert_eq!(a.fidelity, FidelityMode::Packet);
-        let a = Args::from_iter(argv(&["--fidelity", "hybrid:0.5:250"]), None, None, None).unwrap();
+        let a = Args::from_iter(argv(&["--fidelity", "hybrid:0.5:250"]), None, None, None, None)
+            .unwrap();
         let FidelityMode::Hybrid { util_threshold, quiesce } = a.fidelity else {
             panic!("expected hybrid, got {:?}", a.fidelity);
         };
@@ -407,53 +546,55 @@ mod tests {
 
     #[test]
     fn malformed_fidelity_specs_are_rejected() {
-        let e = Args::from_iter(argv(&["--fidelity", "fluid"]), None, None, None).unwrap_err();
+        let e =
+            Args::from_iter(argv(&["--fidelity", "fluid"]), None, None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --fidelity: 'fluid'"), "{e}");
-        let e = Args::from_iter(argv(&["--fidelity"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--fidelity"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--fidelity requires a SPEC"), "{e}");
-        let e = Args::from_iter(argv(&[]), None, None, Some("bogus")).unwrap_err();
+        let e = Args::from_iter(argv(&[]), None, None, Some("bogus"), None).unwrap_err();
         assert!(e.contains("invalid DSH_FIDELITY spec 'bogus'"), "{e}");
     }
 
     #[test]
     fn provenance_stamps_fidelity_only_for_hybrid_runs() {
-        let packet = Args::from_iter(argv(&[]), None, None, None).unwrap();
+        let packet = Args::from_iter(argv(&[]), None, None, None, None).unwrap();
         assert!(!provenance(&packet).to_string().contains("fidelity"));
-        let hybrid = Args::from_iter(argv(&["--fidelity", "hybrid"]), None, None, None).unwrap();
+        let hybrid =
+            Args::from_iter(argv(&["--fidelity", "hybrid"]), None, None, None, None).unwrap();
         assert!(provenance(&hybrid).to_string().contains("\"fidelity\":\"hybrid:1:100\""));
     }
 
     #[test]
     fn typod_flags_are_rejected() {
-        let e = Args::from_iter(argv(&["--sed", "9"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--sed", "9"]), None, None, None, None).unwrap_err();
         assert!(e.contains("unknown argument '--sed'"), "{e}");
-        let e = Args::from_iter(argv(&["--bogus"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--bogus"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--bogus"), "{e}");
         // Bare operands are unknown tokens too.
-        let e = Args::from_iter(argv(&["full"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["full"]), None, None, None, None).unwrap_err();
         assert!(e.contains("unknown argument 'full'"), "{e}");
     }
 
     #[test]
     fn malformed_values_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed", "abc"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed", "abc"]), None, None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --seed: 'abc'"), "{e}");
-        let e = Args::from_iter(argv(&["--threads", "-1"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads", "-1"]), None, None, None, None).unwrap_err();
         assert!(e.contains("invalid value for --threads"), "{e}");
     }
 
     #[test]
     fn missing_operands_are_rejected() {
-        let e = Args::from_iter(argv(&["--seed"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--seed"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--seed requires a value"), "{e}");
-        let e = Args::from_iter(argv(&["--threads"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--threads"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--threads requires a value"), "{e}");
         // The original bug: `--trace` as the last token silently produced
         // an untraced run.
-        let e = Args::from_iter(argv(&["--trace"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
         // A following flag is not a PATH either.
-        let e = Args::from_iter(argv(&["--trace", "--json"]), None, None, None).unwrap_err();
+        let e = Args::from_iter(argv(&["--trace", "--json"]), None, None, None, None).unwrap_err();
         assert!(e.contains("--trace requires a PATH"), "{e}");
     }
 
@@ -470,8 +611,92 @@ mod tests {
             "--fidelity",
             "--regime",
             "--no-recovery",
+            "--metrics",
+            "--metrics-interval",
+            "--metrics-format",
         ] {
             assert!(USAGE.contains(flag), "usage must list {flag}");
         }
+    }
+
+    #[test]
+    fn metrics_env_fallback_and_flag_override() {
+        let a = Args::from_iter(argv(&[]), None, None, None, Some("env.json")).unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("env.json"));
+        let a = Args::from_iter(argv(&["--metrics", "cli.json"]), None, None, None, Some("env"))
+            .unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("cli.json"));
+        // The env fallback also legitimizes the companion flags.
+        let a = Args::from_iter(
+            argv(&["--metrics-interval", "500", "--metrics-format", "prom"]),
+            None,
+            None,
+            None,
+            Some("env.json"),
+        )
+        .unwrap();
+        assert_eq!(a.metrics_interval, Delta::from_ns(500));
+        assert_eq!(a.metrics_format, MetricsFormat::Prom);
+    }
+
+    #[test]
+    fn metrics_operand_errors_fail_fast() {
+        // `--metrics` as the last token must not silently skip the export.
+        let e = Args::from_iter(argv(&["--metrics"]), None, None, None, None).unwrap_err();
+        assert!(e.contains("--metrics requires a PATH"), "{e}");
+        let e =
+            Args::from_iter(argv(&["--metrics", "--json"]), None, None, None, None).unwrap_err();
+        assert!(e.contains("--metrics requires a PATH"), "{e}");
+        let e = Args::from_iter(
+            argv(&["--metrics", "m.json", "--metrics-interval", "abc"]),
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(e.contains("invalid value for --metrics-interval: 'abc'"), "{e}");
+        let e = Args::from_iter(
+            argv(&["--metrics", "m.json", "--metrics-interval", "0"]),
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(e.contains("must be positive"), "{e}");
+        let e = Args::from_iter(
+            argv(&["--metrics", "m.json", "--metrics-format", "csv"]),
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(e.contains("invalid value for --metrics-format: 'csv'"), "{e}");
+    }
+
+    #[test]
+    fn metrics_companions_without_destination_are_rejected() {
+        for toks in [&["--metrics-interval", "500"][..], &["--metrics-format", "prom"][..]] {
+            let e = Args::from_iter(argv(toks), None, None, None, None).unwrap_err();
+            assert!(e.contains("pass --metrics PATH"), "{e}");
+        }
+    }
+
+    #[test]
+    fn observe_config_is_armed_only_with_metrics() {
+        let off = Args::from_iter(argv(&[]), None, None, None, None).unwrap();
+        assert!(observe_config(&off).is_none());
+        let on = Args::from_iter(
+            argv(&["--metrics", "m.json", "--metrics-interval", "500"]),
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        let cfg = observe_config(&on).expect("--metrics arms the sampler");
+        assert_eq!(cfg.metrics_interval, Delta::from_ns(500));
     }
 }

@@ -134,6 +134,10 @@ pub struct MmuStats {
 }
 
 /// A point-in-time view of an [`Mmu`]'s occupancy.
+///
+/// [`OccupancySnapshot::in_use`] totals the regions — the hook external
+/// samplers (e.g. `dsh_net::observe`) use to bound occupancy against the
+/// configured pool.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OccupancySnapshot {
     /// Total shared-segment bytes (`Σ w_ij`).
@@ -150,6 +154,16 @@ pub struct OccupancySnapshot {
     pub paused_queues: usize,
     /// Ports currently in POFF.
     pub paused_ports: usize,
+}
+
+impl OccupancySnapshot {
+    /// Total lossless-pool bytes in use across every region (shared +
+    /// private + headroom + insurance) — always within the configured
+    /// pool for a clean audit.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.shared + self.private + self.headroom + self.insurance
+    }
 }
 
 /// The scheme-independent mechanism of a lossless-pool MMU: region byte

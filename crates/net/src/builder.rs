@@ -4,6 +4,7 @@ use crate::ecn::EcnConfig;
 use crate::host::HostNode;
 use crate::ids::{NodeId, NUM_DATA_CLASSES};
 use crate::network::{Network, Node};
+use crate::observe::ObserveConfig;
 use crate::port::EgressPort;
 use crate::routing::compute_route_tables;
 use crate::switch::SwitchNode;
@@ -153,6 +154,11 @@ pub struct NetParams {
     /// Engine fidelity: pure packet-level, or the hybrid fluid/packet
     /// fast path (see [`FidelityMode`]).
     pub fidelity: FidelityMode,
+    /// Pause-causality observatory: `Some(cfg)` records who-paused-whom
+    /// cascade edges and samples per-switch occupancy at
+    /// `cfg.metrics_interval`. `None` (the default) keeps every existing
+    /// run byte-identical and costs one branch on the pause path.
+    pub observe: Option<ObserveConfig>,
     /// RNG seed (ECN randomness).
     pub seed: u64,
     /// Flight-recorder configuration. The default is off (zero
@@ -183,6 +189,7 @@ impl NetParams {
             pfc_watchdog: None,
             recovery: None,
             fidelity: FidelityMode::Packet,
+            observe: None,
             seed: 1,
             trace: TraceConfig::off(),
         }
@@ -495,6 +502,13 @@ impl NetParams {
     #[must_use]
     pub fn with_fidelity(mut self, fidelity: FidelityMode) -> Self {
         self.fidelity = fidelity;
+        self
+    }
+
+    /// Returns a copy with the pause-causality observatory enabled.
+    #[must_use]
+    pub fn with_observability(mut self, cfg: ObserveConfig) -> Self {
+        self.observe = Some(cfg);
         self
     }
 

@@ -65,6 +65,7 @@ mod host;
 mod ids;
 mod monitor;
 mod network;
+pub mod observe;
 pub mod par;
 mod port;
 mod routing;
@@ -78,10 +79,12 @@ pub use fluid::{FidelityStats, FluidFlowAccount};
 pub use frame::{AckFrame, DataFrame, Frame, FrameKind, NackFrame, PfcFrame, PfcScope};
 pub use ids::{FlowId, NodeId, CONTROL_CLASS, NUM_CLASSES, NUM_DATA_CLASSES};
 pub use monitor::{
-    DeadlockReport, DurationHistogram, FctRecord, OccupancyPoint, OccupancySeries, PauseLedger,
-    PortPauseTelemetry, SwitchTelemetry, TelemetryReport, ThroughputSample,
+    ClassPauseTelemetry, DeadlockReport, DurationHistogram, FctRecord, OccupancyPoint,
+    OccupancySeries, PauseLedger, PortPauseTelemetry, SwitchTelemetry, TelemetryReport,
+    ThroughputSample,
 };
 pub use network::{BlockedPort, ClassMask, FlowSpec, NetEvent, Network};
+pub use observe::{CascadeReport, FlowPauseAttribution, ObserveConfig, PauseEdge};
 pub use par::{partition, ParallelSim, PartitionError, PartitionPlan, MAX_PARTITIONS};
 pub use port::{EgressPort, IngressTag, QueuedFrame, DWRR_QUANTUM};
 pub use routing::{ecmp_hash, RouteTable};

@@ -250,6 +250,28 @@ impl OccupancySeries {
     }
 }
 
+/// Pause telemetry for one traffic class of one egress port.
+#[derive(Clone, Debug)]
+pub struct ClassPauseTelemetry {
+    /// Traffic class.
+    pub class: u8,
+    /// Total QOFF pause time for this class, including any open interval.
+    pub pause: Delta,
+    /// Pause→resume latency of this class's *closed* pause intervals.
+    pub latency: DurationHistogram,
+}
+
+impl ClassPauseTelemetry {
+    /// JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("class", u64::from(self.class))
+            .with("pause_ns", self.pause.as_ns())
+            .with("latency", self.latency.to_json())
+    }
+}
+
 /// PFC pause telemetry for one egress port: QOFF/POFF wall-clock totals
 /// and the distribution of closed pause→resume intervals.
 #[derive(Clone, Debug)]
@@ -264,8 +286,14 @@ pub struct PortPauseTelemetry {
     /// Total port-level (POFF) pause time, including any open interval.
     pub port_level: Delta,
     /// Pause→resume latency of every *closed* pause interval (queue- and
-    /// port-level merged).
+    /// port-level merged) — the historical aggregate view.
     pub pause_latency: DurationHistogram,
+    /// Per-class breakdown, keyed by (port, class); only classes with
+    /// pause activity appear, so single-class runs stay compact.
+    pub classes: Vec<ClassPauseTelemetry>,
+    /// Pause→resume latency of *port-level* (POFF) intervals only, no
+    /// longer conflated with the per-class histograms above.
+    pub port_latency: DurationHistogram,
 }
 
 impl PortPauseTelemetry {
@@ -278,6 +306,11 @@ impl PortPauseTelemetry {
             .with("queue_pause_ns", self.queue_level.as_ns())
             .with("port_pause_ns", self.port_level.as_ns())
             .with("pause_latency", self.pause_latency.to_json())
+            .with(
+                "classes",
+                Json::Arr(self.classes.iter().map(ClassPauseTelemetry::to_json).collect()),
+            )
+            .with("port_latency", self.port_latency.to_json())
     }
 }
 
@@ -386,6 +419,10 @@ pub struct TelemetryReport {
     /// for hybrid-fidelity runs so packet-mode reports stay byte-identical
     /// to pre-hybrid goldens.
     pub fidelity: Option<Json>,
+    /// Pause-cascade summary and victim-flow attribution; present only
+    /// when the pause-causality observatory is enabled
+    /// (`NetParams::observe`), so ordinary reports are unchanged.
+    pub pause_cascades: Option<crate::observe::CascadeReport>,
 }
 
 impl TelemetryReport {
@@ -442,8 +479,12 @@ impl TelemetryReport {
             Some(p) => doc.with("engine_profile", p.to_json()),
             None => doc,
         };
-        match &self.fidelity {
+        let doc = match &self.fidelity {
             Some(f) => doc.with("fidelity", f.clone()),
+            None => doc,
+        };
+        match &self.pause_cascades {
+            Some(c) => doc.with("pause_cascades", c.to_json()),
             None => doc,
         }
     }
@@ -545,6 +586,7 @@ mod tests {
             provenance: Json::object().with("seed", 1u64),
             engine_profile: None,
             fidelity: None,
+            pause_cascades: None,
         };
         let v = report.lossless_violations();
         assert_eq!(v.len(), 2);

@@ -8,17 +8,18 @@ use crate::frame::{AckFrame, DataFrame, Frame, FrameKind, NackFrame, PfcScope};
 use crate::host::{HostNode, ReceiverFlow, SenderFlow};
 use crate::ids::{FlowId, NodeId, NUM_DATA_CLASSES};
 use crate::monitor::{
-    DeadlockReport, FctRecord, PauseLedger, PortPauseTelemetry, SwitchTelemetry, TelemetryReport,
-    ThroughputSample,
+    ClassPauseTelemetry, DeadlockReport, FctRecord, PauseLedger, PortPauseTelemetry,
+    SwitchTelemetry, TelemetryReport, ThroughputSample,
 };
+use crate::observe::{GlobalSample, ObserveState, SwitchSample, PORT_SCOPE_CLASS};
 use crate::port::{EgressPort, IngressTag, QueuedFrame};
 use crate::switch::SwitchNode;
 use dsh_core::headroom::PFC_PROCESSING_BYTES;
 use dsh_core::{FcAction, FcActions, Region};
 use dsh_simcore::trace::{TraceEvent, TraceLog, TraceMask, Tracer};
 use dsh_simcore::{
-    split_seed, trace_event, Bandwidth, EventClass, FlightGuard, Model, Pool, Scheduler, SimRng,
-    Simulation, Time,
+    split_seed, trace_event, Bandwidth, Delta, EventClass, FlightGuard, Model, Pool, Scheduler,
+    SimRng, Simulation, Time,
 };
 use dsh_transport::{
     new_cc, AckInfo, CcKind, GoBackN, HopList, RecoveryConfig, Regime, RtoOutcome, SackBuffer,
@@ -121,6 +122,10 @@ pub enum NetEvent {
     },
     /// Periodic measurement tick.
     Sample,
+    /// Periodic observability tick: snapshots switch occupancy and global
+    /// gauges into the metrics sampler (only scheduled when
+    /// `NetParams::observe` is set).
+    MetricsTick,
     /// Fluid fast path: the earliest analytic flow completion of the
     /// current rate epoch is due (hybrid fidelity only).
     FluidAdvance {
@@ -259,6 +264,15 @@ pub struct Network {
     /// Fluid fast-path state; `Some` only under
     /// [`FidelityMode::Hybrid`].
     pub(crate) fluid: Option<FluidState>,
+    /// Pause-causality observatory; `Some` only when
+    /// `NetParams::observe` is set. Boxed so the disabled case costs one
+    /// pointer-sized `Option` and a single branch on the pause path.
+    pub(crate) observe: Option<Box<ObserveState>>,
+    /// Pending instant-closed sample label: the tick at `t` arms this and
+    /// the first event *strictly after* `t` captures the sample (see
+    /// [`crate::observe::MetricsSampler`]). `Time::MAX` when no sample is
+    /// pending, so the masked-off dispatch cost is one compare-branch.
+    metrics_capture_at: Time,
 }
 
 /// Number of free frame boxes the pool retains (beyond this, returned
@@ -274,6 +288,18 @@ const OUTBOX_RESERVE: usize = 1024;
 impl Network {
     pub(crate) fn from_parts(params: NetParams, nodes: Vec<Node>, tracer: Tracer) -> Self {
         let rng = SimRng::new(params.seed);
+        // Pre-register locally-present switches so metrics sampling never
+        // allocates; in a split partition foreign nodes are placeholders
+        // and each switch registers with exactly one partition.
+        let observe = params.observe.as_ref().map(|cfg| {
+            let mut st = Box::new(ObserveState::new(cfg));
+            for (i, n) in nodes.iter().enumerate() {
+                if matches!(n, Node::Switch(_)) {
+                    st.metrics.add_switch(NodeId(i));
+                }
+            }
+            st
+        });
         Network {
             params,
             nodes,
@@ -307,6 +333,8 @@ impl Network {
             inbox: Vec::new(),
             packet_rx_bytes: 0,
             fluid: None,
+            observe,
+            metrics_capture_at: Time::MAX,
         }
     }
 
@@ -475,6 +503,7 @@ impl Network {
             .map(|p| p.events().iter().enumerate().map(|(i, e)| (e.at, i as u32)).collect())
             .unwrap_or_default();
         let tick = self.params.sample_interval;
+        let metrics = self.params.observe.map(|o| o.metrics_interval);
         let mut sim = Simulation::new(self);
         for (t, flow) in starts {
             sim.schedule(t, NetEvent::FlowStart { flow: flow.0 as u32 });
@@ -483,6 +512,11 @@ impl Network {
             sim.schedule(t, NetEvent::Fault { index });
         }
         sim.schedule(Time::ZERO + tick, NetEvent::Sample);
+        // Scheduled after Sample so a shared instant measures first, then
+        // snapshots — the partitioned driver follows the same order.
+        if let Some(mi) = metrics {
+            sim.schedule(Time::ZERO + mi, NetEvent::MetricsTick);
+        }
         sim
     }
 
@@ -624,6 +658,11 @@ impl Network {
         if let (Some(mine), Some(theirs)) = (self.fluid.as_mut(), other.fluid.as_ref()) {
             mine.stats.merge(&theirs.stats);
         }
+        // Observability logs merge like outboxes: concatenate here,
+        // restore canonical order once in finish_merge.
+        if let (Some(mine), Some(theirs)) = (self.observe.as_deref_mut(), other.observe.take()) {
+            mine.absorb(*theirs);
+        }
         // Deadlock onset is the earliest still-wedged port anywhere.
         self.deadlock.onset = match (self.deadlock.onset, other.deadlock.onset) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -637,6 +676,9 @@ impl Network {
     /// cleared so the merged network reads as an ordinary serial one.
     pub(crate) fn finish_merge(&mut self) {
         self.fct.sort_unstable_by_key(|r| (r.finish, r.flow.0));
+        if let Some(obs) = self.observe.as_deref_mut() {
+            obs.finish_merge();
+        }
         self.owner.clear();
         self.part = 0;
         assert!(self.outbox.is_empty(), "undelivered cross-partition frames at merge");
@@ -908,18 +950,28 @@ impl Network {
                 });
             }
         }
-        let ports = self
-            .all_ports()
-            .map(|(node, p, port)| PortPauseTelemetry {
-                node,
-                port: p,
-                queue_level: (0..NUM_DATA_CLASSES)
-                    .map(|c| port.class_pause_total(c as u8, now))
-                    .sum(),
-                port_level: port.port_pause_total(now),
-                pause_latency: port.pause_latency_histogram(),
-            })
-            .collect();
+        let ports =
+            self.all_ports()
+                .map(|(node, p, port)| PortPauseTelemetry {
+                    node,
+                    port: p,
+                    queue_level: (0..NUM_DATA_CLASSES)
+                        .map(|c| port.class_pause_total(c as u8, now))
+                        .sum(),
+                    port_level: port.port_pause_total(now),
+                    pause_latency: port.pause_latency_histogram(),
+                    classes: (0..crate::ids::NUM_CLASSES as u8)
+                        .filter_map(|c| {
+                            let pause = port.class_pause_total(c, now);
+                            let latency = port.class_pause_latency_histogram(c);
+                            (pause > Delta::ZERO || latency.count() > 0).then(|| {
+                                ClassPauseTelemetry { class: c, pause, latency: latency.clone() }
+                            })
+                        })
+                        .collect(),
+                    port_latency: port.port_pause_latency_histogram().clone(),
+                })
+                .collect();
         TelemetryReport {
             generated_at: now,
             data_drops: self.data_drops,
@@ -935,7 +987,50 @@ impl Network {
             provenance: self.provenance(),
             engine_profile: None,
             fidelity: self.fidelity_json(),
+            pause_cascades: self.cascade_report(now),
         }
+    }
+
+    /// The analysed pause-cascade forest (summary statistics plus
+    /// victim-flow attribution) at `now`; `None` unless the
+    /// pause-causality observatory is enabled via `NetParams::observe`.
+    /// Open pause edges are treated as ending at `now`.
+    #[must_use]
+    pub fn cascade_report(&self, now: Time) -> Option<crate::observe::CascadeReport> {
+        self.observe.as_deref().map(|obs| {
+            // Flow lifetimes for the victim join: completed flows end at
+            // their recorded finish, in-flight flows run to `now`.
+            let mut finish = vec![now; self.flows.len()];
+            for r in &self.fct {
+                finish[r.flow.0] = r.finish;
+            }
+            let flows = self
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (FlowId(i), f.spec.src, f.spec.start, finish[i]));
+            crate::observe::analyze(obs.cascade.edges(), now, flows)
+        })
+    }
+
+    /// The observatory's versioned metrics export (`metrics.json`);
+    /// `None` unless `NetParams::observe` is set.
+    #[must_use]
+    pub fn metrics_json(&self) -> Option<dsh_simcore::Json> {
+        self.observe.as_deref().map(|obs| {
+            let doc = obs.metrics.to_json().with("provenance", self.provenance());
+            match &self.params.recovery {
+                Some(rc) => doc.with("recovery_regime", rc.regime.as_str()),
+                None => doc,
+            }
+        })
+    }
+
+    /// Prometheus text exposition of the latest metrics samples; `None`
+    /// unless `NetParams::observe` is set.
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.observe.as_deref().map(|obs| obs.metrics.to_prometheus())
     }
 
     /// Run-intrinsic provenance: the inputs that determine this run
@@ -1559,6 +1654,11 @@ impl Network {
                 ecn_echo: ecn,
             });
             self.nacks_sent += 1;
+            trace_event!(self.tracer, TraceEvent::RecoveryNack, {
+                flow: flow.0 as u32,
+                node: node.0 as u32,
+                payload: cum_acked,
+            });
         } else {
             *frame = Frame::ack(AckFrame { flow, dst: src, acked: cum_acked, ecn_echo: ecn, hops });
         }
@@ -1780,6 +1880,11 @@ impl Network {
                 self.retransmitted_bytes += seg;
                 if is_repair {
                     self.sr_retransmitted_bytes += seg;
+                    trace_event!(self.tracer, TraceEvent::RecoveryRepair, {
+                        flow: flow_id.0 as u32,
+                        node: node.0 as u32,
+                        payload: seg,
+                    });
                 }
             }
             if let Some((deadline, gen)) = arm {
@@ -1989,6 +2094,11 @@ impl Network {
             node: node.0 as u32,
             payload: rto_word,
         });
+        trace_event!(self.tracer, TraceEvent::RecoveryRto, {
+            flow: flow.0 as u32,
+            node: node.0 as u32,
+            payload: rto_word,
+        });
         sched.at(deadline, NetEvent::RtoTimer { host: node.0 as u32, flow: flow.0 as u32, gen });
         self.host_try_send(node, sched);
     }
@@ -2038,6 +2148,11 @@ impl Network {
             self.escalate_link(lid, EscalateReason::Recovery, sched);
         }
         trace_event!(self.tracer, TraceEvent::Retransmit, {
+            flow: flow.0 as u32,
+            node: node.0 as u32,
+            payload: rto_word,
+        });
+        trace_event!(self.tracer, TraceEvent::RecoveryRto, {
             flow: flow.0 as u32,
             node: node.0 as u32,
             payload: rto_word,
@@ -2150,6 +2265,12 @@ impl Network {
                     "[fault] {node}: cleared {cleared} pause ledger entries on port {port}"
                 );
             }
+        }
+        // The failure wipes the port's pause clocks, so any open cascade
+        // edges rooted here end now (both endpoints get a kill call, each
+        // in its owning partition).
+        if let Some(obs) = self.observe.as_deref_mut() {
+            obs.cascade.force_close_port(node, port, now);
         }
         // Cold path: faults are rare, so a fresh drain buffer per event is
         // fine (the packet hot path stays allocation-free).
@@ -2264,7 +2385,7 @@ impl Network {
         sched: &mut Scheduler<'_, NetEvent>,
     ) {
         let now = sched.now();
-        {
+        let (peer, peer_port) = {
             let p = self.port_mut(node, port);
             if p.fault_gen() != gen {
                 // The link died while this PFC frame's processing delay
@@ -2275,6 +2396,22 @@ impl Network {
             match scope {
                 PfcScope::Queue(c) => p.apply_class_pause(c, pause, now),
                 PfcScope::Port => p.apply_port_pause(pause, now),
+            }
+            (p.peer, p.peer_port)
+        };
+        // Pause-causality hook: links are full-duplex port pairs, so the
+        // congested downstream that requested this pause is statically
+        // the peer endpoint. One branch when the observatory is off.
+        if let Some(obs) = self.observe.as_deref_mut() {
+            let class = match scope {
+                PfcScope::Queue(c) => c,
+                PfcScope::Port => PORT_SCOPE_CLASS,
+            };
+            if pause {
+                let up_is_host = matches!(self.nodes[node.0], Node::Host(_));
+                obs.cascade.on_pause(node, port, class, peer, peer_port, up_is_host, now);
+            } else {
+                obs.cascade.on_resume(node, port, class, now);
             }
         }
         // A PFC pause asserted on this egress is a congestion signal the
@@ -2347,6 +2484,12 @@ impl Network {
                     {
                         let Node::Switch(s) = &mut self.nodes[ni] else { unreachable!() };
                         s.ports[pi].watchdog_flush_class(class, now, &mut flushed);
+                    }
+                    // The flush force-cleared both the class pause and any
+                    // port-scope pause: end the matching cascade edges.
+                    if let Some(obs) = self.observe.as_deref_mut() {
+                        obs.cascade.on_resume(NodeId(ni), pi, class, now);
+                        obs.cascade.on_resume(NodeId(ni), pi, PORT_SCOPE_CLASS, now);
                     }
                     // Release the MMU accounting of the dropped frames and
                     // forward any resumes that releases.
@@ -2935,6 +3078,100 @@ impl Network {
         self.fluid_sample(now, sched);
         sched.at(now + dt, NetEvent::Sample);
     }
+
+    /// Handles a [`NetEvent::MetricsTick`]: commits the previous pending
+    /// sample (captured by [`Self::capture_metrics`] at the first event
+    /// after its instant), arms the sample labeled `now`, and re-arms the
+    /// tick. Only ever scheduled when `NetParams::observe` is set.
+    ///
+    /// Ticks never capture directly: a sample's state must reflect the
+    /// *complete* set of events at instants `<= t`, and where the tick
+    /// lands inside the same-instant batch at `t` is an engine artifact
+    /// (the serial calendar and the link-partitioned driver order
+    /// same-instant ties differently).  Deferring the capture to the
+    /// first strictly-later event closes the instant first, which makes
+    /// the committed series byte-identical at any worker count.
+    fn handle_metrics_tick(&mut self, sched: &mut Scheduler<'_, NetEvent>) {
+        let now = sched.now();
+        // This tick is itself an event strictly after the previous pending
+        // instant, so the dispatch-entry check has already captured it.
+        if let Some(obs) = self.observe.as_deref_mut() {
+            let dt = obs.metrics.interval();
+            debug_assert!(
+                obs.metrics.has_staged() || self.metrics_capture_at == Time::MAX,
+                "tick at {now:?} found an armed but uncaptured sample"
+            );
+            obs.metrics.commit_staged();
+            self.metrics_capture_at = now;
+            sched.at(now + dt, NetEvent::MetricsTick);
+        }
+    }
+
+    /// Captures the pending sample armed at `metrics_capture_at`:
+    /// snapshots every locally-owned switch's MMU occupancy and the
+    /// partition-global gauges into the observatory's staging slots (the
+    /// next tick commits them to the pre-allocated rings).  Called from
+    /// dispatch entry at the first event strictly after the sample
+    /// instant, *before* that event mutates any state.
+    #[cold]
+    fn capture_metrics(&mut self) {
+        let t = self.metrics_capture_at;
+        self.metrics_capture_at = Time::MAX;
+        // Detach the observatory for the duration of the capture so the
+        // node/port scans below can borrow `self` freely.
+        let Some(mut obs) = self.observe.take() else { return };
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::Switch(s) = n {
+                let snap = s.mmu.occupancy_snapshot();
+                // The sampler must agree with the auditor at every sample
+                // instant (the determinism proptest runs in debug mode and
+                // leans on this cross-check).
+                #[cfg(debug_assertions)]
+                {
+                    let audit = s.mmu.audit();
+                    debug_assert_eq!(snap, audit.snapshot, "sampler/audit divergence at {t:?}");
+                }
+                obs.metrics.stage_switch(
+                    NodeId(i),
+                    SwitchSample {
+                        t,
+                        shared: snap.shared,
+                        headroom: snap.headroom + snap.insurance,
+                        paused_queues: snap.paused_queues as u32,
+                        paused_ports: snap.paused_ports as u32,
+                    },
+                );
+            }
+        }
+        // Fluid links hold no MMU occupancy by construction (the hybrid
+        // engine audits that separately); they contribute only their mode
+        // here — never phantom bytes.
+        let mut fluid_links = 0u64;
+        let mut packet_links = 0u64;
+        let mut paused_ports = 0u64;
+        for (node, p, port) in self.all_ports() {
+            let is_fluid = self.fluid.as_ref().is_some_and(|st| st.is_fluid(st.lid(node, p)));
+            if is_fluid {
+                fluid_links += 1;
+            } else {
+                packet_links += 1;
+            }
+            if port.port_paused() || (0..NUM_DATA_CLASSES as u8).any(|c| port.class_paused(c)) {
+                paused_ports += 1;
+            }
+        }
+        obs.metrics.stage_global(GlobalSample {
+            t,
+            fluid_links,
+            packet_links,
+            paused_ports,
+            nacks_sent: self.nacks_sent,
+            retransmitted_bytes: self.retransmitted_bytes,
+            sr_retransmitted_bytes: self.sr_retransmitted_bytes,
+            recovery_timeouts: self.recovery_timeouts,
+        });
+        self.observe = Some(obs);
+    }
 }
 
 /// One blocked switch egress port (see [`Network::blocked_ports`]).
@@ -3011,6 +3248,17 @@ impl Model for Network {
         // Stamp the flight-recorder clock once per event: trace points
         // below the dispatch (the MMU in particular) need no Time access.
         self.tracer.tick(sched.now());
+        // Instant-closed metrics capture: the sample armed at `t` is taken
+        // at the first event strictly after `t`, before that event runs —
+        // the event *set* at instants `<= t` is engine-invariant even
+        // though the intra-instant order is not. `metrics_capture_at` is
+        // `Time::MAX` unless a tick armed it, so the masked-off cost is
+        // this one compare-branch. (The chased same-instant `TxDone`
+        // below bypasses this entry, which is safe: it shares the instant
+        // of the `Arrive` that already ran the check.)
+        if sched.now() > self.metrics_capture_at {
+            self.capture_metrics();
+        }
         // Events carry compact u32 indices (see `NetEvent`); widen them
         // back into the typed ids the rest of the model uses.
         match event {
@@ -3075,6 +3323,7 @@ impl Model for Network {
             }
             NetEvent::Fault { index } => self.handle_fault(index as usize, sched),
             NetEvent::Sample => self.handle_sample(sched),
+            NetEvent::MetricsTick => self.handle_metrics_tick(sched),
             NetEvent::FluidAdvance { gen } => self.handle_fluid_advance(gen, sched),
         }
     }
@@ -3093,6 +3342,7 @@ impl EventClass for NetEvent {
         "rto_timer",
         "fault",
         "sample",
+        "metrics_tick",
         "fluid_advance",
     ];
 
@@ -3107,7 +3357,8 @@ impl EventClass for NetEvent {
             NetEvent::RtoTimer { .. } => 6,
             NetEvent::Fault { .. } => 7,
             NetEvent::Sample => 8,
-            NetEvent::FluidAdvance { .. } => 9,
+            NetEvent::MetricsTick => 9,
+            NetEvent::FluidAdvance { .. } => 10,
         }
     }
 }

@@ -277,6 +277,7 @@ impl ParallelSim {
             f
         };
         let sample = net.params.sample_interval;
+        let metrics = net.params.observe.map(|o| o.metrics_interval);
         let starts: Vec<(Time, u32, u32)> = (0..net.flow_count())
             .map(|i| {
                 let s = net.flow_spec(FlowId(i));
@@ -299,6 +300,12 @@ impl ParallelSim {
                     }
                 }
                 sim.schedule(Time::ZERO + sample, NetEvent::Sample);
+                // Metrics tick after Sample, matching `into_sim`: every
+                // partition ticks at identical instants, which is what
+                // keeps merged metric rings index-aligned.
+                if let Some(mi) = metrics {
+                    sim.schedule(Time::ZERO + mi, NetEvent::MetricsTick);
+                }
                 Mutex::new(sim)
             })
             .collect();

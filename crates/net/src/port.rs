@@ -260,6 +260,20 @@ impl EgressPort {
         h
     }
 
+    /// Distribution of closed pause→resume intervals for one traffic
+    /// class only — multi-class runs read this to keep control-class and
+    /// data-class pauses apart.
+    #[must_use]
+    pub fn class_pause_latency_histogram(&self, class: u8) -> &DurationHistogram {
+        &self.class_pause[class as usize].closed
+    }
+
+    /// Distribution of closed *port-level* (POFF) pause intervals only.
+    #[must_use]
+    pub fn port_pause_latency_histogram(&self) -> &DurationHistogram {
+        &self.port_pause.closed
+    }
+
     /// Enqueues a frame for transmission. PFC frames go to their own
     /// highest-priority lane (FIFO among themselves, so a PAUSE can never
     /// overtake its matching RESUME).

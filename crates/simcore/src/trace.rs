@@ -77,8 +77,12 @@ impl TraceMask {
     /// Hybrid fidelity: fluid-link escalation/de-escalation and fluid
     /// flow completions.
     pub const FLUID: TraceMask = TraceMask(1 << 4);
+    /// Loss recovery: NACK emission, selective-repeat hole repairs, and
+    /// RTO fires (the backoff window renders as a span in the Chrome
+    /// export).
+    pub const RECOVERY: TraceMask = TraceMask(1 << 5);
     /// Every category.
-    pub const ALL: TraceMask = TraceMask((1 << 5) - 1);
+    pub const ALL: TraceMask = TraceMask((1 << 6) - 1);
 
     /// True when no category is enabled.
     #[must_use]
@@ -122,6 +126,7 @@ impl TraceMask {
                 "mmu" => Self::MMU,
                 "fault" => Self::FAULT,
                 "fluid" => Self::FLUID,
+                "recovery" => Self::RECOVERY,
                 "all" => Self::ALL,
                 _ => Self::NONE,
             });
@@ -201,6 +206,18 @@ pub enum TraceEvent {
     /// A fluid flow completed analytically; `payload` = its FCT in
     /// nanoseconds.
     FluidFlowComplete = 67,
+
+    /// A receiver emitted a selective-repeat NACK; `payload` = the
+    /// receiver's in-order mark (the cumulative-ACK byte the NACK
+    /// carries).
+    RecoveryNack = 80,
+    /// A sender retransmitted one selective-repeat hole; `payload` =
+    /// repaired bytes.
+    RecoveryRepair = 81,
+    /// A retransmission timeout fired (go-back-N rewind or
+    /// selective-repeat re-arm); `payload` encodes the retry count and
+    /// the backed-off RTO exactly like [`TraceEvent::Retransmit`].
+    RecoveryRto = 82,
 }
 
 impl TraceEvent {
@@ -209,6 +226,7 @@ impl TraceEvent {
     pub const fn mask(self) -> TraceMask {
         match self as u8 {
             64..=79 => TraceMask::FLUID,
+            80..=95 => TraceMask::RECOVERY,
             1..=15 => TraceMask::PFC,
             16..=31 => TraceMask::MMU,
             32..=47 => TraceMask::FLOW,
@@ -247,6 +265,9 @@ impl TraceEvent {
             TraceEvent::FluidDeescalate => "fluid_deescalate",
             TraceEvent::FluidFlowStart => "fluid_flow_start",
             TraceEvent::FluidFlowComplete => "fluid_flow_complete",
+            TraceEvent::RecoveryNack => "recovery_nack",
+            TraceEvent::RecoveryRepair => "recovery_repair",
+            TraceEvent::RecoveryRto => "recovery_rto",
         }
     }
 
@@ -281,6 +302,9 @@ impl TraceEvent {
             65 => TraceEvent::FluidDeescalate,
             66 => TraceEvent::FluidFlowStart,
             67 => TraceEvent::FluidFlowComplete,
+            80 => TraceEvent::RecoveryNack,
+            81 => TraceEvent::RecoveryRepair,
+            82 => TraceEvent::RecoveryRto,
             _ => return None,
         })
     }
@@ -796,6 +820,7 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
     let mut end_ts = 0.0f64;
     let mut dropped_total = 0u64;
     let mut any_fluid = false;
+    let mut any_recovery = false;
 
     let ev = |name: &str, ph: &str, ts: f64, pid: u64, tid: u64| {
         Json::object()
@@ -933,6 +958,32 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
                         ),
                     );
                 }
+                TraceEvent::RecoveryRto => {
+                    // The RTO fire renders as a complete span covering the
+                    // backed-off timeout window it arms, so stacked
+                    // retries read as nested spans per flow.
+                    any_recovery = true;
+                    let tid = u64::from(rec.flow);
+                    let rto_ns = rec.payload & ((1 << 48) - 1);
+                    events.push(
+                        ev(&format!("rto flow {}", rec.flow), "X", ts, 7, tid)
+                            .with("dur", rto_ns as f64 / 1e3)
+                            .with(
+                                "args",
+                                Json::object()
+                                    .with("retries", rec.payload >> 48)
+                                    .with("rto_ns", rto_ns),
+                            ),
+                    );
+                }
+                TraceEvent::RecoveryNack | TraceEvent::RecoveryRepair => {
+                    any_recovery = true;
+                    let tid = u64::from(rec.flow);
+                    events.push(ev(kind.name(), "i", ts, 7, tid).with("s", "t").with(
+                        "args",
+                        Json::object().with("node", node).with("payload", rec.payload),
+                    ));
+                }
             }
         }
     }
@@ -945,14 +996,18 @@ pub fn chrome_trace(logs: &[TraceLog], provenance: Json) -> Json {
     }
 
     // Name the tracks (metadata events may appear anywhere in the array).
-    // The fluid track appears only when fluid records exist, so
-    // packet-mode exports stay byte-identical to pre-hybrid goldens.
-    let pids: &[(u64, &str)] = if any_fluid {
-        &[(1, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults"), (6, "fluid")]
-    } else {
-        &[(1, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults")]
-    };
-    for &(pid, pname) in pids {
+    // The fluid and recovery tracks appear only when matching records
+    // exist, so exports without them stay byte-identical to older
+    // goldens.
+    let mut pids: Vec<(u64, &str)> =
+        vec![(1, "PFC wire"), (2, "MMU"), (3, "flows"), (4, "occupancy"), (5, "faults")];
+    if any_fluid {
+        pids.push((6, "fluid"));
+    }
+    if any_recovery {
+        pids.push((7, "recovery"));
+    }
+    for &(pid, pname) in &pids {
         events.push(
             Json::object()
                 .with("name", "process_name")
@@ -991,12 +1046,13 @@ mod tests {
         assert_eq!(TraceMask::parse("all"), TraceMask::ALL);
         assert_eq!(TraceMask::parse("pfc,flow"), TraceMask::PFC.union(TraceMask::FLOW));
         assert_eq!(TraceMask::parse(" mmu , nope "), TraceMask::MMU);
-        assert_eq!(TraceMask::parse("31"), TraceMask::ALL);
+        assert_eq!(TraceMask::parse("63"), TraceMask::ALL);
         assert_eq!(
             TraceMask::parse("15"),
             TraceMask::PFC.union(TraceMask::FLOW).union(TraceMask::MMU).union(TraceMask::FAULT)
         );
         assert_eq!(TraceMask::parse("fluid"), TraceMask::FLUID);
+        assert_eq!(TraceMask::parse("recovery"), TraceMask::RECOVERY);
         assert_eq!(TraceMask::parse(""), TraceMask::NONE);
     }
 

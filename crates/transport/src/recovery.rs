@@ -46,6 +46,19 @@ impl std::fmt::Display for Regime {
     }
 }
 
+impl Regime {
+    /// Stable lower-case tag for machine-readable exports (CLI operands
+    /// and `metrics.json` use this form; [`std::fmt::Display`] stays the
+    /// human-facing spelling).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Regime::GoBackN => "gbn",
+            Regime::SelectiveRepeat => "sr",
+        }
+    }
+}
+
 /// Tuning knobs for loss recovery (both regimes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryConfig {

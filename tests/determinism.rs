@@ -93,22 +93,20 @@ fn telemetry_json_is_byte_identical_at_1_and_4_threads() {
     // golden — the pooled hot path must reproduce the pre-pooling
     // telemetry JSON byte for byte. The SIH/DSH digests additionally pin
     // the MmuScheme-trait extraction as a pure refactor: the pre-trait
-    // values survive it unchanged. (Last rebaselined when the report
-    // gained the loss-recovery keys — `nacks_sent`,
-    // `sr_retransmitted_bytes`, timeout/NACK attribution and the
-    // `drop_tail` drop bucket; all zero in this lossless scenario, so
-    // only the serialization changed, not the event stream. Provenance
-    // deliberately excludes the thread count so reports stay identical
-    // at any executor width.)
+    // values survive it unchanged. (Last rebaselined when per-port pause
+    // telemetry gained the per-class breakdown and the POFF-only latency
+    // histogram — serialization-only; the event stream is untouched.
+    // Provenance deliberately excludes the thread count so reports stay
+    // identical at any executor width.)
     let digests: Vec<u64> = serial.iter().map(|s| fnv1a(s)).collect();
     assert_eq!(
         digests,
         vec![
-            10_103_953_310_693_107_281,
-            10_478_280_375_365_659_552,
+            8_944_586_279_440_163_145,
+            844_803_653_957_588_568,
             BSHARE_TELEMETRY_GOLDEN,
-            10_103_953_310_693_107_281,
-            10_478_280_375_365_659_552,
+            8_944_586_279_440_163_145,
+            844_803_653_957_588_568,
             BSHARE_TELEMETRY_GOLDEN,
         ],
         "telemetry JSON drifted"
@@ -119,8 +117,8 @@ fn telemetry_json_is_byte_identical_at_1_and_4_threads() {
 /// this unpaced incast the drain-rate estimator tightens some pause
 /// thresholds, so the event stream legitimately differs from DSH's — but
 /// it must still be deterministic and stable across refactors. (Last
-/// rebaselined for the loss-recovery telemetry keys.)
-const BSHARE_TELEMETRY_GOLDEN: u64 = 6_547_408_212_799_054_310;
+/// rebaselined for the per-class pause telemetry breakdown.)
+const BSHARE_TELEMETRY_GOLDEN: u64 = 9_214_839_694_620_938_198;
 
 #[test]
 fn derived_seeds_match_across_pool_widths() {
@@ -222,11 +220,11 @@ fn partitioned_telemetry_is_byte_identical_at_1_2_4_workers() {
     // full telemetry across refactors at every worker count. Pinned at
     // the engine's introduction, when the partitioned path reproduced
     // the serial calendar exactly on this ECN-free scenario. (Last
-    // rebaselined for the loss-recovery telemetry keys — all zero here,
-    // so only the serialization changed, not the event stream.)
+    // rebaselined for the per-class pause telemetry breakdown —
+    // serialization-only; the event stream is untouched.)
     assert_eq!(
         digests,
-        vec![11_626_329_312_340_080_166, 17_468_357_327_879_827_053, 3_626_301_074_662_195_491,],
+        vec![7_021_700_113_893_658_252, 15_562_023_392_353_366_219, 734_044_542_953_011_810,],
         "partitioned telemetry drifted"
     );
 }
